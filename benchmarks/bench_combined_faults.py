@@ -1,0 +1,32 @@
+"""Bench: combined fault types (paper §IV-C).
+
+The paper reports that injecting combinations of fault types yields ADs
+statistically similar to the dominant single fault type: mislabelling
+dominates mislabelling+removal and mislabelling+repetition; repetition
+dominates removal+repetition.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import combined_fault_analysis, render_combined_verdicts
+
+
+def test_combined_faults_match_dominant_type(benchmark, runner, save_result):
+    verdicts = benchmark.pedantic(
+        combined_fault_analysis,
+        args=(runner,),
+        kwargs={"dataset": "gtsrb", "model": "convnet", "rate": 0.3},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert len(verdicts) == 3
+    dominants = [v.dominant_label for v in verdicts]
+    assert dominants == ["mislabelling@30%", "mislabelling@30%", "repetition@30%"]
+    for verdict in verdicts:
+        assert 0.0 <= verdict.combined_ad.mean <= 1.0
+
+    # Shape: the majority of combinations behave like their dominant part.
+    assert sum(v.similar for v in verdicts) >= 2
+
+    save_result("combined_faults", render_combined_verdicts(verdicts))

@@ -1,0 +1,27 @@
+"""Bench: the motivating Pneumonia example (paper §II, Fig. 1, §III-D).
+
+The paper trains ResNet50 on the Pneumonia dataset, injects 10 % mislabelling,
+and reports: golden accuracy 90 % -> faulty accuracy ~55 %, then per-technique
+ADs of LS 5 %, LC 29 %, RL 15 %, KD 13 %, Ens 5 % (LS and Ens best).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import motivating_example, render_motivating_example
+
+
+def test_motivating_example_pneumonia_resnet50(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        motivating_example, args=(runner,), kwargs={"rate": 0.1}, rounds=1, iterations=1
+    )
+
+    # Shape check 1: the golden model must be strong on clean data.
+    assert result.golden_accuracy.mean > 0.7
+    # Shape check 2: every technique AD is a valid proportion.
+    for ad in result.technique_ads.values():
+        assert 0.0 <= ad.mean <= 1.0
+    # Shape check 3 (paper §III-D): ensembles are among the best protections.
+    ranked = [name for name, _ in result.ranked_techniques()]
+    assert ranked.index("ensemble") <= 2
+
+    save_result("motivating_example", render_motivating_example(result))

@@ -1,0 +1,42 @@
+"""Bench: runtime overhead analysis (paper §IV-E).
+
+The paper reports: inference overhead 1× for every technique except
+ensembles (5×, five models); training overhead lowest for label smoothing
+(~1×), ~1.5× for knowledge distillation, high for label correction, and
+highest (~5×) for ensembles.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import overhead_table, render_overheads
+
+
+def test_overhead_multipliers(benchmark, runner, save_result):
+    overheads = benchmark.pedantic(
+        overhead_table,
+        args=(runner,),
+        kwargs={"dataset": "gtsrb", "model": "convnet", "fault_rate": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Label smoothing: cheapest protection (~1x training, 1x inference).
+    ls = overheads["label_smoothing"]
+    assert ls.training_overhead < 2.0
+    assert 0.3 < ls.inference_overhead < 3.0
+
+    # Knowledge distillation: teacher + early-stopped student (between 1.2x
+    # and ~2.5x training), no inference overhead.
+    kd = overheads["knowledge_distillation"]
+    assert 1.2 < kd.training_overhead < 3.0
+
+    # Label correction: costlier than label smoothing (secondary model).
+    assert overheads["label_correction"].training_overhead > ls.training_overhead
+
+    # Ensembles: by far the highest training cost (five diverse models, some
+    # much deeper than the baseline convnet) and ~5x inference cost.
+    ens = overheads["ensemble"]
+    assert ens.training_overhead > 4.0
+    assert ens.inference_overhead > 2.5
+
+    save_result("overhead", render_overheads(overheads))

@@ -1,0 +1,38 @@
+"""Bench: regenerate paper Table IV (golden accuracies per technique).
+
+Paper §IV-A: each technique is trained *without* fault injection across
+models × datasets; most techniques do not hurt golden accuracy, but label
+correction and robust loss degrade it on the small Pneumonia dataset.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import golden_accuracy_table, render_table4
+from repro.mitigation import technique_names
+
+MODELS = ("resnet50", "convnet")  # one deep + one shallow (Table IV subset)
+DATASETS = ("cifar10", "gtsrb", "pneumonia")
+
+
+def test_table4_golden_accuracies(benchmark, runner, save_result):
+    techniques = technique_names()
+    table = benchmark.pedantic(
+        golden_accuracy_table,
+        args=(runner,),
+        kwargs={"models": MODELS, "datasets": DATASETS, "techniques": techniques},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Every cell is a valid accuracy.
+    for cell in table.values():
+        assert 0.0 <= cell.mean <= 1.0
+
+    # Shape check (paper §IV-A): on well-sized datasets the baseline golden
+    # accuracy is high, i.e. the substrate actually learns the task.
+    assert table[("convnet", "gtsrb", "baseline")].mean > 0.6
+    assert table[("convnet", "pneumonia", "baseline")].mean > 0.6
+
+    save_result(
+        "table4_golden_accuracy", render_table4(table, MODELS, DATASETS, techniques)
+    )

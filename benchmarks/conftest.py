@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark suite.
+
+All benches share one session-scoped :class:`ExperimentRunner`, so golden
+models, datasets, and (dataset-level) ensemble fits are trained once and
+reused across tables/figures — mirroring how the paper trains one golden
+model per (architecture, dataset) and one ensemble per dataset.
+
+Scale is controlled by ``REPRO_SCALE`` (default ``smoke``); see DESIGN.md §4.
+Each bench prints its paper-shaped table/series and also writes it to
+``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentRunner, resolve_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+CACHE_DIR = Path(__file__).parent / ".cache"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One runner for the whole bench session.
+
+    Uses a persistent disk cache under ``benchmarks/.cache`` so repeated
+    bench runs (same scale/seed) reuse trained cells instead of retraining;
+    delete the directory to force a cold run.
+    """
+    return ExperimentRunner(resolve_scale(), cache_dir=str(CACHE_DIR))
+
+
+@pytest.fixture(scope="session")
+def rates(runner) -> tuple[float, ...]:
+    """Fault rates: the paper's 10/30/50 % grid, trimmed at smoke scale."""
+    if runner.scale.name == "smoke":
+        return (0.1, 0.5)
+    return (0.1, 0.3, 0.5)
+
+
+@pytest.fixture()
+def save_result(runner):
+    """Write a rendered result under benchmarks/results/ and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.{runner.scale.name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

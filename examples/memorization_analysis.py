@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Why faulty labels hurt: memorization and per-class damage.
+
+Uses :mod:`repro.analysis` to open up the mechanism behind the paper's
+findings on one configuration:
+
+1. train an unprotected model and a label-smoothing-protected model on data
+   with 30 % mislabelling;
+2. measure how much injected noise each model *memorized* vs *resisted*;
+3. decompose the resulting accuracy delta per class.
+
+Run:  python examples/memorization_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import measure_memorization, per_class_accuracy_delta
+from repro.data import load_dataset
+from repro.faults import inject, mislabelling
+from repro.mitigation import BaselineTechnique, LabelSmoothingTechnique, TrainingBudget
+
+
+def main() -> None:
+    train, test = load_dataset("gtsrb", train_size=430, test_size=172, seed=0)
+    faulty_train, report = inject(train, mislabelling(0.3), seed=7)
+    budget = TrainingBudget(epochs=18)
+    print(f"training data: {report.summary()}\n")
+
+    golden = BaselineTechnique().fit(train, "convnet", budget, np.random.default_rng(1))
+    golden_pred = golden.predict(test.images)
+
+    fitted = {
+        "baseline": BaselineTechnique().fit(
+            faulty_train, "convnet", budget, np.random.default_rng(1)
+        ),
+        "label smoothing": LabelSmoothingTechnique().fit(
+            faulty_train, "convnet", budget, np.random.default_rng(1)
+        ),
+    }
+
+    print("== noise memorization (on the training set) ==")
+    for name, model in fitted.items():
+        memo = measure_memorization(model, faulty_train, train, report)
+        verdict = "resisted" if memo.resisted_noise else "memorized"
+        print(f"  {name:16s} {memo}  -> noise {verdict}")
+
+    print("\n== per-class damage (AD breakdown on the test set) ==")
+    for name, model in fitted.items():
+        breakdown = per_class_accuracy_delta(
+            golden_pred, model.predict(test.images), test.labels, train.num_classes
+        )
+        print(f"  {name:16s} {breakdown}")
+
+    print("\nA protected model memorizes less of the injected noise, which is")
+    print("exactly why its accuracy delta stays lower (paper §IV-B).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The paper's motivating example: mislabelled chest X-rays (§II, §III-D).
+
+A ResNet50 is trained on a (synthetic stand-in for the) Pneumonia dataset.
+With 10 % of the training labels flipped, the unprotected model's accuracy
+collapses; each of the five TDFM techniques is then applied to the faulty
+training data and scored by accuracy delta.  The paper reports LS and Ens
+as the most resilient for this configuration.
+
+Run:  python examples/pneumonia_case_study.py          (smoke scale)
+      REPRO_SCALE=small python examples/pneumonia_case_study.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ExperimentRunner,
+    motivating_example,
+    render_motivating_example,
+)
+from repro.mitigation import TECHNIQUE_ABBREVIATIONS
+
+
+def main() -> None:
+    runner = ExperimentRunner()  # scale from REPRO_SCALE (default: smoke)
+    print(f"running at scale '{runner.scale.name}' "
+          f"({runner.scale.repeats} repetition(s) per configuration)\n")
+
+    result = motivating_example(runner, dataset="pneumonia", model="resnet50", rate=0.1)
+
+    print("== Pneumonia + ResNet50 + 10% mislabelling ==")
+    print(render_motivating_example(result))
+
+    best, best_ad = result.ranked_techniques()[0]
+    print(f"\nmost resilient technique here: {TECHNIQUE_ABBREVIATIONS[best]} "
+          f"(AD {best_ad:.1%})")
+    print("paper reference (§III-D): LS 5%, LC 29%, RL 15%, KD 13%, Ens 5%")
+
+    # The paper's headline: a patient's diagnosis flips with faulty data.
+    drop = result.golden_accuracy.mean - result.baseline_faulty_accuracy.mean
+    print(f"\nunprotected accuracy drop from 10% mislabelling: "
+          f"{result.golden_accuracy.mean:.1%} -> "
+          f"{result.baseline_faulty_accuracy.mean:.1%} (-{drop:.1%})")
+
+
+if __name__ == "__main__":
+    main()

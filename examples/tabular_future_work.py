@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Beyond images: TDFM techniques on tabular data (paper §V future work).
+
+The paper evaluates image classification only and names "other data types"
+as future work.  Because the five TDFM techniques operate on labels, losses,
+and training loops — never on pixels — they apply unchanged to any
+classification task.  This example demonstrates that on a synthetic tabular
+"sensor readings" dataset with an MLP.
+
+Run:  python examples/tabular_future_work.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import SyntheticConfig, make_sensor_like
+from repro.faults import inject, mislabelling
+from repro.metrics import compare_models
+from repro.mitigation import (
+    BaselineTechnique,
+    LabelSmoothingTechnique,
+    RobustLossTechnique,
+    TrainingBudget,
+)
+
+
+def main() -> None:
+    train, test = make_sensor_like(SyntheticConfig(train_size=300, test_size=100, seed=0))
+    print(f"tabular dataset: {len(train)} train vectors, "
+          f"{train.image_shape[-1]} sensor channels, {train.num_classes} classes")
+
+    budget = TrainingBudget(epochs=20, batch_size=32)
+    golden = BaselineTechnique().fit(train, "mlp", budget, np.random.default_rng(1))
+    golden_pred = golden.predict(test.images)
+    print(f"golden MLP accuracy: {(golden_pred == test.labels).mean():.1%}\n")
+
+    faulty_train, report = inject(train, mislabelling(0.3), seed=9)
+    print(f"injected: {report.summary()}\n")
+
+    techniques = {
+        "baseline (unprotected)": BaselineTechnique(),
+        "label smoothing": LabelSmoothingTechnique(alpha=0.2),
+        "robust loss (NCE+RCE)": RobustLossTechnique(),
+    }
+    for name, technique in techniques.items():
+        fitted = technique.fit(faulty_train, "mlp", budget, np.random.default_rng(1))
+        result = compare_models(golden_pred, fitted.predict(test.images), test.labels)
+        print(f"{name:24s} accuracy={result.faulty_accuracy:.1%}  AD={result.accuracy_delta:.1%}")
+
+    print("\nThe same fault-injection and mitigation stack runs on non-image data")
+    print("— the paper's §V future work, enabled by the label/loss-level design.")
+
+
+if __name__ == "__main__":
+    main()

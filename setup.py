@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; this file lets ``pip install -e . --no-use-pep517`` (and plain
+``pip install -e .`` on older pips) work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — reproduction of "The Fault in Our Data Stars" (DSN 2022).
+
+A study of training-data fault mitigation (TDFM) techniques: label smoothing,
+label correction, robust loss, knowledge distillation, and ensembles, compared
+under mislabelling / repetition / removal faults across three datasets and
+seven neural-network architectures.
+
+Public surface:
+
+- :mod:`repro.nn` -- NumPy deep-learning framework (the substrate)
+- :mod:`repro.data` -- datasets (synthetic stand-ins for CIFAR-10/GTSRB/Pneumonia)
+- :mod:`repro.faults` -- training-data fault injection
+- :mod:`repro.models` -- the seven architectures of paper Table III
+- :mod:`repro.mitigation` -- the five TDFM techniques (the paper's subject)
+- :mod:`repro.metrics` -- accuracy delta (AD), confidence intervals, overheads
+- :mod:`repro.experiments` -- the study harness and per-table/figure drivers
+- :mod:`repro.survey` -- the Table I technique catalog and selection
+- :mod:`repro.analysis` -- mechanism analyses (memorization, diversity, per-class AD)
+"""
+
+from . import analysis, data, experiments, faults, metrics, mitigation, models, nn, survey
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "nn",
+    "data",
+    "faults",
+    "models",
+    "mitigation",
+    "metrics",
+    "experiments",
+    "survey",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""``repro.analysis`` — mechanism analyses behind the paper's findings.
+
+Quantifies *why* the study's results come out the way they do: noise
+memorization (the failure mode TDFM techniques fight), ensemble diversity
+(why majority voting wins), and per-class AD breakdowns (where the damage
+lands).
+"""
+
+from .breakdown import ClassADBreakdown, per_class_accuracy_delta
+from .diversity import (
+    DiversityReport,
+    analyze_ensemble,
+    pairwise_disagreement,
+    q_statistic,
+    simultaneous_failure_rate,
+)
+from .memorization import MemorizationReport, measure_memorization
+from .noise_estimation import (
+    NoiseEstimate,
+    cross_validated_probabilities,
+    estimate_noise,
+)
+
+__all__ = [
+    "NoiseEstimate",
+    "cross_validated_probabilities",
+    "estimate_noise",
+    "MemorizationReport",
+    "measure_memorization",
+    "DiversityReport",
+    "analyze_ensemble",
+    "pairwise_disagreement",
+    "q_statistic",
+    "simultaneous_failure_rate",
+    "ClassADBreakdown",
+    "per_class_accuracy_delta",
+]

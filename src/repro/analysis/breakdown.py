@@ -1,0 +1,70 @@
+"""Per-class AD breakdown.
+
+The headline AD (paper §III-C) is an aggregate over all test inputs; this
+module decomposes it per class, exposing *which* classes faulty training
+data breaks — the view behind the paper's Fig. 1 anecdote, where one
+mislabelled model flips normal↔pneumonia in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ClassADBreakdown", "per_class_accuracy_delta"]
+
+
+@dataclass(frozen=True)
+class ClassADBreakdown:
+    """AD decomposed per true class."""
+
+    per_class_ad: np.ndarray  # NaN for classes without golden-correct inputs
+    per_class_support: np.ndarray  # golden-correct counts per class
+    overall_ad: float
+
+    def worst_classes(self, top: int = 3) -> list[tuple[int, float]]:
+        """The ``top`` classes with the highest AD, as (class, AD) pairs."""
+        valid = [
+            (cls, float(ad))
+            for cls, ad in enumerate(self.per_class_ad)
+            if not np.isnan(ad)
+        ]
+        return sorted(valid, key=lambda pair: pair[1], reverse=True)[:top]
+
+    def __str__(self) -> str:
+        worst = ", ".join(f"class {c}: {ad:.1%}" for c, ad in self.worst_classes())
+        return f"overall AD {self.overall_ad:.1%}; worst classes: {worst}"
+
+
+def per_class_accuracy_delta(
+    golden_predictions: np.ndarray,
+    faulty_predictions: np.ndarray,
+    labels: np.ndarray,
+    num_classes: int,
+) -> ClassADBreakdown:
+    """Decompose AD per true class.
+
+    For each class ``c``, the class AD is the fraction of golden-correct
+    inputs of class ``c`` that the faulty model misclassifies.  Classes with
+    no golden-correct inputs get NaN (no denominator).
+    """
+    golden_predictions = np.asarray(golden_predictions)
+    faulty_predictions = np.asarray(faulty_predictions)
+    labels = np.asarray(labels)
+    if not (len(golden_predictions) == len(faulty_predictions) == len(labels)):
+        raise ValueError("prediction and label arrays differ in length")
+
+    golden_correct = golden_predictions == labels
+    broken = golden_correct & (faulty_predictions != labels)
+
+    per_class_ad = np.full(num_classes, np.nan)
+    support = np.zeros(num_classes, dtype=np.int64)
+    for cls in range(num_classes):
+        cls_correct = golden_correct & (labels == cls)
+        support[cls] = int(cls_correct.sum())
+        if support[cls]:
+            per_class_ad[cls] = float(broken[labels == cls].sum() / support[cls])
+
+    overall = float(broken.sum() / golden_correct.sum()) if golden_correct.any() else 0.0
+    return ClassADBreakdown(per_class_ad=per_class_ad, per_class_support=support, overall_ad=overall)

@@ -1,0 +1,113 @@
+"""Ensemble-diversity analysis.
+
+The paper attributes the ensemble's resilience to its members' architectural
+diversity: "the ensemble can tolerate faults provided the majority of the
+individual models do not misclassify simultaneously" (§IV-B).  This module
+measures that property with the standard diversity statistics of the
+ensemble literature: pairwise disagreement, the Q-statistic, and the
+simultaneous-failure rate that directly bounds majority-vote damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..mitigation.ensemble import EnsembleFitted
+
+__all__ = [
+    "DiversityReport",
+    "pairwise_disagreement",
+    "q_statistic",
+    "simultaneous_failure_rate",
+    "analyze_ensemble",
+]
+
+
+def pairwise_disagreement(pred_a: np.ndarray, pred_b: np.ndarray) -> float:
+    """Fraction of inputs where two members predict different classes."""
+    pred_a = np.asarray(pred_a)
+    pred_b = np.asarray(pred_b)
+    if pred_a.shape != pred_b.shape:
+        raise ValueError("prediction arrays differ in shape")
+    return float((pred_a != pred_b).mean())
+
+
+def q_statistic(pred_a: np.ndarray, pred_b: np.ndarray, labels: np.ndarray) -> float:
+    """Yule's Q-statistic of two members' correctness patterns.
+
+    ``Q = (N11·N00 − N01·N10) / (N11·N00 + N01·N10)`` where ``Nxy`` counts
+    inputs that member A classifies correctly(x=1)/incorrectly(x=0) and member
+    B correctly(y=1)/incorrectly(y=0).  Q near 1 means correlated errors
+    (low diversity); Q near 0 or negative means independent/complementary
+    errors (high diversity).  Returns 0 for degenerate all-agree patterns.
+    """
+    a_correct = np.asarray(pred_a) == np.asarray(labels)
+    b_correct = np.asarray(pred_b) == np.asarray(labels)
+    n11 = float((a_correct & b_correct).sum())
+    n00 = float((~a_correct & ~b_correct).sum())
+    n10 = float((a_correct & ~b_correct).sum())
+    n01 = float((~a_correct & b_correct).sum())
+    denominator = n11 * n00 + n01 * n10
+    if denominator == 0:
+        return 0.0
+    return (n11 * n00 - n01 * n10) / denominator
+
+
+def simultaneous_failure_rate(member_predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of inputs where a majority of members fail *together*.
+
+    This is exactly the condition under which majority voting breaks
+    (paper §IV-B): with M members, the vote errs only when > M/2 are wrong.
+    """
+    member_predictions = np.asarray(member_predictions)
+    if member_predictions.ndim != 2:
+        raise ValueError("member_predictions must be (M, N)")
+    wrong = member_predictions != np.asarray(labels)[None, :]
+    majority = member_predictions.shape[0] / 2
+    return float((wrong.sum(axis=0) > majority).mean())
+
+
+@dataclass(frozen=True)
+class DiversityReport:
+    """Aggregated diversity statistics of a fitted ensemble."""
+
+    member_accuracies: dict[str, float]
+    mean_pairwise_disagreement: float
+    mean_q_statistic: float
+    simultaneous_failure_rate: float
+    ensemble_accuracy: float
+
+    def __str__(self) -> str:
+        return (
+            f"disagreement={self.mean_pairwise_disagreement:.1%}, "
+            f"Q={self.mean_q_statistic:.2f}, simultaneous failures="
+            f"{self.simultaneous_failure_rate:.1%}, ensemble accuracy="
+            f"{self.ensemble_accuracy:.1%}"
+        )
+
+
+def analyze_ensemble(
+    fitted: EnsembleFitted, images: np.ndarray, labels: np.ndarray
+) -> DiversityReport:
+    """Compute the full diversity report of an ensemble on a test set."""
+    labels = np.asarray(labels)
+    member_preds = {m.name: m.predict(images) for m in fitted.members}
+    stacked = np.stack(list(member_preds.values()))
+
+    pairs = list(combinations(member_preds.values(), 2))
+    disagreements = [pairwise_disagreement(a, b) for a, b in pairs]
+    q_values = [q_statistic(a, b, labels) for a, b in pairs]
+
+    ensemble_pred = fitted.predict(images)
+    return DiversityReport(
+        member_accuracies={
+            name: float((pred == labels).mean()) for name, pred in member_preds.items()
+        },
+        mean_pairwise_disagreement=float(np.mean(disagreements)) if disagreements else 0.0,
+        mean_q_statistic=float(np.mean(q_values)) if q_values else 0.0,
+        simultaneous_failure_rate=simultaneous_failure_rate(stacked, labels),
+        ensemble_accuracy=float((ensemble_pred == labels).mean()),
+    )

@@ -1,0 +1,113 @@
+"""Noise-memorization analysis.
+
+The mechanism behind most of the paper's findings is *memorization*: an
+unprotected model eventually fits its mislabelled training examples, which
+warps its decision boundaries and shows up as AD at test time (the "garbage
+in, garbage out" effect of §IV-B).  This module quantifies that directly:
+given a fitted model, the faulty training set, and the injector's audit
+report, it measures how much of the injected noise the model absorbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..faults.injector import FaultReport
+from ..mitigation.base import FittedModel
+
+__all__ = ["MemorizationReport", "measure_memorization"]
+
+
+@dataclass(frozen=True)
+class MemorizationReport:
+    """How a model treats clean vs mislabelled training examples.
+
+    Attributes
+    ----------
+    noisy_label_fit_rate:
+        Fraction of *mislabelled* examples the model predicts as their wrong
+        observed label — pure memorization of injected noise.
+    true_label_recovery_rate:
+        Fraction of mislabelled examples the model predicts as their original
+        (true) label despite training on the wrong one — noise resisted.
+    clean_fit_rate:
+        Fraction of untouched examples predicted as their (correct) label.
+    num_mislabelled, num_clean:
+        Population sizes behind the rates.
+    """
+
+    noisy_label_fit_rate: float
+    true_label_recovery_rate: float
+    clean_fit_rate: float
+    num_mislabelled: int
+    num_clean: int
+
+    @property
+    def resisted_noise(self) -> bool:
+        """True when the model recovers more truth than it memorizes noise."""
+        return self.true_label_recovery_rate > self.noisy_label_fit_rate
+
+    def __str__(self) -> str:
+        return (
+            f"memorized {self.noisy_label_fit_rate:.1%} of noise, recovered "
+            f"{self.true_label_recovery_rate:.1%} of true labels, fit "
+            f"{self.clean_fit_rate:.1%} of clean data"
+        )
+
+
+def measure_memorization(
+    fitted: FittedModel,
+    faulty_train: ArrayDataset,
+    original_train: ArrayDataset,
+    report: FaultReport,
+) -> MemorizationReport:
+    """Quantify noise memorization of a model trained on ``faulty_train``.
+
+    Parameters
+    ----------
+    fitted:
+        The trained (possibly protected) model.
+    faulty_train:
+        The training data after injection (observed labels).
+    original_train:
+        The training data before injection (true labels).  Must be the same
+        size as ``faulty_train`` — i.e. the injection was mislabelling only.
+    report:
+        The injector's audit record identifying which indices were flipped.
+    """
+    if len(faulty_train) != len(original_train):
+        raise ValueError(
+            "memorization analysis requires size-preserving faults "
+            f"(got {len(original_train)} -> {len(faulty_train)} examples)"
+        )
+    predictions = fitted.predict(faulty_train.images)
+
+    flipped = report.mislabelled_indices
+    clean_mask = np.ones(len(faulty_train), dtype=bool)
+    clean_mask[flipped] = False
+
+    if len(flipped):
+        noisy_fit = float(
+            (predictions[flipped] == faulty_train.labels[flipped]).mean()
+        )
+        recovery = float(
+            (predictions[flipped] == original_train.labels[flipped]).mean()
+        )
+    else:
+        noisy_fit = 0.0
+        recovery = 0.0
+    clean_fit = (
+        float((predictions[clean_mask] == faulty_train.labels[clean_mask]).mean())
+        if clean_mask.any()
+        else 0.0
+    )
+    return MemorizationReport(
+        noisy_label_fit_rate=noisy_fit,
+        true_label_recovery_rate=recovery,
+        clean_fit_rate=clean_fit,
+        num_mislabelled=int(len(flipped)),
+        num_clean=int(clean_mask.sum()),
+    )

@@ -1,0 +1,150 @@
+"""Command-line interface: regenerate any paper table/figure from a shell.
+
+Usage::
+
+    repro-study table1
+    repro-study motivating [--rate 0.1]
+    repro-study table4 [--models resnet50,convnet] [--datasets gtsrb]
+    repro-study fig3 [--models convnet,vgg16] [--rates 0.1,0.5]
+    repro-study fig4 [--rates 0.1,0.5]
+    repro-study overhead [--dataset gtsrb] [--model convnet]
+    repro-study combined [--rate 0.3]
+    repro-study panel --dataset gtsrb --model convnet --fault mislabelling
+
+Scale comes from ``--scale`` or the ``REPRO_SCALE`` environment variable
+(default ``smoke``).  Each command prints the paper-shaped text rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments import (
+    ExperimentRunner,
+    ad_panel,
+    combined_fault_analysis,
+    fig3_panels,
+    fig4_panels,
+    golden_accuracy_table,
+    motivating_example,
+    overhead_table,
+    render_combined_verdicts,
+    render_motivating_example,
+    render_overheads,
+    render_panel,
+    render_panels,
+    render_table4,
+)
+from .faults import FaultType
+from .mitigation import technique_names
+from .survey import render_table1, select_representatives
+
+__all__ = ["main", "build_parser"]
+
+
+def _csv(value: str) -> tuple[str, ...]:
+    return tuple(item.strip() for item in value.split(",") if item.strip())
+
+
+def _csv_floats(value: str) -> tuple[float, ...]:
+    return tuple(float(item) for item in _csv(value))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``repro-study``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Regenerate tables/figures of 'The Fault in Our Data Stars' (DSN 2022).",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "small", "paper"),
+        default=None,
+        help="experiment scale (default: REPRO_SCALE env var or 'smoke')",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: survey-based technique selection")
+
+    motivating = sub.add_parser("motivating", help="§II/§III-D: Pneumonia + ResNet50 example")
+    motivating.add_argument("--rate", type=float, default=0.1)
+    motivating.add_argument("--model", default="resnet50")
+
+    table4 = sub.add_parser("table4", help="Table IV: golden accuracies")
+    table4.add_argument("--models", type=_csv, default=("resnet50", "convnet"))
+    table4.add_argument("--datasets", type=_csv, default=("cifar10", "gtsrb", "pneumonia"))
+
+    fig3 = sub.add_parser("fig3", help="Fig. 3: GTSRB mislabelling + removal panels")
+    fig3.add_argument("--models", type=_csv, default=("convnet", "vgg16"))
+    fig3.add_argument("--rates", type=_csv_floats, default=(0.1, 0.3, 0.5))
+
+    fig4 = sub.add_parser("fig4", help="Fig. 4: cross-dataset panels")
+    fig4.add_argument("--rates", type=_csv_floats, default=(0.1, 0.3, 0.5))
+
+    overhead = sub.add_parser("overhead", help="§IV-E: runtime overheads")
+    overhead.add_argument("--dataset", default="gtsrb")
+    overhead.add_argument("--model", default="convnet")
+
+    combined = sub.add_parser("combined", help="§IV-C: combined fault types")
+    combined.add_argument("--rate", type=float, default=0.3)
+    combined.add_argument("--dataset", default="gtsrb")
+    combined.add_argument("--model", default="convnet")
+
+    panel = sub.add_parser("panel", help="one custom AD panel")
+    panel.add_argument("--dataset", required=True)
+    panel.add_argument("--model", required=True)
+    panel.add_argument(
+        "--fault", required=True, choices=[f.value for f in FaultType]
+    )
+    panel.add_argument("--rates", type=_csv_floats, default=(0.1, 0.3, 0.5))
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":  # needs no runner
+        print(render_table1())
+        print()
+        for result in select_representatives().values():
+            print(f"  {result}")
+        return 0
+
+    runner = ExperimentRunner(args.scale)
+    print(f"[scale={runner.scale.name}, repeats={runner.scale.repeats}]", file=sys.stderr)
+
+    if args.command == "motivating":
+        result = motivating_example(runner, model=args.model, rate=args.rate)
+        print(render_motivating_example(result))
+    elif args.command == "table4":
+        table = golden_accuracy_table(
+            runner, models=args.models, datasets=args.datasets
+        )
+        print(render_table4(table, args.models, args.datasets, technique_names()))
+    elif args.command == "fig3":
+        panels = fig3_panels(runner, models=args.models, rates=args.rates)
+        print(render_panels(panels, "Fig 3: GTSRB"))
+    elif args.command == "fig4":
+        panels = fig4_panels(runner, rates=args.rates)
+        print(render_panels(panels, "Fig 4: datasets"))
+    elif args.command == "overhead":
+        print(render_overheads(overhead_table(runner, dataset=args.dataset, model=args.model)))
+    elif args.command == "combined":
+        verdicts = combined_fault_analysis(
+            runner, dataset=args.dataset, model=args.model, rate=args.rate
+        )
+        print(render_combined_verdicts(verdicts))
+    elif args.command == "panel":
+        panel = ad_panel(
+            runner, args.dataset, args.model, FaultType(args.fault), rates=args.rates
+        )
+        print(render_panel(panel))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""``repro.data`` — dataset containers, synthetic generators, and transforms."""
+
+from .augment import (
+    Compose,
+    GaussianNoise,
+    RandomBrightness,
+    RandomHorizontalFlip,
+    RandomShift,
+)
+from .dataset import ArrayDataset, DataLoader, stratified_indices, train_validation_split
+from .registry import DATASETS, PAPER_TABLE2, DatasetInfo, dataset_names, load_dataset
+from .synthetic import (
+    SyntheticConfig,
+    make_cifar10_like,
+    make_dataset_pair,
+    make_gtsrb_like,
+    make_pneumonia_like,
+    make_sensor_like,
+)
+from .transforms import (
+    flatten_images,
+    from_one_hot,
+    normalize_images,
+    one_hot,
+    per_channel_standardize,
+    smooth_labels,
+)
+
+__all__ = [
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomShift",
+    "RandomBrightness",
+    "GaussianNoise",
+    "ArrayDataset",
+    "DataLoader",
+    "train_validation_split",
+    "stratified_indices",
+    "SyntheticConfig",
+    "make_cifar10_like",
+    "make_gtsrb_like",
+    "make_pneumonia_like",
+    "make_sensor_like",
+    "make_dataset_pair",
+    "DatasetInfo",
+    "DATASETS",
+    "PAPER_TABLE2",
+    "load_dataset",
+    "dataset_names",
+    "one_hot",
+    "from_one_hot",
+    "smooth_labels",
+    "normalize_images",
+    "per_channel_standardize",
+    "flatten_images",
+]

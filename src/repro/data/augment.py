@@ -1,0 +1,127 @@
+"""Seeded image augmentations for training pipelines.
+
+Standard light augmentations over NCHW batches.  All transforms are
+callable ``(batch) -> batch`` objects with their own seeded generator, so an
+augmented training run stays exactly reproducible; compose them with
+:class:`Compose` and plug the result into ``Trainer(input_transform=...)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomShift",
+    "RandomBrightness",
+    "GaussianNoise",
+]
+
+
+class Compose:
+    """Apply transforms left to right."""
+
+    def __init__(self, *transforms) -> None:
+        if not transforms:
+            raise ValueError("Compose needs at least one transform")
+        self.transforms = transforms
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch)
+        return batch
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose({inner})"
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1]; got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        batch = np.asarray(batch)
+        if batch.ndim != 4:
+            raise ValueError("expected an NCHW batch")
+        out = batch.copy()
+        flip = self.rng.random(len(batch)) < self.p
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+    def __repr__(self) -> str:
+        return f"RandomHorizontalFlip(p={self.p})"
+
+
+class RandomShift:
+    """Translate each image by up to ``max_shift`` pixels (zero padding)."""
+
+    def __init__(self, max_shift: int = 2, rng: np.random.Generator | None = None) -> None:
+        if max_shift < 0:
+            raise ValueError("max_shift must be >= 0")
+        self.max_shift = max_shift
+        self.rng = rng or np.random.default_rng()
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        batch = np.asarray(batch)
+        if batch.ndim != 4:
+            raise ValueError("expected an NCHW batch")
+        if self.max_shift == 0:
+            return batch.copy()
+        out = np.zeros_like(batch)
+        h, w = batch.shape[2:]
+        shifts = self.rng.integers(-self.max_shift, self.max_shift + 1, size=(len(batch), 2))
+        for i, (dy, dx) in enumerate(shifts):
+            src_y = slice(max(0, -dy), min(h, h - dy))
+            src_x = slice(max(0, -dx), min(w, w - dx))
+            dst_y = slice(max(0, dy), min(h, h + dy))
+            dst_x = slice(max(0, dx), min(w, w + dx))
+            out[i, :, dst_y, dst_x] = batch[i, :, src_y, src_x]
+        return out
+
+    def __repr__(self) -> str:
+        return f"RandomShift(max_shift={self.max_shift})"
+
+
+class RandomBrightness:
+    """Scale each image's intensity by a factor in ``[1-delta, 1+delta]``."""
+
+    def __init__(self, delta: float = 0.2, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= delta < 1.0:
+            raise ValueError(f"delta must be in [0, 1); got {delta}")
+        self.delta = delta
+        self.rng = rng or np.random.default_rng()
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        batch = np.asarray(batch)
+        if batch.ndim != 4:
+            raise ValueError("expected an NCHW batch")
+        factors = self.rng.uniform(1 - self.delta, 1 + self.delta, size=(len(batch), 1, 1, 1))
+        return (batch * factors).astype(batch.dtype)
+
+    def __repr__(self) -> str:
+        return f"RandomBrightness(delta={self.delta})"
+
+
+class GaussianNoise:
+    """Add zero-mean Gaussian pixel noise with standard deviation ``std``."""
+
+    def __init__(self, std: float = 0.02, rng: np.random.Generator | None = None) -> None:
+        if std < 0:
+            raise ValueError("std must be >= 0")
+        self.std = std
+        self.rng = rng or np.random.default_rng()
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        batch = np.asarray(batch)
+        noise = self.rng.normal(0.0, self.std, size=batch.shape).astype(batch.dtype)
+        return batch + noise
+
+    def __repr__(self) -> str:
+        return f"GaussianNoise(std={self.std})"

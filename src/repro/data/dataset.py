@@ -1,0 +1,168 @@
+"""Dataset containers, splits, and batch iteration.
+
+The study's workflow (paper Fig. 2) needs a handful of dataset-level
+operations beyond plain arrays: stratified clean-subset reservation for the
+label-correction technique (§III-B2), train/validation splitting, and
+deterministic shuffled batching.  ``ArrayDataset`` packages those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "train_validation_split", "stratified_indices"]
+
+
+@dataclass
+class ArrayDataset:
+    """An in-memory image-classification dataset.
+
+    Attributes
+    ----------
+    images:
+        Float array of shape ``(N, C, H, W)`` in ``[0, 1]``.
+    labels:
+        Integer class labels of shape ``(N,)``.
+    num_classes:
+        Number of label classes ``K`` (labels are in ``[0, K)``).
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ValueError(f"images must be (N, C, H, W); got shape {self.images.shape}")
+        if self.labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D; got shape {self.labels.shape}")
+        if len(self.images) != len(self.labels):
+            raise ValueError(
+                f"images ({len(self.images)}) and labels ({len(self.labels)}) differ in length"
+            )
+        if self.num_classes < 2:
+            raise ValueError("num_classes must be >= 2")
+        if len(self.labels) and (self.labels.min() < 0 or self.labels.max() >= self.num_classes):
+            raise ValueError("labels out of range for num_classes")
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        """(C, H, W) of a single image."""
+        return tuple(self.images.shape[1:])  # type: ignore[return-value]
+
+    def one_hot_labels(self) -> np.ndarray:
+        """Labels as a one-hot ``(N, K)`` float matrix."""
+        return np.eye(self.num_classes, dtype=np.float32)[self.labels]
+
+    def subset(self, indices: np.ndarray, name_suffix: str = "subset") -> "ArrayDataset":
+        """A new dataset restricted to ``indices`` (copies the arrays)."""
+        indices = np.asarray(indices)
+        return ArrayDataset(
+            images=self.images[indices].copy(),
+            labels=self.labels[indices].copy(),
+            num_classes=self.num_classes,
+            name=f"{self.name}/{name_suffix}",
+            metadata=dict(self.metadata),
+        )
+
+    def copy(self) -> "ArrayDataset":
+        """Deep copy (fault injection mutates copies, never originals)."""
+        return ArrayDataset(
+            images=self.images.copy(),
+            labels=self.labels.copy(),
+            num_classes=self.num_classes,
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def class_counts(self) -> np.ndarray:
+        """Number of examples per class, length ``num_classes``."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def split_clean_subset(
+        self, fraction: float, rng: np.random.Generator
+    ) -> tuple["ArrayDataset", "ArrayDataset"]:
+        """Reserve a stratified clean fraction (label correction's γ, §III-B2).
+
+        Returns ``(clean, remainder)``.  The clean subset is what the paper
+        protects from fault injection so the secondary model can train on
+        verified labels.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1); got {fraction}")
+        clean_idx = stratified_indices(self.labels, fraction, self.num_classes, rng)
+        mask = np.zeros(len(self), dtype=bool)
+        mask[clean_idx] = True
+        return self.subset(clean_idx, "clean"), self.subset(np.flatnonzero(~mask), "noisy")
+
+
+def stratified_indices(
+    labels: np.ndarray, fraction: float, num_classes: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Pick ``fraction`` of indices per class (at least one where possible)."""
+    chosen: list[np.ndarray] = []
+    for cls in range(num_classes):
+        cls_idx = np.flatnonzero(labels == cls)
+        if len(cls_idx) == 0:
+            continue
+        take = max(1, int(round(fraction * len(cls_idx))))
+        chosen.append(rng.choice(cls_idx, size=min(take, len(cls_idx)), replace=False))
+    if not chosen:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(chosen))
+
+
+def train_validation_split(
+    dataset: ArrayDataset, validation_fraction: float, rng: np.random.Generator
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Stratified train/validation split. Returns ``(train, validation)``."""
+    val_idx = stratified_indices(dataset.labels, validation_fraction, dataset.num_classes, rng)
+    mask = np.zeros(len(dataset), dtype=bool)
+    mask[val_idx] = True
+    return dataset.subset(np.flatnonzero(~mask), "train"), dataset.subset(val_idx, "val")
+
+
+class DataLoader:
+    """Deterministic shuffled mini-batch iterator over an :class:`ArrayDataset`."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng()
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for lo in range(0, stop, self.batch_size):
+            idx = order[lo : lo + self.batch_size]
+            yield self.dataset.images[idx], self.dataset.labels[idx]

@@ -1,0 +1,72 @@
+"""Label and image transforms used by the training pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "one_hot",
+    "from_one_hot",
+    "smooth_labels",
+    "normalize_images",
+    "per_channel_standardize",
+    "flatten_images",
+]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels -> one-hot float matrix of shape ``(N, K)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D; got shape {labels.shape}")
+    if len(labels) and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for num_classes")
+    return np.eye(num_classes, dtype=np.float32)[labels]
+
+
+def from_one_hot(targets: np.ndarray) -> np.ndarray:
+    """One-hot (or soft) targets -> integer labels via argmax."""
+    targets = np.asarray(targets)
+    if targets.ndim != 2:
+        raise ValueError(f"targets must be 2-D; got shape {targets.shape}")
+    return targets.argmax(axis=1)
+
+
+def smooth_labels(targets: np.ndarray, alpha: float) -> np.ndarray:
+    """Classic uniform label smoothing (paper §III-B1).
+
+    ``q_i = (1 - alpha) * p_i + alpha / K`` — e.g. ``alpha=0.1`` maps
+    ``[0, 1, 0]`` to ``[0.033, 0.933, 0.033]``.
+    """
+    if not 0.0 <= alpha < 1.0:
+        raise ValueError(f"alpha must be in [0, 1); got {alpha}")
+    targets = np.asarray(targets, dtype=np.float32)
+    if targets.ndim != 2:
+        raise ValueError("targets must be one-hot encoded (N, K)")
+    num_classes = targets.shape[1]
+    return (1.0 - alpha) * targets + alpha / num_classes
+
+
+def normalize_images(images: np.ndarray) -> np.ndarray:
+    """Scale images into [0, 1] by their global min/max."""
+    images = np.asarray(images, dtype=np.float32)
+    lo, hi = images.min(), images.max()
+    if hi - lo < 1e-12:
+        return np.zeros_like(images)
+    return (images - lo) / (hi - lo)
+
+
+def per_channel_standardize(images: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Standardise each channel to zero mean / unit variance across the dataset."""
+    images = np.asarray(images, dtype=np.float32)
+    if images.ndim != 4:
+        raise ValueError("expected (N, C, H, W) images")
+    mean = images.mean(axis=(0, 2, 3), keepdims=True)
+    std = images.std(axis=(0, 2, 3), keepdims=True)
+    return (images - mean) / (std + eps)
+
+
+def flatten_images(images: np.ndarray) -> np.ndarray:
+    """(N, C, H, W) -> (N, C*H*W), e.g. for MLP secondary models."""
+    images = np.asarray(images)
+    return images.reshape(images.shape[0], -1)

@@ -1,0 +1,66 @@
+"""``repro.experiments`` — the study harness (Fig. 2 workflow + table/figure drivers)."""
+
+from .config import SCALES, ExperimentConfig, ScaleSettings, resolve_scale
+from .markdown import overheads_to_markdown, panel_to_markdown, table4_to_markdown
+from .persistence import load_results, result_from_dict, result_to_dict, save_results
+from .report import (
+    render_combined_verdicts,
+    render_motivating_example,
+    render_overheads,
+    render_panel,
+    render_panels,
+    render_table4,
+)
+from .runner import ExperimentResult, ExperimentRunner
+from .study import (
+    DEFAULT_FAULT_RATES,
+    FIG3_MODELS,
+    ADPanel,
+    ADSeries,
+    CombinedFaultVerdict,
+    MotivatingExampleResult,
+    ad_panel,
+    combined_fault_analysis,
+    fig3_panels,
+    fig4_panels,
+    full_study,
+    golden_accuracy_table,
+    motivating_example,
+    overhead_table,
+)
+
+__all__ = [
+    "ScaleSettings",
+    "SCALES",
+    "resolve_scale",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "FIG3_MODELS",
+    "DEFAULT_FAULT_RATES",
+    "ADSeries",
+    "ADPanel",
+    "ad_panel",
+    "fig3_panels",
+    "fig4_panels",
+    "golden_accuracy_table",
+    "full_study",
+    "overhead_table",
+    "combined_fault_analysis",
+    "CombinedFaultVerdict",
+    "motivating_example",
+    "MotivatingExampleResult",
+    "render_table4",
+    "render_panel",
+    "render_panels",
+    "render_overheads",
+    "render_combined_verdicts",
+    "render_motivating_example",
+    "result_to_dict",
+    "result_from_dict",
+    "save_results",
+    "load_results",
+    "panel_to_markdown",
+    "table4_to_markdown",
+    "overheads_to_markdown",
+]

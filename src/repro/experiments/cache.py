@@ -1,0 +1,69 @@
+"""Disk cache for experiment cells.
+
+Training is the study's dominant cost; every cell is fully determined by the
+scale fingerprint, configuration, and repetition seed, so its predictions and
+measured runtime can be cached on disk and reused across processes (e.g.
+successive benchmark runs).  Keys are hashed into filenames; payloads are
+``.npz`` files holding the predictions and the original runtime cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..metrics.overhead import RuntimeCost
+
+__all__ = ["CellCache"]
+
+
+class CellCache:
+    """A content-addressed store of (predictions, runtime cost) per cell key."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()[:32]
+        return self.directory / f"{digest}.npz"
+
+    def get(self, key: str) -> tuple[np.ndarray, RuntimeCost] | None:
+        """Look up a cell; returns None on miss or corrupt entry."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                stored_key = str(archive["key"])
+                if stored_key != key:  # hash collision (astronomically unlikely)
+                    return None
+                predictions = archive["predictions"]
+                cost = RuntimeCost(
+                    training_s=float(archive["training_s"]),
+                    inference_s=float(archive["inference_s"]),
+                )
+                return predictions, cost
+        except (OSError, KeyError, ValueError):
+            return None
+
+    def put(self, key: str, predictions: np.ndarray, cost: RuntimeCost) -> None:
+        """Store a cell's predictions and measured runtime."""
+        np.savez(
+            self._path(key),
+            key=np.str_(key),
+            predictions=np.asarray(predictions),
+            training_s=np.float64(cost.training_s),
+            inference_s=np.float64(cost.inference_s),
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.npz"))
+
+    def clear(self) -> None:
+        """Delete every cached cell."""
+        for path in self.directory.glob("*.npz"):
+            path.unlink()

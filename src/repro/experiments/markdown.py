@@ -1,0 +1,79 @@
+"""Markdown rendering of study results.
+
+Companion to :mod:`repro.experiments.report` (plain text): renders the same
+structures as GitHub-flavoured Markdown tables, for dropping straight into
+EXPERIMENTS.md-style documents.
+"""
+
+from __future__ import annotations
+
+from ..metrics.overhead import OverheadResult
+from ..metrics.stats import MeanWithCI
+from ..mitigation.registry import TECHNIQUE_ABBREVIATIONS
+from .study import ADPanel
+
+__all__ = ["panel_to_markdown", "table4_to_markdown", "overheads_to_markdown"]
+
+
+def _cell(point: MeanWithCI) -> str:
+    if point.half_width > 0:
+        return f"{point.mean:.1%} ± {point.half_width:.1%}"
+    return f"{point.mean:.1%}"
+
+
+def panel_to_markdown(panel: ADPanel) -> str:
+    """One figure panel as a Markdown table (techniques × fault rates)."""
+    rates = next(iter(panel.series.values())).rates if panel.series else []
+    header = "| Technique | " + " | ".join(f"{round(r * 100)}%" for r in rates) + " |"
+    divider = "|---" * (len(rates) + 1) + "|"
+    lines = [f"**{panel.title}**", "", header, divider]
+    for technique, series in panel.series.items():
+        cells = " | ".join(_cell(p) for p in series.points)
+        lines.append(f"| {TECHNIQUE_ABBREVIATIONS.get(technique, technique)} | {cells} |")
+    return "\n".join(lines)
+
+
+def table4_to_markdown(
+    table: dict[tuple[str, str, str], MeanWithCI],
+    models: tuple[str, ...],
+    datasets: tuple[str, ...],
+    techniques: list[str],
+) -> str:
+    """Golden-accuracy grid as a Markdown table (paper Table IV layout)."""
+    header = (
+        "| Model | Dataset | "
+        + " | ".join(TECHNIQUE_ABBREVIATIONS.get(t, t) for t in techniques)
+        + " |"
+    )
+    divider = "|---" * (len(techniques) + 2) + "|"
+    lines = [header, divider]
+    for model in models:
+        for dataset in datasets:
+            cells = []
+            means = {
+                t: table[(model, dataset, t)].mean
+                for t in techniques
+                if (model, dataset, t) in table
+            }
+            best = max(means.values()) if means else None
+            for technique in techniques:
+                key = (model, dataset, technique)
+                if key not in table:
+                    cells.append("—")
+                    continue
+                value = table[key].mean
+                text = f"{value:.0%}"
+                cells.append(f"**{text}**" if best is not None and value == best else text)
+            lines.append(f"| {model} | {dataset} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def overheads_to_markdown(overheads: dict[str, OverheadResult]) -> str:
+    """Overhead multipliers as a Markdown table (paper §IV-E layout)."""
+    lines = ["| Technique | Training | Inference |", "|---|---|---|"]
+    for technique, result in overheads.items():
+        lines.append(
+            f"| {TECHNIQUE_ABBREVIATIONS.get(technique, technique)} | "
+            f"{result.training_overhead:.2f}× | {result.inference_overhead:.2f}× |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Result archiving: save/load experiment results as JSON.
+
+The paper's artifact releases "all our experimental results"; this module
+provides the equivalent for the reproduction — a stable JSON representation
+of :class:`~repro.experiments.runner.ExperimentResult` collections so study
+runs can be archived, diffed, and re-rendered without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..metrics.overhead import RuntimeCost
+from ..metrics.reliability import ReliabilityResult
+from .config import ExperimentConfig
+from .runner import ExperimentResult
+
+__all__ = ["result_to_dict", "result_from_dict", "save_results", "load_results"]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-serialisable representation of one experiment result."""
+    return {
+        "config": {
+            "dataset": result.config.dataset,
+            "model": result.config.model,
+            "technique": result.config.technique,
+            "fault_label": result.config.fault_label,
+            "repeats": result.config.repeats,
+            "scale": result.config.scale,
+        },
+        "repetitions": [
+            {
+                "golden_accuracy": r.golden_accuracy,
+                "faulty_accuracy": r.faulty_accuracy,
+                "accuracy_delta": r.accuracy_delta,
+                "reverse_accuracy_delta": r.reverse_accuracy_delta,
+                "num_test": r.num_test,
+            }
+            for r in result.repetitions
+        ],
+        "costs": [
+            {"training_s": c.training_s, "inference_s": c.inference_s} for c in result.costs
+        ],
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output."""
+    config = ExperimentConfig(**payload["config"])
+    result = ExperimentResult(config=config)
+    result.repetitions = [ReliabilityResult(**rep) for rep in payload["repetitions"]]
+    result.costs = [RuntimeCost(**cost) for cost in payload["costs"]]
+    return result
+
+
+def save_results(results: list[ExperimentResult], path: str | os.PathLike) -> None:
+    """Write a list of results to a JSON archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": "repro-results",
+        "version": _FORMAT_VERSION,
+        "results": [result_to_dict(r) for r in results],
+    }
+    path.write_text(json.dumps(payload, indent=2))
+
+
+def load_results(path: str | os.PathLike) -> list[ExperimentResult]:
+    """Read a JSON archive written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-results":
+        raise ValueError(f"{path} is not a repro results archive")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported archive version {payload.get('version')} (expected {_FORMAT_VERSION})"
+        )
+    return [result_from_dict(entry) for entry in payload["results"]]

@@ -1,0 +1,114 @@
+"""Text rendering of study results in the shape of the paper's tables/figures."""
+
+from __future__ import annotations
+
+from ..metrics.overhead import OverheadResult
+from ..metrics.stats import MeanWithCI
+from ..mitigation.registry import TECHNIQUE_ABBREVIATIONS
+from .study import ADPanel, CombinedFaultVerdict, MotivatingExampleResult
+
+__all__ = [
+    "render_table4",
+    "render_panel",
+    "render_panels",
+    "render_overheads",
+    "render_combined_verdicts",
+    "render_motivating_example",
+]
+
+_DATASET_IDS = {"cifar10": "1", "gtsrb": "2", "pneumonia": "3"}
+
+
+def _abbrev(technique: str) -> str:
+    return TECHNIQUE_ABBREVIATIONS.get(technique, technique)
+
+
+def render_table4(
+    table: dict[tuple[str, str, str], MeanWithCI],
+    models: tuple[str, ...],
+    datasets: tuple[str, ...],
+    techniques: list[str],
+) -> str:
+    """Render golden accuracies in the layout of paper Table IV.
+
+    Rows are (model, dataset-id) pairs; columns are technique abbreviations;
+    the per-row maximum is marked with ``*``.
+    """
+    header = f"{'Model':<12}{'DS':<4}" + "".join(f"{_abbrev(t):>8}" for t in techniques)
+    lines = [header, "-" * len(header)]
+    for model in models:
+        for dataset in datasets:
+            cells: list[str] = []
+            means = {
+                t: table[(model, dataset, t)].mean
+                for t in techniques
+                if (model, dataset, t) in table
+            }
+            best = max(means.values()) if means else None
+            for technique in techniques:
+                key = (model, dataset, technique)
+                if key not in table:
+                    cells.append(f"{'-':>8}")
+                    continue
+                value = table[key].mean
+                marker = "*" if best is not None and value == best else ""
+                cells.append(f"{value:>7.0%}{marker or ' '}")
+            lines.append(f"{model:<12}{_DATASET_IDS.get(dataset, dataset):<4}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_panel(panel: ADPanel) -> str:
+    """Render one figure panel: technique rows × fault-rate columns of AD."""
+    rates = next(iter(panel.series.values())).rates if panel.series else []
+    header = f"{'Technique':<24}" + "".join(f"{round(r * 100)}%".rjust(16) for r in rates)
+    lines = [f"[{panel.title}]", header, "-" * len(header)]
+    for technique, series in panel.series.items():
+        cells = "".join(
+            f"{p.mean:>8.1%} ±{p.half_width:<5.1%}".rjust(16) for p in series.points
+        )
+        lines.append(f"{_abbrev(technique):<24}" + cells)
+    return "\n".join(lines)
+
+
+def render_panels(panels: dict, title: str) -> str:
+    """Render a dict of panels under one heading."""
+    blocks = [f"=== {title} ==="]
+    blocks.extend(render_panel(panel) for panel in panels.values())
+    return "\n\n".join(blocks)
+
+
+def render_overheads(overheads: dict[str, OverheadResult]) -> str:
+    """Render §IV-E-style overhead multipliers."""
+    header = f"{'Technique':<24}{'Training':>12}{'Inference':>12}"
+    lines = [header, "-" * len(header)]
+    for technique, result in overheads.items():
+        lines.append(
+            f"{_abbrev(technique):<24}"
+            f"{result.training_overhead:>11.2f}x{result.inference_overhead:>11.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def render_combined_verdicts(verdicts: list[CombinedFaultVerdict]) -> str:
+    """Render §IV-C combined-fault similarity judgements."""
+    lines = []
+    for verdict in verdicts:
+        judgement = "similar" if verdict.similar else "DIFFERENT"
+        lines.append(
+            f"{verdict.combined_label:<42} AD={verdict.combined_ad.mean:>6.1%}  vs  "
+            f"{verdict.dominant_label:<18} AD={verdict.dominant_ad.mean:>6.1%}  -> {judgement}"
+        )
+    return "\n".join(lines)
+
+
+def render_motivating_example(result: MotivatingExampleResult) -> str:
+    """Render the §II/§III-D motivating example summary."""
+    lines = [
+        f"golden accuracy:          {result.golden_accuracy.mean:.1%}",
+        f"faulty baseline accuracy: {result.baseline_faulty_accuracy.mean:.1%}",
+        f"baseline AD:              {result.baseline_ad.mean:.1%}",
+        "per-technique AD (lower is better):",
+    ]
+    for technique, ad in result.ranked_techniques():
+        lines.append(f"  {_abbrev(technique):<6} {ad:.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,279 @@
+"""The experiment runner — the paper's Fig. 2 measurement workflow.
+
+For each configuration the runner:
+
+1. builds (or reuses) the dataset pair at the active scale;
+2. trains (or reuses) the *golden model* — the baseline architecture trained
+   on fault-free data — and records its test predictions;
+3. injects the fault spec into a copy of the training data (reserving the
+   label-correction clean subset from injection when applicable);
+4. fits the mitigation technique on the faulty data (the *faulty model*);
+5. computes the accuracy delta (AD) of faulty vs golden predictions.
+
+Repetitions re-run steps 2–5 with derived seeds; results aggregate into
+means with 95 % confidence intervals, matching the paper's error bars.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, stratified_indices
+from ..data.registry import load_dataset
+from ..faults.injector import inject
+from ..faults.spec import CombinedFaultSpec, FaultSpec
+from ..metrics.overhead import RuntimeCost
+from ..metrics.reliability import ReliabilityResult, compare_models
+from ..metrics.stats import MeanWithCI, mean_confidence_interval
+from ..mitigation.base import FittedModel, TrainingBudget
+from ..mitigation.registry import build_technique
+from .cache import CellCache
+from .config import ExperimentConfig, ScaleSettings, resolve_scale
+
+__all__ = ["ExperimentResult", "ExperimentRunner"]
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of one grid cell across repetitions."""
+
+    config: ExperimentConfig
+    repetitions: list[ReliabilityResult] = field(default_factory=list)
+    costs: list[RuntimeCost] = field(default_factory=list)
+
+    @property
+    def accuracy_delta(self) -> MeanWithCI:
+        """Mean AD with 95 % CI — the paper's headline metric."""
+        return mean_confidence_interval([r.accuracy_delta for r in self.repetitions])
+
+    @property
+    def golden_accuracy(self) -> MeanWithCI:
+        return mean_confidence_interval([r.golden_accuracy for r in self.repetitions])
+
+    @property
+    def faulty_accuracy(self) -> MeanWithCI:
+        return mean_confidence_interval([r.faulty_accuracy for r in self.repetitions])
+
+    @property
+    def mean_training_s(self) -> float:
+        return float(np.mean([c.training_s for c in self.costs])) if self.costs else 0.0
+
+    @property
+    def mean_inference_s(self) -> float:
+        return float(np.mean([c.inference_s for c in self.costs])) if self.costs else 0.0
+
+    def ad_values(self) -> list[float]:
+        """Raw per-repetition AD values (for statistical comparisons)."""
+        return [r.accuracy_delta for r in self.repetitions]
+
+    def __str__(self) -> str:
+        return f"{self.config.describe()}: AD={self.accuracy_delta}"
+
+
+class ExperimentRunner:
+    """Runs grid cells with dataset and golden-model caching.
+
+    The golden model for a ``(dataset, model, repetition)`` triple is shared
+    by every technique and fault configuration, exactly as in the paper
+    (one golden model per architecture per dataset).
+    """
+
+    def __init__(
+        self,
+        scale: ScaleSettings | str | None = None,
+        cache_dir: "str | None" = None,
+    ) -> None:
+        self.scale = scale if isinstance(scale, ScaleSettings) else resolve_scale(
+            scale if isinstance(scale, str) else None
+        )
+        cache_dir = cache_dir if cache_dir is not None else os.environ.get("REPRO_CACHE_DIR")
+        self.cell_cache = CellCache(cache_dir) if cache_dir else None
+        self._datasets: dict[str, tuple[ArrayDataset, ArrayDataset]] = {}
+        self._golden_predictions: dict[tuple[str, str, int], np.ndarray] = {}
+        self._golden_costs: dict[tuple[str, str, int], RuntimeCost] = {}
+        # The paper trains ONE ensemble per dataset (its five members are
+        # fixed), then reports its AD against each architecture's golden
+        # model.  Cache ensemble predictions per (dataset, fault, repetition)
+        # so per-model panels reuse them instead of retraining five networks.
+        self._ensemble_predictions: dict[tuple[str, str, int], tuple[np.ndarray, RuntimeCost]] = {}
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def dataset(self, name: str) -> tuple[ArrayDataset, ArrayDataset]:
+        """(train, test) at the active scale, cached."""
+        if name not in self._datasets:
+            train_size, test_size = self.scale.sizes_for(name)
+            self._datasets[name] = load_dataset(
+                name,
+                train_size=train_size,
+                test_size=test_size,
+                image_size=self.scale.image_size,
+                seed=self.scale.seed,
+            )
+        return self._datasets[name]
+
+    def budget(self, dataset: str | None = None) -> TrainingBudget:
+        return self.scale.budget(dataset)
+
+    def _scale_fingerprint(self) -> str:
+        """A string identifying everything that affects a cell's outcome."""
+        sizes = sorted(self.scale.dataset_sizes.items())
+        return (
+            f"{self.scale.name}|{self.scale.seed}|{self.scale.epochs}|"
+            f"{self.scale.batch_size}|{self.scale.learning_rate}|"
+            f"{self.scale.optimizer}|{self.scale.image_size}|{sizes}"
+        )
+
+    def _repetition_seed(self, dataset: str, model: str, repetition: int) -> int:
+        """A stable derived seed for one (dataset, model, repetition).
+
+        Uses CRC32 rather than ``hash()`` so seeds are identical across
+        processes (Python string hashing is salted per process).
+        """
+        key = f"{dataset}|{model}|{repetition}|{self.scale.seed}".encode()
+        return zlib.crc32(key) & 0x7FFFFFFF
+
+    def golden_predictions(self, dataset: str, model: str, repetition: int) -> np.ndarray:
+        """Test predictions of the golden (fault-free baseline) model, cached."""
+        key = (dataset, model, repetition)
+        if key in self._golden_predictions:
+            return self._golden_predictions[key]
+
+        disk_key = f"golden|{self._scale_fingerprint()}|{dataset}|{model}|{repetition}"
+        if self.cell_cache is not None:
+            hit = self.cell_cache.get(disk_key)
+            if hit is not None:
+                self._golden_predictions[key], self._golden_costs[key] = hit
+                return self._golden_predictions[key]
+
+        train, test = self.dataset(dataset)
+        seed = self._repetition_seed(dataset, model, repetition)
+        technique = build_technique("baseline")
+        fitted = technique.fit(
+            train, model, self.budget(dataset), np.random.default_rng(seed)
+        )
+        self._golden_predictions[key] = fitted.predict(test.images)
+        self._golden_costs[key] = fitted.cost
+        if self.cell_cache is not None:
+            self.cell_cache.put(disk_key, self._golden_predictions[key], fitted.cost)
+        return self._golden_predictions[key]
+
+    def _prepare_faulty_train(
+        self,
+        train: ArrayDataset,
+        fault: FaultSpec | CombinedFaultSpec | None,
+        technique_name: str,
+        clean_fraction: float,
+        injection_rng: np.random.Generator,
+    ) -> ArrayDataset:
+        """Inject faults; reserve the label-correction clean subset when needed."""
+        if fault is None:
+            return train
+        if technique_name == "label_correction":
+            clean = stratified_indices(
+                train.labels, clean_fraction, train.num_classes, injection_rng
+            )
+            faulty, report = inject(train, fault, rng=injection_rng, protected_indices=clean)
+            faulty.metadata["clean_indices"] = report.protected_indices_after
+            return faulty
+        faulty, _ = inject(train, fault, rng=injection_rng)
+        return faulty
+
+    # ------------------------------------------------------------------
+    # The Fig. 2 workflow
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        dataset: str,
+        model: str,
+        technique: str,
+        fault: FaultSpec | CombinedFaultSpec | None,
+        repeats: int | None = None,
+        technique_kwargs: dict | None = None,
+        clean_fraction: float = 0.1,
+    ) -> ExperimentResult:
+        """Run one grid cell; returns the aggregated :class:`ExperimentResult`.
+
+        ``fault=None`` measures the technique on clean data (paper Table IV:
+        golden accuracies per technique).
+        """
+        repeats = repeats or self.scale.repeats
+        fault_label = fault.label if fault is not None else "none"
+        config = ExperimentConfig(
+            dataset=dataset,
+            model=model,
+            technique=technique,
+            fault_label=fault_label,
+            repeats=repeats,
+            scale=self.scale.name,
+        )
+        result = ExperimentResult(config=config)
+        train, test = self.dataset(dataset)
+
+        for repetition in range(repeats):
+            golden_pred = self.golden_predictions(dataset, model, repetition)
+            faulty_pred, cost = self._faulty_predictions(
+                dataset, model, technique, fault, fault_label, repetition,
+                technique_kwargs, clean_fraction,
+            )
+            result.repetitions.append(compare_models(golden_pred, faulty_pred, test.labels))
+            result.costs.append(cost)
+        return result
+
+    def _faulty_predictions(
+        self,
+        dataset: str,
+        model: str,
+        technique: str,
+        fault: FaultSpec | CombinedFaultSpec | None,
+        fault_label: str,
+        repetition: int,
+        technique_kwargs: dict | None,
+        clean_fraction: float,
+    ) -> tuple[np.ndarray, RuntimeCost]:
+        """Fit one technique and predict the test set (ensemble fits cached)."""
+        train, test = self.dataset(dataset)
+        # Ensembles ignore the per-panel architecture, so seed and cache them
+        # under a model-independent key.
+        is_cacheable_ensemble = technique == "ensemble" and not technique_kwargs
+        seed_model = "ensemble" if is_cacheable_ensemble else model
+        cache_key = (dataset, fault_label, repetition)
+        if is_cacheable_ensemble and cache_key in self._ensemble_predictions:
+            return self._ensemble_predictions[cache_key]
+
+        disk_key = (
+            f"cell|{self._scale_fingerprint()}|{dataset}|{seed_model}|{technique}|"
+            f"{sorted((technique_kwargs or {}).items())}|{fault_label}|"
+            f"{clean_fraction}|{repetition}"
+        )
+        if self.cell_cache is not None:
+            hit = self.cell_cache.get(disk_key)
+            if hit is not None:
+                if is_cacheable_ensemble:
+                    self._ensemble_predictions[cache_key] = hit
+                return hit
+
+        seed = self._repetition_seed(dataset, seed_model, repetition)
+        injection_rng = np.random.default_rng(seed + 0x5EED)
+        faulty_train = self._prepare_faulty_train(
+            train, fault, technique, clean_fraction, injection_rng
+        )
+        tech = build_technique(technique, **(technique_kwargs or {}))
+        fitted: FittedModel = tech.fit(
+            faulty_train, model, self.budget(dataset), np.random.default_rng(seed + 1)
+        )
+        start = time.perf_counter()
+        faulty_pred = fitted.predict(test.images)
+        inference_s = time.perf_counter() - start
+        cost = RuntimeCost(training_s=fitted.cost.training_s, inference_s=inference_s)
+        if is_cacheable_ensemble:
+            self._ensemble_predictions[cache_key] = (faulty_pred, cost)
+        if self.cell_cache is not None:
+            self.cell_cache.put(disk_key, faulty_pred, cost)
+        return faulty_pred, cost

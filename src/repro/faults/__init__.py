@@ -1,0 +1,33 @@
+"""``repro.faults`` — training-data fault injection (the TF-DM substitute)."""
+
+from .injector import (
+    FaultReport,
+    inject,
+    inject_mislabelling,
+    inject_removal,
+    inject_repetition,
+)
+from .spec import (
+    PAPER_FAULT_RATES,
+    CombinedFaultSpec,
+    FaultSpec,
+    FaultType,
+    mislabelling,
+    removal,
+    repetition,
+)
+
+__all__ = [
+    "FaultType",
+    "FaultSpec",
+    "CombinedFaultSpec",
+    "PAPER_FAULT_RATES",
+    "mislabelling",
+    "repetition",
+    "removal",
+    "FaultReport",
+    "inject",
+    "inject_mislabelling",
+    "inject_repetition",
+    "inject_removal",
+]

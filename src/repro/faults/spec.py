@@ -1,0 +1,96 @@
+"""Fault specifications — the injection parameters of the study.
+
+The paper (§I, §IV) injects three fault types at three rates (10/30/50 %)
+and also evaluates *combinations* of fault types (§IV-C).  ``FaultSpec``
+describes one fault; ``CombinedFaultSpec`` an ordered sequence of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["FaultType", "FaultSpec", "CombinedFaultSpec", "PAPER_FAULT_RATES"]
+
+#: The fault percentages evaluated in the paper (§IV).
+PAPER_FAULT_RATES = (0.1, 0.3, 0.5)
+
+
+class FaultType(str, Enum):
+    """The three training-data fault types of the paper (§I)."""
+
+    MISLABELLING = "mislabelling"
+    REPETITION = "repetition"
+    REMOVAL = "removal"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault injection: a type and the fraction of data it affects.
+
+    ``rate`` follows the paper's convention: a rate of 0.3 for mislabelling
+    means 30 % of the training examples get a wrong label; for removal, 30 %
+    of the examples are deleted; for repetition, duplicates equal to 30 % of
+    the dataset size are inserted.
+    """
+
+    fault_type: FaultType
+    rate: float
+
+    def __post_init__(self) -> None:
+        if isinstance(self.fault_type, str) and not isinstance(self.fault_type, FaultType):
+            object.__setattr__(self, "fault_type", FaultType(self.fault_type))
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1]; got {self.rate}")
+
+    @property
+    def label(self) -> str:
+        """Short identifier, e.g. ``mislabelling@30%``."""
+        return f"{self.fault_type.value}@{round(self.rate * 100)}%"
+
+    def __and__(self, other: "FaultSpec | CombinedFaultSpec") -> "CombinedFaultSpec":
+        """Compose faults: ``mislabel & removal`` applies both in order."""
+        if isinstance(other, CombinedFaultSpec):
+            return CombinedFaultSpec((self, *other.faults))
+        return CombinedFaultSpec((self, other))
+
+
+@dataclass(frozen=True)
+class CombinedFaultSpec:
+    """An ordered combination of faults, applied left to right (§IV-C)."""
+
+    faults: tuple[FaultSpec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.faults) < 1:
+            raise ValueError("combined spec needs at least one fault")
+
+    @property
+    def label(self) -> str:
+        return "+".join(f.label for f in self.faults)
+
+    def __and__(self, other: "FaultSpec | CombinedFaultSpec") -> "CombinedFaultSpec":
+        if isinstance(other, CombinedFaultSpec):
+            return CombinedFaultSpec((*self.faults, *other.faults))
+        return CombinedFaultSpec((*self.faults, other))
+
+
+def mislabelling(rate: float) -> FaultSpec:
+    """Shorthand constructor."""
+    return FaultSpec(FaultType.MISLABELLING, rate)
+
+
+def repetition(rate: float) -> FaultSpec:
+    """Shorthand constructor."""
+    return FaultSpec(FaultType.REPETITION, rate)
+
+
+def removal(rate: float) -> FaultSpec:
+    """Shorthand constructor."""
+    return FaultSpec(FaultType.REMOVAL, rate)
+
+
+__all__ += ["mislabelling", "repetition", "removal"]

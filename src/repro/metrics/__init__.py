@@ -1,0 +1,41 @@
+"""``repro.metrics`` — reliability (AD), statistics, and overhead accounting."""
+
+from .overhead import OverheadResult, RuntimeCost, relative_overhead
+from .reliability import (
+    ReliabilityResult,
+    accuracy,
+    accuracy_delta,
+    compare_models,
+    confusion_matrix,
+    expected_calibration_error,
+    per_class_accuracy,
+    reverse_accuracy_delta,
+    top_k_accuracy,
+)
+from .stats import (
+    MeanWithCI,
+    mean_confidence_interval,
+    statistically_similar,
+    summarize,
+    welch_ttest,
+)
+
+__all__ = [
+    "accuracy",
+    "accuracy_delta",
+    "reverse_accuracy_delta",
+    "compare_models",
+    "ReliabilityResult",
+    "per_class_accuracy",
+    "confusion_matrix",
+    "top_k_accuracy",
+    "expected_calibration_error",
+    "MeanWithCI",
+    "mean_confidence_interval",
+    "welch_ttest",
+    "statistically_similar",
+    "summarize",
+    "RuntimeCost",
+    "OverheadResult",
+    "relative_overhead",
+]

@@ -1,0 +1,55 @@
+"""Runtime-overhead accounting — paper §IV-E.
+
+Each mitigation technique reports the wall-clock training and inference time
+of its fitted model; overheads are expressed relative to the baseline
+(plain cross-entropy training of the same architecture), matching the paper's
+"1×, 1.5×, 5×" style of reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RuntimeCost", "OverheadResult", "relative_overhead"]
+
+
+@dataclass
+class RuntimeCost:
+    """Wall-clock seconds spent training and running inference."""
+
+    training_s: float = 0.0
+    inference_s: float = 0.0
+
+    def __add__(self, other: "RuntimeCost") -> "RuntimeCost":
+        return RuntimeCost(
+            training_s=self.training_s + other.training_s,
+            inference_s=self.inference_s + other.inference_s,
+        )
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    """Overhead of a technique relative to the baseline."""
+
+    technique: str
+    training_overhead: float  # e.g. 5.0 means 5x baseline training time
+    inference_overhead: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.technique}: training {self.training_overhead:.2f}x, "
+            f"inference {self.inference_overhead:.2f}x"
+        )
+
+
+def relative_overhead(
+    technique: str, cost: RuntimeCost, baseline: RuntimeCost
+) -> OverheadResult:
+    """Express a technique's cost as a multiple of the baseline's."""
+    if baseline.training_s <= 0 or baseline.inference_s <= 0:
+        raise ValueError("baseline costs must be positive")
+    return OverheadResult(
+        technique=technique,
+        training_overhead=cost.training_s / baseline.training_s,
+        inference_overhead=cost.inference_s / baseline.inference_s,
+    )

@@ -1,0 +1,191 @@
+"""Reliability metrics — paper §III-C.
+
+The study's central metric is the *accuracy delta* (AD): the proportion of
+test images misclassified by the faulty model out of all test images that the
+golden model classified correctly.  AD isolates the damage done by faulty
+training data without double-counting inputs that both models get wrong.
+A more resilient model has a *lower* AD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "accuracy_delta",
+    "reverse_accuracy_delta",
+    "ReliabilityResult",
+    "compare_models",
+    "per_class_accuracy",
+    "confusion_matrix",
+    "top_k_accuracy",
+    "expected_calibration_error",
+]
+
+
+def _check_lengths(*arrays: np.ndarray) -> None:
+    lengths = {len(a) for a in arrays}
+    if len(lengths) != 1:
+        raise ValueError(f"arrays differ in length: {sorted(lengths)}")
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of hard predictions against integer labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    _check_lengths(predictions, labels)
+    if len(labels) == 0:
+        raise ValueError("cannot compute accuracy of zero predictions")
+    return float((predictions == labels).mean())
+
+
+def accuracy_delta(
+    golden_predictions: np.ndarray,
+    faulty_predictions: np.ndarray,
+    labels: np.ndarray,
+) -> float:
+    """The AD of paper §III-C.
+
+    ``AD = |{golden correct AND faulty wrong}| / |{golden correct}|``
+
+    Returns 0.0 when the golden model classified nothing correctly (the
+    technique can then not be blamed for any *additional* misclassification).
+    """
+    golden_predictions = np.asarray(golden_predictions)
+    faulty_predictions = np.asarray(faulty_predictions)
+    labels = np.asarray(labels)
+    _check_lengths(golden_predictions, faulty_predictions, labels)
+    golden_correct = golden_predictions == labels
+    n_golden_correct = int(golden_correct.sum())
+    if n_golden_correct == 0:
+        return 0.0
+    broken = golden_correct & (faulty_predictions != labels)
+    return float(broken.sum() / n_golden_correct)
+
+
+def reverse_accuracy_delta(
+    golden_predictions: np.ndarray,
+    faulty_predictions: np.ndarray,
+    labels: np.ndarray,
+) -> float:
+    """Fraction fixed by the faulty model among inputs the golden model missed.
+
+    The paper reports this to be insignificant (§III-C); we expose it so that
+    claim can be checked experimentally.
+    """
+    golden_predictions = np.asarray(golden_predictions)
+    faulty_predictions = np.asarray(faulty_predictions)
+    labels = np.asarray(labels)
+    _check_lengths(golden_predictions, faulty_predictions, labels)
+    golden_wrong = golden_predictions != labels
+    n_golden_wrong = int(golden_wrong.sum())
+    if n_golden_wrong == 0:
+        return 0.0
+    fixed = golden_wrong & (faulty_predictions == labels)
+    return float(fixed.sum() / n_golden_wrong)
+
+
+@dataclass(frozen=True)
+class ReliabilityResult:
+    """Full golden-vs-faulty comparison for one configuration."""
+
+    golden_accuracy: float
+    faulty_accuracy: float
+    accuracy_delta: float
+    reverse_accuracy_delta: float
+    num_test: int
+
+    def __str__(self) -> str:
+        return (
+            f"golden={self.golden_accuracy:.1%} faulty={self.faulty_accuracy:.1%} "
+            f"AD={self.accuracy_delta:.1%} reverse-AD={self.reverse_accuracy_delta:.1%}"
+        )
+
+
+def compare_models(
+    golden_predictions: np.ndarray,
+    faulty_predictions: np.ndarray,
+    labels: np.ndarray,
+) -> ReliabilityResult:
+    """Compute the full reliability comparison of paper Fig. 2."""
+    return ReliabilityResult(
+        golden_accuracy=accuracy(golden_predictions, labels),
+        faulty_accuracy=accuracy(faulty_predictions, labels),
+        accuracy_delta=accuracy_delta(golden_predictions, faulty_predictions, labels),
+        reverse_accuracy_delta=reverse_accuracy_delta(
+            golden_predictions, faulty_predictions, labels
+        ),
+        num_test=len(np.asarray(labels)),
+    )
+
+
+def top_k_accuracy(probabilities: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of inputs whose true label is among the k most probable classes."""
+    probabilities = np.asarray(probabilities)
+    labels = np.asarray(labels)
+    if probabilities.ndim != 2:
+        raise ValueError("probabilities must be (N, K)")
+    _check_lengths(probabilities, labels)
+    if not 1 <= k <= probabilities.shape[1]:
+        raise ValueError(f"k must be in [1, {probabilities.shape[1]}]; got {k}")
+    top = np.argsort(-probabilities, axis=1)[:, :k]
+    return float((top == labels[:, None]).any(axis=1).mean())
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray, labels: np.ndarray, bins: int = 10
+) -> float:
+    """ECE: mean |confidence − accuracy| over equal-width confidence bins.
+
+    Label smoothing and distillation change model *calibration* as a side
+    effect of their noise mitigation; ECE quantifies that.  Lower is better.
+    """
+    probabilities = np.asarray(probabilities)
+    labels = np.asarray(labels)
+    if probabilities.ndim != 2:
+        raise ValueError("probabilities must be (N, K)")
+    _check_lengths(probabilities, labels)
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    confidence = probabilities.max(axis=1)
+    correct = probabilities.argmax(axis=1) == labels
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    ece = 0.0
+    n = len(labels)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (confidence > lo) & (confidence <= hi) if lo > 0 else (confidence <= hi)
+        if not mask.any():
+            continue
+        gap = abs(float(correct[mask].mean()) - float(confidence[mask].mean()))
+        ece += (mask.sum() / n) * gap
+    return float(ece)
+
+
+def per_class_accuracy(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Accuracy per class; NaN for classes absent from ``labels``."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    _check_lengths(predictions, labels)
+    result = np.full(num_classes, np.nan)
+    for cls in range(num_classes):
+        mask = labels == cls
+        if mask.any():
+            result[cls] = float((predictions[mask] == cls).mean())
+    return result
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``M[i, j]`` = count of true class ``i`` predicted as class ``j``."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    _check_lengths(predictions, labels)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix

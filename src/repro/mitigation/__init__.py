@@ -1,0 +1,40 @@
+"""``repro.mitigation`` — the five TDFM techniques plus the unprotected baseline."""
+
+from .base import FittedModel, MitigationTechnique, SingleModelFitted, TrainingBudget
+from .baseline import BaselineTechnique
+from .co_teaching import CoTeachingFitted, CoTeachingTechnique
+from .distillation import SelfDistillationTechnique
+from .ensemble import PAPER_ENSEMBLE_MEMBERS, EnsembleFitted, EnsembleTechnique
+from .label_correction import LabelCorrector, MetaLabelCorrectionTechnique
+from .label_smoothing import LabelSmoothingTechnique
+from .registry import (
+    EXTENSION_TECHNIQUES,
+    TECHNIQUE_ABBREVIATIONS,
+    TECHNIQUES,
+    build_technique,
+    technique_names,
+)
+from .robust_loss import RobustLossTechnique
+
+__all__ = [
+    "TrainingBudget",
+    "FittedModel",
+    "SingleModelFitted",
+    "MitigationTechnique",
+    "BaselineTechnique",
+    "CoTeachingTechnique",
+    "CoTeachingFitted",
+    "LabelSmoothingTechnique",
+    "MetaLabelCorrectionTechnique",
+    "LabelCorrector",
+    "RobustLossTechnique",
+    "SelfDistillationTechnique",
+    "EnsembleTechnique",
+    "EnsembleFitted",
+    "PAPER_ENSEMBLE_MEMBERS",
+    "TECHNIQUES",
+    "EXTENSION_TECHNIQUES",
+    "TECHNIQUE_ABBREVIATIONS",
+    "technique_names",
+    "build_technique",
+]

@@ -1,0 +1,29 @@
+"""The unprotected baseline: plain cross-entropy training (paper Fig. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..nn.losses import CrossEntropy
+from .base import FittedModel, MitigationTechnique, SingleModelFitted, TrainingBudget
+
+__all__ = ["BaselineTechnique"]
+
+
+class BaselineTechnique(MitigationTechnique):
+    """Standard training with the cross-entropy loss and no protection."""
+
+    name = "baseline"
+    abbreviation = "Base"
+
+    def fit(
+        self,
+        train: ArrayDataset,
+        model_name: str,
+        budget: TrainingBudget,
+        rng: np.random.Generator,
+    ) -> FittedModel:
+        model = self._build(model_name, train, budget, rng)
+        history, seconds = self._train(model, CrossEntropy(), train, budget, rng)
+        return SingleModelFitted(f"baseline/{model_name}", model, seconds, history)

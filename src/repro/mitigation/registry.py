@@ -1,0 +1,64 @@
+"""Technique registry: the baseline plus the five TDFM approaches."""
+
+from __future__ import annotations
+
+from .base import MitigationTechnique
+from .baseline import BaselineTechnique
+from .co_teaching import CoTeachingTechnique
+from .distillation import SelfDistillationTechnique
+from .ensemble import EnsembleTechnique
+from .label_correction import MetaLabelCorrectionTechnique
+from .label_smoothing import LabelSmoothingTechnique
+from .robust_loss import RobustLossTechnique
+
+__all__ = [
+    "TECHNIQUES",
+    "EXTENSION_TECHNIQUES",
+    "build_technique",
+    "technique_names",
+    "TECHNIQUE_ABBREVIATIONS",
+]
+
+TECHNIQUES: dict[str, type[MitigationTechnique]] = {
+    "baseline": BaselineTechnique,
+    "label_smoothing": LabelSmoothingTechnique,
+    "label_correction": MetaLabelCorrectionTechnique,
+    "robust_loss": RobustLossTechnique,
+    "knowledge_distillation": SelfDistillationTechnique,
+    "ensemble": EnsembleTechnique,
+}
+
+#: Techniques beyond the paper's five approaches (clearly-flagged extensions;
+#: excluded from the default study grids so benches reproduce the paper).
+EXTENSION_TECHNIQUES: dict[str, type[MitigationTechnique]] = {
+    "co_teaching": CoTeachingTechnique,
+}
+
+#: Paper table-header abbreviations, in Table IV column order.
+TECHNIQUE_ABBREVIATIONS: dict[str, str] = {
+    name: cls.abbreviation
+    for name, cls in {**TECHNIQUES, **EXTENSION_TECHNIQUES}.items()
+}
+
+
+def technique_names(include_baseline: bool = True, include_extensions: bool = False) -> list[str]:
+    """Registered technique names in paper column order.
+
+    ``include_extensions=True`` appends techniques beyond the paper's five
+    (currently co-teaching).
+    """
+    names = list(TECHNIQUES)
+    if not include_baseline:
+        names.remove("baseline")
+    if include_extensions:
+        names.extend(EXTENSION_TECHNIQUES)
+    return names
+
+
+def build_technique(name: str, **kwargs: object) -> MitigationTechnique:
+    """Build a technique (paper set or extension) by registry name."""
+    cls = TECHNIQUES.get(name) or EXTENSION_TECHNIQUES.get(name)
+    if cls is None:
+        choices = sorted(TECHNIQUES) + sorted(EXTENSION_TECHNIQUES)
+        raise KeyError(f"unknown technique {name!r}; choices: {choices}")
+    return cls(**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,31 @@
+"""``repro.models`` — the seven image-classification architectures of Table III."""
+
+from .convnet import ConvNet
+from .deconvnet import DeconvNet
+from .mlp import MLP
+from .mobilenet import DepthwiseSeparableBlock, MobileNet, build_mobilenet
+from .registry import MODELS, PAPER_TABLE3, ModelInfo, build_model, model_names
+from .resnet import BasicBlock, BottleneckBlock, ResNet, resnet18, resnet50
+from .vgg import VGG, vgg11, vgg16
+
+__all__ = [
+    "ConvNet",
+    "DeconvNet",
+    "MLP",
+    "VGG",
+    "vgg11",
+    "vgg16",
+    "ResNet",
+    "BasicBlock",
+    "BottleneckBlock",
+    "resnet18",
+    "resnet50",
+    "MobileNet",
+    "DepthwiseSeparableBlock",
+    "build_mobilenet",
+    "ModelInfo",
+    "MODELS",
+    "PAPER_TABLE3",
+    "build_model",
+    "model_names",
+]

@@ -1,0 +1,56 @@
+"""ConvNet — paper Table III: "Moderate, 3 Conv + 3 FC + Max Pooling".
+
+The shallow model of the study.  The paper's §IV-B finding that robust loss
+and label correction *hurt* shallow models is exercised against this network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Conv2D, Dense, Flatten, MaxPool2D, Module, ReLU, Sequential
+
+__all__ = ["ConvNet"]
+
+
+class ConvNet(Module):
+    """3 convolutional layers, 3 fully-connected layers, max pooling."""
+
+    def __init__(
+        self,
+        image_shape: tuple[int, int, int],
+        num_classes: int,
+        width: int = 8,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        channels, height, width_px = image_shape
+        self.image_shape = image_shape
+        self.num_classes = num_classes
+
+        self.features = Sequential(
+            Conv2D(channels, width, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(width, width * 2, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(width * 2, width * 4, 3, padding=1, rng=rng),
+            ReLU(),
+        )
+        spatial_h = height // 4
+        spatial_w = width_px // 4
+        flat = width * 4 * spatial_h * spatial_w
+        hidden = max(width * 8, num_classes * 2)
+        self.classifier = Sequential(
+            Flatten(),
+            Dense(flat, hidden, rng=rng),
+            ReLU(),
+            Dense(hidden, hidden // 2, rng=rng),
+            ReLU(),
+            Dense(hidden // 2, num_classes, rng=rng),
+        )
+
+    def forward(self, x):  # noqa: D102 - inherits Module.forward contract
+        return self.classifier(self.features(x))

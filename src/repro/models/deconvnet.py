@@ -1,0 +1,52 @@
+"""DeconvNet — paper Table III: "Moderate, 4 Conv + 2 FC w/ 0.5 Dropout"."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Conv2D, Dense, Dropout, Flatten, MaxPool2D, Module, ReLU, Sequential
+
+__all__ = ["DeconvNet"]
+
+
+class DeconvNet(Module):
+    """4 convolutional layers and 2 fully-connected layers with 0.5 dropout."""
+
+    def __init__(
+        self,
+        image_shape: tuple[int, int, int],
+        num_classes: int,
+        width: int = 8,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        channels, height, width_px = image_shape
+        self.image_shape = image_shape
+        self.num_classes = num_classes
+
+        self.features = Sequential(
+            Conv2D(channels, width, 3, padding=1, rng=rng),
+            ReLU(),
+            Conv2D(width, width * 2, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(width * 2, width * 2, 3, padding=1, rng=rng),
+            ReLU(),
+            Conv2D(width * 2, width * 4, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+        )
+        flat = width * 4 * (height // 4) * (width_px // 4)
+        hidden = max(width * 8, num_classes * 2)
+        self.classifier = Sequential(
+            Flatten(),
+            Dropout(0.5, rng=rng),
+            Dense(flat, hidden, rng=rng),
+            ReLU(),
+            Dropout(0.5, rng=rng),
+            Dense(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x):  # noqa: D102
+        return self.classifier(self.features(x))

@@ -1,0 +1,50 @@
+"""MLP — extension architecture for non-image data (paper §V future work).
+
+Not one of the paper's seven Table III models: this multilayer perceptron
+exists for the tabular "sensor" extension dataset, demonstrating that the
+TDFM techniques (which only touch losses, labels, and training loops) apply
+unchanged beyond image classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Dense, Dropout, Flatten, Module, ReLU, Sequential
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """Flatten + a stack of ReLU hidden layers + a linear classifier head."""
+
+    def __init__(
+        self,
+        image_shape: tuple[int, int, int],
+        num_classes: int,
+        width: int = 16,
+        depth: int = 3,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.image_shape = image_shape
+        self.num_classes = num_classes
+        features = int(np.prod(image_shape))
+
+        layers: list[Module] = [Flatten()]
+        in_dim = features
+        for _ in range(depth):
+            layers.append(Dense(in_dim, width, rng=rng))
+            layers.append(ReLU())
+            if dropout > 0:
+                layers.append(Dropout(dropout, rng=rng))
+            in_dim = width
+        layers.append(Dense(in_dim, num_classes, rng=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x):  # noqa: D102
+        return self.net(x)

@@ -1,0 +1,119 @@
+"""MobileNet — paper Table III: "Deep, 27 Conv + 1 FC + Avg Pooling".
+
+A structurally faithful MobileNet-v1: a stem convolution followed by 13
+depthwise-separable blocks (each a depthwise 3×3 + pointwise 1×1, i.e. 26
+convolutions), giving 27 convs total, then global average pooling and one
+fully-connected classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    GlobalAvgPool2D,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["DepthwiseSeparableBlock", "MobileNet", "build_mobilenet"]
+
+
+class DepthwiseSeparableBlock(Module):
+    """Depthwise 3×3 conv + pointwise 1×1 conv, each with BN and ReLU."""
+
+    def __init__(
+        self, in_channels: int, out_channels: int, stride: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.depthwise = DepthwiseConv2D(in_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2D(in_channels)
+        self.pointwise = Conv2D(in_channels, out_channels, 1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2D(out_channels)
+
+    def forward(self, x):  # noqa: D102
+        out = self.bn1(self.depthwise(x)).relu()
+        return self.bn2(self.pointwise(out)).relu()
+
+
+# (channel multiplier, stride) per depthwise-separable block — the 13-block
+# MobileNet-v1 layout with strides adapted for small inputs (strides beyond
+# the input's downsampling budget become 1).
+_BLOCKS: list[tuple[int, int]] = [
+    (2, 1),
+    (4, 2),
+    (4, 1),
+    (8, 2),
+    (8, 1),
+    (16, 2),
+    (16, 1),
+    (16, 1),
+    (16, 1),
+    (16, 1),
+    (16, 1),
+    (32, 2),
+    (32, 1),
+]
+
+
+class MobileNet(Module):
+    """MobileNet-v1 with width scaling for the reproduction."""
+
+    def __init__(
+        self,
+        image_shape: tuple[int, int, int],
+        num_classes: int,
+        width: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        channels, height, _ = image_shape
+        self.image_shape = image_shape
+        self.num_classes = num_classes
+
+        self.stem = Sequential(
+            Conv2D(channels, width * 2, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2D(width * 2),
+            ReLU(),
+        )
+        blocks: list[Module] = []
+        in_ch = width * 2
+        downsample_budget = max(int(np.log2(max(height // 2, 1))), 1)
+        downsamples = 0
+        for multiplier, stride in _BLOCKS:
+            if stride == 2 and downsamples >= downsample_budget:
+                stride = 1
+            downsamples += stride == 2
+            out_ch = width * multiplier
+            blocks.append(DepthwiseSeparableBlock(in_ch, out_ch, stride, rng))
+            in_ch = out_ch
+        self.blocks = Sequential(*blocks)
+        self.pool = GlobalAvgPool2D()
+        self.fc = Dense(in_ch, num_classes, rng=rng)
+
+    @property
+    def num_conv_layers(self) -> int:
+        """Convolution count: 1 stem + 13 × (depthwise + pointwise) = 27."""
+        return 1 + 2 * len(self.blocks.layers)
+
+    def forward(self, x):  # noqa: D102
+        out = self.stem(x)
+        out = self.blocks(out)
+        out = self.pool(out)
+        return self.fc(out)
+
+
+def build_mobilenet(
+    image_shape: tuple[int, int, int],
+    num_classes: int,
+    width: int = 2,
+    rng: np.random.Generator | None = None,
+) -> MobileNet:
+    """Build the MobileNet of paper Table III."""
+    return MobileNet(image_shape, num_classes, width=width, rng=rng)

@@ -1,0 +1,121 @@
+"""Model registry — the seven architectures of paper Table III."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..nn import Module
+from .convnet import ConvNet
+from .deconvnet import DeconvNet
+from .mlp import MLP
+from .mobilenet import build_mobilenet
+from .resnet import resnet18, resnet50
+from .vgg import vgg11, vgg16
+
+__all__ = ["ModelInfo", "MODELS", "build_model", "model_names", "PAPER_TABLE3"]
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Registry entry for one architecture."""
+
+    name: str
+    depth_class: str  # "Moderate" or "Deep" (paper Table III)
+    summary: str
+    builder: Callable[..., Module]
+    default_width: int
+    #: Per-architecture learning-rate multiplier applied on top of the shared
+    #: training budget ("hyperparameters recommended by the implementers",
+    #: paper SIV) -- MobileNet's BN-heavy depthwise stack needs a higher rate.
+    lr_multiplier: float = 1.0
+
+
+def _convnet(image_shape, num_classes, width, rng):
+    return ConvNet(image_shape, num_classes, width=width, rng=rng)
+
+
+def _deconvnet(image_shape, num_classes, width, rng):
+    return DeconvNet(image_shape, num_classes, width=width, rng=rng)
+
+
+def _mlp(image_shape, num_classes, width, rng):
+    return MLP(image_shape, num_classes, width=width, rng=rng)
+
+
+MODELS: dict[str, ModelInfo] = {
+    "convnet": ModelInfo("convnet", "Moderate", "3 Conv + 3 FC + Max Pooling", _convnet, 8),
+    "deconvnet": ModelInfo(
+        "deconvnet", "Moderate", "4 Conv + 2 FC w/ 0.5 Dropout", _deconvnet, 8
+    ),
+    "vgg11": ModelInfo("vgg11", "Deep", "8 Conv + 3 FC + Max Pooling", vgg11, 4),
+    "vgg16": ModelInfo("vgg16", "Deep", "13 Conv + 3 FC + Max Pooling", vgg16, 4),
+    "resnet18": ModelInfo("resnet18", "Deep", "17 Conv + 1 FC + Avg Pooling", resnet18, 8),
+    "mobilenet": ModelInfo(
+        "mobilenet", "Deep", "27 Conv + 1 FC + Avg Pooling", build_mobilenet, 6, lr_multiplier=3.3
+    ),
+    "resnet50": ModelInfo("resnet50", "Deep", "49 Conv + 1 FC + Avg Pooling", resnet50, 4),
+    # Extension beyond paper Table III: an MLP for the tabular "sensor"
+    # dataset (the paper's SV future work is to cover other data types).
+    "mlp": ModelInfo("mlp", "Shallow", "3 FC (extension, non-image data)", _mlp, 16),
+}
+
+#: Paper Table III rows, for report rendering.
+PAPER_TABLE3 = [
+    ("ConvNet", "Moderate", "3 Conv + 3 FC + Max Pooling"),
+    ("DeconvNet", "Moderate", "4 Conv + 2 FC w/ 0.5 Dropout"),
+    ("VGG11", "Deep", "13 Conv + 3 FC + Max Pooling"),
+    ("VGG16", "Deep", "13 Conv + 3 FC + Max Pooling"),
+    ("ResNet18", "Deep", "17 Conv + 1 FC + Avg Pooling"),
+    ("MobileNet", "Deep", "27 Conv + 1 FC + Avg Pooling"),
+    ("ResNet50", "Deep", "49 Conv + 1 FC + Avg Pooling"),
+]
+
+
+def model_names(include_extensions: bool = False) -> list[str]:
+    """Registered model names (paper Table III order).
+
+    ``include_extensions=True`` adds architectures beyond the paper's seven
+    (currently the tabular MLP).
+    """
+    names = list(MODELS)
+    if not include_extensions:
+        names = [n for n in names if MODELS[n].depth_class != "Shallow"]
+    return names
+
+
+def build_model(
+    name: str,
+    image_shape: tuple[int, int, int],
+    num_classes: int,
+    width: int | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> Module:
+    """Build an architecture by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`model_names` (case-insensitive).
+    image_shape:
+        ``(C, H, W)`` of the input images.
+    num_classes:
+        Output dimensionality.
+    width:
+        Base channel count; defaults to the registry's per-model value.
+    rng, seed:
+        Weight-initialisation randomness (pass one or neither).
+    """
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    try:
+        info = MODELS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; choices: {sorted(MODELS)}") from None
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    model = info.builder(image_shape, num_classes, width or info.default_width, rng)
+    model.lr_multiplier = info.lr_multiplier
+    return model

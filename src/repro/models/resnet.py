@@ -1,0 +1,167 @@
+"""ResNet18 and ResNet50 — paper Table III: "Deep, Conv + 1 FC + Avg Pooling".
+
+Structurally faithful residual networks at reduced width/resolution:
+
+- ResNet18: stem conv + 8 basic blocks (2 convs each) = 17 convs + 1 FC.
+- ResNet50: stem conv + 16 bottleneck blocks (3 convs each) = 49 convs + 1 FC.
+
+Both end in global average pooling and a single dense classifier, exactly as
+in Table III.  Batch normalisation follows every convolution, as in the
+original architecture; residual shortcuts use 1×1 projections when the shape
+changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    GlobalAvgPool2D,
+    Identity,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["BasicBlock", "BottleneckBlock", "ResNet", "resnet18", "resnet50"]
+
+
+class BasicBlock(Module):
+    """Two 3×3 convolutions with a residual shortcut (ResNet18/34 style)."""
+
+    def __init__(
+        self, in_channels: int, out_channels: int, stride: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.conv1 = Conv2D(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2D(out_channels)
+        self.conv2 = Conv2D(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2D(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2D(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2D(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x):  # noqa: D102
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class BottleneckBlock(Module):
+    """1×1 → 3×3 → 1×1 bottleneck with expansion 4 (ResNet50 style)."""
+
+    expansion = 4
+
+    def __init__(
+        self, in_channels: int, planes: int, stride: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        out_channels = planes * self.expansion
+        self.conv1 = Conv2D(in_channels, planes, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2D(planes)
+        self.conv2 = Conv2D(planes, planes, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2D(planes)
+        self.conv3 = Conv2D(planes, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2D(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2D(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2D(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x):  # noqa: D102
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class ResNet(Module):
+    """Residual network with a configurable block type and stage layout."""
+
+    def __init__(
+        self,
+        block: type,
+        stage_blocks: list[int],
+        image_shape: tuple[int, int, int],
+        num_classes: int,
+        width: int = 8,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        channels, height, _ = image_shape
+        self.image_shape = image_shape
+        self.num_classes = num_classes
+
+        self.stem = Sequential(
+            Conv2D(channels, width, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2D(width),
+            ReLU(),
+        )
+
+        blocks: list[Module] = []
+        in_ch = width
+        planes = width
+        # Cap the number of downsampling stages to keep spatial size >= 2.
+        max_downsamples = max(int(np.log2(max(height // 2, 1))), 1)
+        for stage, count in enumerate(stage_blocks):
+            stride = 2 if (stage > 0 and stage <= max_downsamples) else 1
+            for block_index in range(count):
+                block_stride = stride if block_index == 0 else 1
+                blocks.append(block(in_ch, planes, block_stride, rng))
+                in_ch = planes * getattr(block, "expansion", 1)
+            planes *= 2
+        self.blocks = Sequential(*blocks)
+        self.pool = GlobalAvgPool2D()
+        self.fc = Dense(in_ch, num_classes, rng=rng)
+
+    @property
+    def num_conv_layers(self) -> int:
+        """Total convolution count (17 for ResNet18, 49 for ResNet50)."""
+        count = 0
+        for module in self.modules():
+            if isinstance(module, Conv2D):
+                count += 1
+        # Shortcut projections are not counted in the paper's Table III depth.
+        shortcut_convs = 0
+        for module in self.blocks:
+            shortcut = getattr(module, "shortcut", None)
+            if isinstance(shortcut, Sequential):
+                shortcut_convs += sum(1 for m in shortcut if isinstance(m, Conv2D))
+        return count - shortcut_convs
+
+    def forward(self, x):  # noqa: D102
+        out = self.stem(x)
+        out = self.blocks(out)
+        out = self.pool(out)
+        return self.fc(out)
+
+
+def resnet18(
+    image_shape: tuple[int, int, int],
+    num_classes: int,
+    width: int = 8,
+    rng: np.random.Generator | None = None,
+) -> ResNet:
+    """ResNet18: 4 stages of 2 basic blocks (17 convs + 1 FC)."""
+    return ResNet(BasicBlock, [2, 2, 2, 2], image_shape, num_classes, width=width, rng=rng)
+
+
+def resnet50(
+    image_shape: tuple[int, int, int],
+    num_classes: int,
+    width: int = 4,
+    rng: np.random.Generator | None = None,
+) -> ResNet:
+    """ResNet50: bottleneck stages [3, 4, 6, 3] (49 convs + 1 FC)."""
+    return ResNet(BottleneckBlock, [3, 4, 6, 3], image_shape, num_classes, width=width, rng=rng)

@@ -1,0 +1,103 @@
+"""VGG11 and VGG16 — paper Table III: "Deep, Conv stacks + 3 FC + Max Pooling".
+
+Structurally faithful VGG configurations (stacked 3×3 convolutions with max
+pooling between stages, three fully-connected layers) at reduced width and
+resolution.  VGG11 has 8 conv layers, VGG16 has 13, matching the canonical
+configurations A and D of Simonyan & Zisserman.  Batch normalisation after
+each convolution (the standard ``vgg*_bn`` variant) is on by default — at the
+reproduction's reduced width the plain deep stack does not train reliably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import BatchNorm2D, Conv2D, Dense, Flatten, MaxPool2D, Module, ReLU, Sequential
+
+__all__ = ["VGG", "vgg11", "vgg16"]
+
+# Canonical VGG stage configs expressed as channel multipliers; "M" = maxpool.
+_CONFIGS: dict[str, list[object]] = {
+    "vgg11": [1, "M", 2, "M", 4, 4, "M", 8, 8, "M", 8, 8],
+    "vgg16": [1, 1, "M", 2, 2, "M", 4, 4, 4, "M", 8, 8, 8, "M", 8, 8, 8],
+}
+
+
+class VGG(Module):
+    """A VGG-style network built from a stage configuration."""
+
+    def __init__(
+        self,
+        config_name: str,
+        image_shape: tuple[int, int, int],
+        num_classes: int,
+        width: int = 4,
+        rng: np.random.Generator | None = None,
+        batch_norm: bool = True,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if config_name not in _CONFIGS:
+            raise KeyError(f"unknown VGG config {config_name!r}; choices: {sorted(_CONFIGS)}")
+        channels, height, width_px = image_shape
+        self.image_shape = image_shape
+        self.num_classes = num_classes
+        self.config_name = config_name
+        self.batch_norm = batch_norm
+
+        layers: list[Module] = []
+        in_ch = channels
+        pools = 0
+        for item in _CONFIGS[config_name]:
+            if item == "M":
+                # Stop pooling once the spatial size would drop below 2x2.
+                if min(height, width_px) // (2 ** (pools + 1)) >= 2:
+                    layers.append(MaxPool2D(2))
+                    pools += 1
+                continue
+            out_ch = int(item) * width
+            layers.append(Conv2D(in_ch, out_ch, 3, padding=1, bias=not batch_norm, rng=rng))
+            if batch_norm:
+                layers.append(BatchNorm2D(out_ch))
+            layers.append(ReLU())
+            in_ch = out_ch
+        self.features = Sequential(*layers)
+
+        flat = in_ch * (height // (2**pools)) * (width_px // (2**pools))
+        hidden = max(width * 16, num_classes * 2)
+        self.classifier = Sequential(
+            Flatten(),
+            Dense(flat, hidden, rng=rng),
+            ReLU(),
+            Dense(hidden, hidden, rng=rng),
+            ReLU(),
+            Dense(hidden, num_classes, rng=rng),
+        )
+
+    @property
+    def num_conv_layers(self) -> int:
+        """Number of convolutional layers (8 for VGG11, 13 for VGG16)."""
+        return sum(1 for layer in self.features if isinstance(layer, Conv2D))
+
+    def forward(self, x):  # noqa: D102
+        return self.classifier(self.features(x))
+
+
+def vgg11(
+    image_shape: tuple[int, int, int],
+    num_classes: int,
+    width: int = 4,
+    rng: np.random.Generator | None = None,
+) -> VGG:
+    """VGG configuration A (8 conv + 3 FC)."""
+    return VGG("vgg11", image_shape, num_classes, width=width, rng=rng)
+
+
+def vgg16(
+    image_shape: tuple[int, int, int],
+    num_classes: int,
+    width: int = 4,
+    rng: np.random.Generator | None = None,
+) -> VGG:
+    """VGG configuration D (13 conv + 3 FC) — the paper's Table III row."""
+    return VGG("vgg16", image_shape, num_classes, width=width, rng=rng)

@@ -1,0 +1,280 @@
+"""Differentiable neural-network operations built on :class:`repro.nn.tensor.Tensor`.
+
+All image ops use NCHW layout (batch, channels, height, width).  Convolutions
+are implemented with im2col/col2im so that the heavy lifting happens inside a
+single BLAS matmul — the standard trick for fast CPU convolutions and the one
+that keeps the reproduction's training loops tractable on a laptop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "conv2d",
+    "depthwise_conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+]
+
+
+def softmax(logits: Tensor, axis: int = -1, temperature: float = 1.0) -> Tensor:
+    """Numerically stable softmax.
+
+    ``temperature`` implements the distilled softmax of Hinton et al. used by
+    the knowledge-distillation technique (paper §III-B4): ``T > 1`` softens the
+    output distribution.
+    """
+    scaled = logits * (1.0 / temperature) if temperature != 1.0 else logits
+    shifted = scaled - Tensor(scaled.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1, temperature: float = 1.0) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` via the log-sum-exp trick."""
+    scaled = logits * (1.0 / temperature) if temperature != 1.0 else logits
+    shifted = scaled - Tensor(scaled.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    images: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> np.ndarray:
+    """Unfold NCHW image patches into a matrix of shape (N*OH*OW, C*KH*KW)."""
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    if padding > 0:
+        images = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype)
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = images[:, :, ky:y_max:stride, kx:x_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold a patch matrix back to NCHW, accumulating overlapping regions.
+
+    This is the adjoint of :func:`im2col` and therefore exactly the gradient
+    routing a convolution backward pass needs.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 4, 5, 1, 2)
+
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols[:, :, ky, kx, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(
+    images: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0
+) -> Tensor:
+    """2-D convolution.
+
+    Parameters
+    ----------
+    images:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_out, C_in, KH, KW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    """
+    n, c_in, h, w = images.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"conv2d channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(images.data, kh, kw, stride, padding)  # (N*OH*OW, C*KH*KW)
+    flat_weight = weight.data.reshape(c_out, -1)  # (C_out, C*KH*KW)
+    out = cols @ flat_weight.T  # (N*OH*OW, C_out)
+    if bias is not None:
+        out = out + bias.data
+    out_data = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+
+    parents = (images, weight) if bias is None else (images, weight, bias)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)  # (N*OH*OW, C_out)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_flat.sum(axis=0))
+        if weight.requires_grad:
+            grad_w = grad_flat.T @ cols  # (C_out, C*KH*KW)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if images.requires_grad:
+            grad_cols = grad_flat @ flat_weight  # (N*OH*OW, C*KH*KW)
+            images._accumulate(col2im(grad_cols, images.shape, kh, kw, stride, padding))
+
+    return Tensor._make(out_data, parents, backward_fn, "conv2d")
+
+
+def depthwise_conv2d(
+    images: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0
+) -> Tensor:
+    """Depthwise 2-D convolution (one filter per input channel).
+
+    The building block of MobileNet's depthwise-separable convolutions
+    (paper Table III).  ``weight`` has shape ``(C, 1, KH, KW)``.
+    """
+    n, c, h, w = images.shape
+    c_w, one, kh, kw = weight.shape
+    if c_w != c or one != 1:
+        raise ValueError(f"depthwise weight must be (C, 1, KH, KW); got {weight.shape}")
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(images.data, kh, kw, stride, padding)  # (N*OH*OW, C*KH*KW)
+    cols_per_channel = cols.reshape(-1, c, kh * kw)  # (N*OH*OW, C, KH*KW)
+    flat_weight = weight.data.reshape(c, kh * kw)  # (C, KH*KW)
+    out = np.einsum("pck,ck->pc", cols_per_channel, flat_weight)
+    if bias is not None:
+        out = out + bias.data
+    out_data = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
+    parents = (images, weight) if bias is None else (images, weight, bias)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)  # (N*OH*OW, C)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_flat.sum(axis=0))
+        if weight.requires_grad:
+            grad_w = np.einsum("pc,pck->ck", grad_flat, cols_per_channel)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if images.requires_grad:
+            grad_cols = np.einsum("pc,ck->pck", grad_flat, flat_weight)
+            images._accumulate(
+                col2im(grad_cols.reshape(-1, c * kh * kw), images.shape, kh, kw, stride, padding)
+            )
+
+    return Tensor._make(out_data, parents, backward_fn, "depthwise_conv2d")
+
+
+def max_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    stride = stride or kernel
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+
+    cols = im2col(images.data, kernel, kernel, stride, 0).reshape(-1, c, kernel * kernel)
+    argmax = cols.argmax(axis=2)  # (N*OH*OW, C)
+    out = np.take_along_axis(cols, argmax[:, :, None], axis=2)[:, :, 0]
+    out_data = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not images.requires_grad:
+            return
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)  # (N*OH*OW, C)
+        grad_cols = np.zeros_like(cols)
+        np.put_along_axis(grad_cols, argmax[:, :, None], grad_flat[:, :, None], axis=2)
+        images._accumulate(
+            col2im(grad_cols.reshape(-1, c * kernel * kernel), images.shape, kernel, kernel, stride, 0)
+        )
+
+    return Tensor._make(out_data, (images,), backward_fn, "max_pool2d")
+
+
+def avg_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Average pooling over windows."""
+    stride = stride or kernel
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+
+    cols = im2col(images.data, kernel, kernel, stride, 0).reshape(-1, c, kernel * kernel)
+    out_data = cols.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not images.requires_grad:
+            return
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)
+        grad_cols = np.repeat(grad_flat[:, :, None], kernel * kernel, axis=2) / (kernel * kernel)
+        images._accumulate(
+            col2im(grad_cols.reshape(-1, c * kernel * kernel), images.shape, kernel, kernel, stride, 0)
+        )
+
+    return Tensor._make(out_data, (images,), backward_fn, "avg_pool2d")
+
+
+def global_avg_pool2d(images: Tensor) -> Tensor:
+    """Average each channel over all spatial positions: (N,C,H,W) -> (N,C)."""
+    return images.mean(axis=(2, 3))
+
+
+def batch_norm_2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    mean: np.ndarray,
+    var: np.ndarray,
+    eps: float,
+    training: bool,
+) -> Tensor:
+    """Fused batch normalisation over the channel axis of NCHW inputs.
+
+    In training mode ``mean``/``var`` must be the *batch* statistics and the
+    backward pass differentiates through them (the full Ioffe & Szegedy
+    gradient); in eval mode they are the running statistics and are treated
+    as constants.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"batch_norm_2d expects NCHW input; got shape {x.shape}")
+    c = x.shape[1]
+    shape = (1, c, 1, 1)
+    mean_b = mean.reshape(shape).astype(x.data.dtype)
+    inv_std = (1.0 / np.sqrt(var + eps)).reshape(shape).astype(x.data.dtype)
+    x_hat = (x.data - mean_b) * inv_std
+    out_data = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=(0, 2, 3)))
+        if gamma.requires_grad:
+            gamma._accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
+        if not x.requires_grad:
+            return
+        scale = gamma.data.reshape(shape) * inv_std
+        if not training:
+            x._accumulate(grad * scale)
+            return
+        # Full training-mode gradient: d/dx of ((x - mu(x)) / sigma(x)).
+        grad_mean = grad.mean(axis=(0, 2, 3), keepdims=True)
+        grad_xhat_mean = (grad * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+        x._accumulate(scale * (grad - grad_mean - x_hat * grad_xhat_mean))
+
+    return Tensor._make(out_data, (x, gamma, beta), backward_fn, "batch_norm_2d")

@@ -1,0 +1,321 @@
+"""Loss functions, including the noise-robust losses studied by the paper.
+
+All losses take raw logits of shape ``(N, K)`` and targets as one-hot (or
+soft) label arrays of shape ``(N, K)``, and return a scalar mean loss tensor.
+
+The robust-loss technique (paper §III-B3) uses the Active-Passive Loss of Ma
+et al. (ICML'20): ``L_APL = alpha * L_active + beta * L_passive`` with
+Normalized Cross Entropy as the active term and Reverse Cross Entropy as the
+passive term.  The label-relaxation loss (Lienen & Hüllermeier, AAAI'21) is
+the representative label-smoothing technique (§III-B1), and the distillation
+loss implements the distilled-softmax objective of Hinton et al. (§III-B4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import log_softmax, softmax
+from .tensor import Tensor
+
+__all__ = [
+    "Loss",
+    "CrossEntropy",
+    "SoftTargetCrossEntropy",
+    "NormalizedCrossEntropy",
+    "ReverseCrossEntropy",
+    "ActivePassiveLoss",
+    "MeanAbsoluteError",
+    "GeneralizedCrossEntropy",
+    "FocalLoss",
+    "NormalizedFocalLoss",
+    "LabelRelaxationLoss",
+    "DistillationLoss",
+    "get_loss",
+]
+
+_EPS = 1e-12
+
+
+def _validate(logits: Tensor, targets: np.ndarray) -> np.ndarray:
+    targets = np.asarray(targets, dtype=np.float32)
+    if logits.ndim != 2 or targets.ndim != 2:
+        raise ValueError(
+            f"expected (N, K) logits and targets; got {logits.shape} and {targets.shape}"
+        )
+    if logits.shape != targets.shape:
+        raise ValueError(f"logits {logits.shape} and targets {targets.shape} differ")
+    return targets
+
+
+class Loss:
+    """Base class: a named callable ``(logits, targets) -> scalar Tensor``."""
+
+    name = "loss"
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class CrossEntropy(Loss):
+    """Standard categorical cross entropy — the paper's baseline loss."""
+
+    name = "cross_entropy"
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = _validate(logits, targets)
+        log_probs = log_softmax(logits, axis=1)
+        return -(log_probs * Tensor(targets)).sum(axis=1).mean()
+
+
+class SoftTargetCrossEntropy(CrossEntropy):
+    """Cross entropy against *soft* target distributions.
+
+    Functionally identical to :class:`CrossEntropy` (which already accepts
+    soft targets); kept as a distinct name so training configs read clearly
+    when classic uniform label smoothing is applied to the targets.
+    """
+
+    name = "soft_target_cross_entropy"
+
+
+class NormalizedCrossEntropy(Loss):
+    """NCE of Ma et al.: cross entropy normalised over all candidate labels.
+
+    ``NCE = -log p_y / (-sum_k log p_k)`` — provably robust to symmetric label
+    noise, but prone to underfitting (hence the passive partner below).
+    """
+
+    name = "normalized_cross_entropy"
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = _validate(logits, targets)
+        log_probs = log_softmax(logits, axis=1)
+        numerator = -(log_probs * Tensor(targets)).sum(axis=1)
+        denominator = -log_probs.sum(axis=1)
+        return (numerator / denominator).mean()
+
+
+class ReverseCrossEntropy(Loss):
+    """RCE: cross entropy with prediction and target roles swapped.
+
+    ``RCE = -sum_k p_k log t_k`` where ``log 0`` is clipped to ``log_clip``
+    (``A = -4`` in Ma et al.).  For one-hot targets this reduces to
+    ``-A * (1 - p_y)``, a scaled MAE, which is symmetric and noise-robust.
+    """
+
+    name = "reverse_cross_entropy"
+
+    def __init__(self, log_clip: float = -4.0) -> None:
+        self.log_clip = log_clip
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = _validate(logits, targets)
+        probs = softmax(logits, axis=1)
+        log_targets = np.where(targets > 0, np.log(np.maximum(targets, _EPS)), self.log_clip)
+        return -(probs * Tensor(log_targets.astype(np.float32))).sum(axis=1).mean()
+
+
+class ActivePassiveLoss(Loss):
+    """APL = alpha * active + beta * passive (paper §III-B3).
+
+    Defaults to the NCE+RCE combination the paper evaluates, with the
+    hyperparameters recommended by Ma et al.
+    """
+
+    name = "active_passive"
+
+    def __init__(
+        self,
+        active: Loss | None = None,
+        passive: Loss | None = None,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+    ) -> None:
+        self.active = active or NormalizedCrossEntropy()
+        self.passive = passive or ReverseCrossEntropy()
+        self.alpha = alpha
+        self.beta = beta
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return self.active(logits, targets) * self.alpha + self.passive(logits, targets) * self.beta
+
+    def __repr__(self) -> str:
+        return (
+            f"ActivePassiveLoss(active={self.active.name}, passive={self.passive.name}, "
+            f"alpha={self.alpha}, beta={self.beta})"
+        )
+
+
+class MeanAbsoluteError(Loss):
+    """MAE over probability vectors — the classic symmetric robust loss."""
+
+    name = "mean_absolute_error"
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = _validate(logits, targets)
+        probs = softmax(logits, axis=1)
+        return (probs - Tensor(targets)).abs().sum(axis=1).mean()
+
+
+class GeneralizedCrossEntropy(Loss):
+    """GCE of Zhang & Sabuncu: ``(1 - p_y^q) / q``, interpolating CE and MAE."""
+
+    name = "generalized_cross_entropy"
+
+    def __init__(self, q: float = 0.7) -> None:
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1]; got {q}")
+        self.q = q
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = _validate(logits, targets)
+        probs = softmax(logits, axis=1)
+        p_y = (probs * Tensor(targets)).sum(axis=1).clip(_EPS, 1.0)
+        return ((1.0 - p_y**self.q) * (1.0 / self.q)).mean()
+
+
+class FocalLoss(Loss):
+    """Focal loss: down-weights easy examples via ``(1 - p_y)^gamma``."""
+
+    name = "focal"
+
+    def __init__(self, gamma: float = 2.0) -> None:
+        self.gamma = gamma
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = _validate(logits, targets)
+        log_probs = log_softmax(logits, axis=1)
+        probs = softmax(logits, axis=1)
+        weight = (1.0 - probs) ** self.gamma
+        return -(weight * log_probs * Tensor(targets)).sum(axis=1).mean()
+
+
+class NormalizedFocalLoss(Loss):
+    """Normalised focal loss — an alternative active term from Ma et al."""
+
+    name = "normalized_focal"
+
+    def __init__(self, gamma: float = 2.0) -> None:
+        self.gamma = gamma
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = _validate(logits, targets)
+        log_probs = log_softmax(logits, axis=1)
+        probs = softmax(logits, axis=1)
+        weighted = ((1.0 - probs) ** self.gamma) * log_probs
+        numerator = -(weighted * Tensor(targets)).sum(axis=1)
+        denominator = -weighted.sum(axis=1)
+        return (numerator / denominator).mean()
+
+
+class LabelRelaxationLoss(Loss):
+    """Label relaxation (Lienen & Hüllermeier, AAAI'21) — paper §III-B1.
+
+    Instead of a fixed smoothed target, the target is the *credal set* of all
+    distributions assigning at least ``1 - alpha`` mass to the observed label.
+    The loss is zero when the prediction already lies in the set; otherwise it
+    is the KL divergence from the prediction's projection onto the set:
+    the projected target keeps ``1 - alpha`` on the observed label and spreads
+    ``alpha`` over the remaining classes *proportionally to the prediction*.
+    """
+
+    name = "label_relaxation"
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1); got {alpha}")
+        self.alpha = alpha
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = _validate(logits, targets)
+        probs = softmax(logits, axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p = probs.data
+            is_target = targets > 0.5
+            p_target = (p * is_target).sum(axis=1)  # probability on observed label
+            # Prediction-dependent projection onto the credal set.
+            off_target_mass = np.maximum((p * ~is_target).sum(axis=1), _EPS)
+            projected = np.where(
+                is_target,
+                1.0 - self.alpha,
+                self.alpha * p / off_target_mass[:, None],
+            ).astype(np.float32)
+        # KL(projected || p); constant entropy term of `projected` omitted
+        # (it does not affect gradients w.r.t. the logits).
+        log_probs = log_softmax(logits, axis=1)
+        kl = -(log_probs * Tensor(projected)).sum(axis=1)
+        # Zero loss where the prediction is already inside the credal set.
+        in_set = (p_target >= 1.0 - self.alpha).astype(np.float32)
+        mask = Tensor(1.0 - in_set)
+        return (kl * mask).mean()
+
+
+class DistillationLoss(Loss):
+    """Student objective for (self-)knowledge distillation — paper §III-B4.
+
+    ``L = (1 - alpha) * CE(student, labels)
+        + alpha * T^2 * CE(student_soft_T, teacher_soft_T)``
+
+    where both soft terms use the distilled softmax at temperature ``T``.
+    The ``T^2`` factor keeps gradient magnitudes comparable across
+    temperatures (Hinton et al., 2015).  The teacher's soft targets must be
+    supplied per batch via :meth:`set_teacher_probs`.
+    """
+
+    name = "distillation"
+
+    def __init__(self, alpha: float = 0.7, temperature: float = 4.0) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1]; got {alpha}")
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive; got {temperature}")
+        self.alpha = alpha
+        self.temperature = temperature
+        self._teacher_probs: np.ndarray | None = None
+        self._hard = CrossEntropy()
+
+    def set_teacher_probs(self, teacher_probs: np.ndarray) -> None:
+        """Set the teacher's temperature-softened probabilities for the next batch."""
+        self._teacher_probs = np.asarray(teacher_probs, dtype=np.float32)
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = _validate(logits, targets)
+        if self._teacher_probs is None:
+            raise RuntimeError("DistillationLoss requires set_teacher_probs() before each batch")
+        if self._teacher_probs.shape != tuple(logits.shape):
+            raise ValueError(
+                f"teacher probs shape {self._teacher_probs.shape} does not match logits {logits.shape}"
+            )
+        hard_loss = self._hard(logits, targets)
+        student_log_soft = log_softmax(logits, axis=1, temperature=self.temperature)
+        soft_loss = -(student_log_soft * Tensor(self._teacher_probs)).sum(axis=1).mean()
+        t_sq = self.temperature**2
+        return hard_loss * (1.0 - self.alpha) + soft_loss * (self.alpha * t_sq)
+
+
+_LOSSES = {
+    "cross_entropy": CrossEntropy,
+    "soft_target_cross_entropy": SoftTargetCrossEntropy,
+    "normalized_cross_entropy": NormalizedCrossEntropy,
+    "reverse_cross_entropy": ReverseCrossEntropy,
+    "active_passive": ActivePassiveLoss,
+    "mean_absolute_error": MeanAbsoluteError,
+    "generalized_cross_entropy": GeneralizedCrossEntropy,
+    "focal": FocalLoss,
+    "normalized_focal": NormalizedFocalLoss,
+    "label_relaxation": LabelRelaxationLoss,
+    "distillation": DistillationLoss,
+}
+
+
+def get_loss(name: str, **kwargs: object) -> Loss:
+    """Build a loss by registry name."""
+    try:
+        cls = _LOSSES[name]
+    except KeyError:
+        raise KeyError(f"unknown loss {name!r}; choices: {sorted(_LOSSES)}") from None
+    return cls(**kwargs)  # type: ignore[arg-type]

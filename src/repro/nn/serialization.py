@@ -1,0 +1,41 @@
+"""Model persistence: save/load state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state", "load_state", "save_model", "load_into"]
+
+_FORMAT_KEY = "__repro_format__"
+_FORMAT_VERSION = 1.0
+
+
+def save_state(state: dict[str, np.ndarray], path: str | os.PathLike) -> None:
+    """Write a state dict to ``path`` (a ``.npz`` archive)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{_FORMAT_KEY: np.float32(_FORMAT_VERSION)}, **state)
+
+
+def load_state(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state`."""
+    with np.load(Path(path)) as archive:
+        if _FORMAT_KEY not in archive:
+            raise ValueError(f"{path} is not a repro model archive")
+        return {k: archive[k] for k in archive.files if k != _FORMAT_KEY}
+
+
+def save_model(model: Module, path: str | os.PathLike) -> None:
+    """Persist a module's parameters and buffers."""
+    save_state(model.state_dict(), path)
+
+
+def load_into(model: Module, path: str | os.PathLike) -> Module:
+    """Load an archive into an already-constructed module; returns the module."""
+    model.load_state_dict(load_state(path))
+    return model

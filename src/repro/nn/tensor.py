@@ -1,0 +1,535 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate: a tape-based
+``Tensor`` that records the operations applied to it and can replay them
+backwards to accumulate gradients.  It deliberately mirrors the define-by-run
+semantics of mainstream frameworks (every forward op appends a node holding a
+backward closure), because the paper's five mitigation techniques are all
+expressed as modifications of a standard gradient-descent training loop.
+
+Only the operator set needed by the reproduction is implemented, but each op
+handles full NumPy broadcasting so the layer implementations stay simple.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient tape recording.
+
+    Used by evaluation loops and by the fitted-model prediction paths so that
+    inference does not pay the cost of building a backward graph.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    When a forward op broadcast an operand from ``shape`` up to ``grad.shape``,
+    the gradient w.r.t. that operand is the sum of ``grad`` over every axis the
+    broadcast expanded.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the original shape.
+    squeeze_axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if squeeze_axes:
+        grad = grad.sum(axis=squeeze_axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: "Tensor | np.ndarray | float | int | Sequence") -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float32)
+
+
+class Tensor:
+    """A NumPy array with an attached gradient tape.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float32`` unless already a float
+        NumPy array.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "_op")
+
+    def __init__(
+        self,
+        data: "np.ndarray | float | int | Sequence",
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward_fn: Callable[[np.ndarray], None] | None = None,
+        _op: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):  # defensive: wrapping a Tensor is a bug upstream
+            raise TypeError("cannot wrap a Tensor inside a Tensor")
+        arr = np.asarray(data)
+        if arr.dtype not in (np.float32, np.float64):
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents
+        self._backward_fn = _backward_fn
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag}, op={self._op or 'leaf'})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the scalar payload; raises if the tensor is not 0-d/1-element."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self.data.item()
+
+    def detach(self) -> "Tensor":
+        """Return a new leaf tensor sharing this tensor's data, off the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Tape machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward_fn: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        """Create a non-leaf tensor, recording on the tape if enabled."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(
+            data,
+            requires_grad=True,
+            _parents=parents,
+            _backward_fn=backward_fn,
+            _op=op,
+        )
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to ones, which for the usual scalar loss
+            is the conventional ``dL/dL = 1``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+
+        # Topological sort of the tape reachable from this tensor.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
+        for node in reversed(topo):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    # ------------------------------------------------------------------
+    # Arithmetic ops
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data + other_t.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(grad, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward_fn, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward_fn, "neg")
+
+    def __sub__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data - other_t.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(-grad, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward_fn, "sub")
+
+    def __rsub__(self, other: "float | np.ndarray") -> "Tensor":
+        return Tensor(_as_array(other)) - self
+
+    def __mul__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data * other_t.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other_t.data, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(grad * self.data, other_t.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward_fn, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data / other_t.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other_t.data, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(
+                    _unbroadcast(-grad * self.data / (other_t.data**2), other_t.shape)
+                )
+
+        return Tensor._make(out_data, (self, other_t), backward_fn, "div")
+
+    def __rtruediv__(self, other: "float | np.ndarray") -> "Tensor":
+        return Tensor(_as_array(other)) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor ** only supports scalar exponents")
+        out_data = self.data**exponent
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward_fn, "pow")
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data @ other_t.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ other_t.data.swapaxes(-1, -2))
+            if other_t.requires_grad:
+                other_t._accumulate(self.data.swapaxes(-1, -2) @ grad)
+
+        return Tensor._make(out_data, (self, other_t), backward_fn, "matmul")
+
+    # ------------------------------------------------------------------
+    # Elementwise math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward_fn, "exp")
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward_fn, "log")
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward_fn, "abs")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values; gradient flows only through the unclipped region."""
+        out_data = np.clip(self.data, low, high)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                mask = (self.data >= low) & (self.data <= high)
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward_fn, "clip")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward_fn, "relu")
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        scale = np.where(mask, 1.0, negative_slope).astype(self.data.dtype)
+        out_data = self.data * scale
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * scale)
+
+        return Tensor._make(out_data, (self,), backward_fn, "leaky_relu")
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward_fn, "sigmoid")
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._make(out_data, (self,), backward_fn, "tanh")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(a % self.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward_fn, "sum")
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            out = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                out = np.expand_dims(out, axis)
+            mask = (self.data == out).astype(self.data.dtype)
+            # Split gradient equally among ties to keep the op well-defined.
+            denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(g * mask / denom)
+
+        return Tensor._make(out_data, (self,), backward_fn, "max")
+
+    def min(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """Minimum reduction (gradient split equally among ties)."""
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    def var(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Population variance (ddof=0), differentiable."""
+        mean = self.mean(axis=axis, keepdims=True)
+        squared = (self - mean) ** 2
+        return squared.mean(axis=axis, keepdims=keepdims)
+
+    def std(
+        self,
+        axis: int | tuple[int, ...] | None = None,
+        keepdims: bool = False,
+        eps: float = 1e-12,
+    ) -> "Tensor":
+        """Population standard deviation; ``eps`` keeps the sqrt differentiable
+        at zero variance."""
+        return (self.var(axis=axis, keepdims=keepdims) + eps) ** 0.5
+
+    @staticmethod
+    def stack(tensors: "Iterable[Tensor]", axis: int = 0) -> "Tensor":
+        """Stack tensors along a new axis with gradient routing."""
+        tensors = tuple(tensors)
+        if not tensors:
+            raise ValueError("stack needs at least one tensor")
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            slices = np.moveaxis(grad, axis, 0)
+            for tensor, piece in zip(tensors, slices):
+                if tensor.requires_grad:
+                    tensor._accumulate(piece)
+
+        return Tensor._make(out_data, tensors, backward_fn, "stack")
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.shape))
+
+        return Tensor._make(out_data, (self,), backward_fn, "reshape")
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_t = tuple(axes) if axes else tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes_t)
+        inverse = tuple(np.argsort(axes_t))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward_fn, "transpose")
+
+    def __getitem__(self, index: object) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward_fn, "getitem")
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the two trailing spatial axes of an NCHW tensor."""
+        if padding == 0:
+            return self
+        pad_width = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        out_data = np.pad(self.data, pad_width)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad[:, :, padding:-padding, padding:-padding])
+
+        return Tensor._make(out_data, (self,), backward_fn, "pad2d")
+
+    @staticmethod
+    def concatenate(tensors: "Iterable[Tensor]", axis: int = 0) -> "Tensor":
+        """Concatenate tensors along ``axis`` with gradient routing."""
+        tensors = tuple(tensors)
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    slicer: list[slice] = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(slicer)])
+
+        return Tensor._make(out_data, tensors, backward_fn, "concat")

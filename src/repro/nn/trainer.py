@@ -1,0 +1,268 @@
+"""Generic mini-batch training loop and inference helpers.
+
+Every mitigation technique in :mod:`repro.mitigation` is expressed in terms of
+this trainer: label smoothing supplies a ``target_transform``, distillation a
+``batch_hook`` that refreshes teacher probabilities, label correction wraps
+two trainers, and ensembles run one trainer per member.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .losses import Loss
+from .module import Module
+from .optim import LRScheduler, Optimizer
+from .tensor import Tensor, no_grad
+
+__all__ = [
+    "TrainHistory",
+    "EpochRecord",
+    "Trainer",
+    "EarlyStopping",
+    "predict_logits",
+    "predict_proba",
+    "predict_labels",
+    "evaluate_accuracy",
+]
+
+
+@dataclass
+class EpochRecord:
+    """Metrics for one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    val_loss: float | None = None
+    val_accuracy: float | None = None
+    learning_rate: float = 0.0
+    duration_s: float = 0.0
+
+
+@dataclass
+class TrainHistory:
+    """Sequence of per-epoch records plus total wall-clock time."""
+
+    epochs: list[EpochRecord] = field(default_factory=list)
+    total_time_s: float = 0.0
+    stopped_early: bool = False
+
+    @property
+    def final_train_accuracy(self) -> float:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1].train_accuracy
+
+    @property
+    def final_val_accuracy(self) -> float | None:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1].val_accuracy
+
+    def loss_curve(self) -> list[float]:
+        return [e.train_loss for e in self.epochs]
+
+
+class EarlyStopping:
+    """Stop training when the monitored value stops improving.
+
+    Monitors validation loss when validation data is supplied to the trainer,
+    training loss otherwise.
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 1e-4) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = float("inf")
+        self.stale_epochs = 0
+
+    def should_stop(self, value: float) -> bool:
+        if value < self.best - self.min_delta:
+            self.best = value
+            self.stale_epochs = 0
+            return False
+        self.stale_epochs += 1
+        return self.stale_epochs >= self.patience
+
+
+class Trainer:
+    """Mini-batch gradient-descent trainer.
+
+    Parameters
+    ----------
+    model, loss, optimizer:
+        The three ingredients of the training loop.
+    epochs, batch_size:
+        Loop geometry.
+    rng:
+        Generator used for epoch shuffling (seeded by the experiment harness).
+    scheduler:
+        Optional LR scheduler, stepped once per epoch.
+    clip_norm:
+        Optional global gradient-norm clip.
+    input_transform:
+        ``f(x_batch) -> x_batch`` applied to each training batch before the
+        forward pass — the data-augmentation hook (see
+        :mod:`repro.data.augment`).  Not applied at validation/inference.
+    target_transform:
+        ``f(targets) -> targets`` applied to each batch's one-hot targets —
+        the hook used by classic label smoothing.
+    batch_hook:
+        ``f(model, x_batch, y_batch) -> None`` called before the forward pass —
+        the hook used by distillation to refresh teacher soft targets.
+    early_stopping:
+        Optional :class:`EarlyStopping` policy.
+    epoch_callback:
+        ``f(record) -> None`` called after each epoch (logging, tests).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss: Loss,
+        optimizer: Optimizer,
+        epochs: int = 10,
+        batch_size: int = 32,
+        rng: np.random.Generator | None = None,
+        scheduler: LRScheduler | None = None,
+        clip_norm: float | None = None,
+        input_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+        target_transform: Callable[[np.ndarray], np.ndarray] | None = None,
+        batch_hook: Callable[[Module, np.ndarray, np.ndarray], None] | None = None,
+        early_stopping: EarlyStopping | None = None,
+        epoch_callback: Callable[[EpochRecord], None] | None = None,
+    ) -> None:
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.rng = rng or np.random.default_rng()
+        self.scheduler = scheduler
+        self.clip_norm = clip_norm
+        self.input_transform = input_transform
+        self.target_transform = target_transform
+        self.batch_hook = batch_hook
+        self.early_stopping = early_stopping
+        self.epoch_callback = epoch_callback
+
+    def fit(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> TrainHistory:
+        """Train on ``(inputs, one-hot targets)``; returns the epoch history."""
+        inputs = np.asarray(inputs, dtype=np.float32)
+        targets = np.asarray(targets, dtype=np.float32)
+        if len(inputs) != len(targets):
+            raise ValueError(f"inputs ({len(inputs)}) and targets ({len(targets)}) differ in length")
+        if targets.ndim != 2:
+            raise ValueError("targets must be one-hot encoded (N, K)")
+
+        history = TrainHistory()
+        start = time.perf_counter()
+        n = len(inputs)
+        for epoch in range(self.epochs):
+            epoch_start = time.perf_counter()
+            self.model.train()
+            order = self.rng.permutation(n)
+            epoch_loss = 0.0
+            epoch_correct = 0
+            for lo in range(0, n, self.batch_size):
+                idx = order[lo : lo + self.batch_size]
+                xb, yb = inputs[idx], targets[idx]
+                if self.input_transform is not None:
+                    xb = self.input_transform(xb)
+                if self.batch_hook is not None:
+                    self.batch_hook(self.model, xb, yb)
+                effective_targets = self.target_transform(yb) if self.target_transform else yb
+                logits = self.model(Tensor(xb))
+                loss_value = self.loss(logits, effective_targets)
+                self.optimizer.zero_grad()
+                loss_value.backward()
+                if self.clip_norm is not None:
+                    self.optimizer.clip_grad_norm(self.clip_norm)
+                self.optimizer.step()
+                epoch_loss += float(loss_value.item()) * len(idx)
+                epoch_correct += int(
+                    (logits.data.argmax(axis=1) == yb.argmax(axis=1)).sum()
+                )
+
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=epoch_loss / n,
+                train_accuracy=epoch_correct / n,
+                learning_rate=self.optimizer.lr,
+                duration_s=time.perf_counter() - epoch_start,
+            )
+            if validation is not None:
+                val_x, val_y = validation
+                record.val_loss, record.val_accuracy = self._evaluate(val_x, val_y)
+            history.epochs.append(record)
+            if self.epoch_callback is not None:
+                self.epoch_callback(record)
+            if self.scheduler is not None:
+                self.scheduler.step()
+            if self.early_stopping is not None:
+                monitored = record.val_loss if record.val_loss is not None else record.train_loss
+                if self.early_stopping.should_stop(monitored):
+                    history.stopped_early = True
+                    break
+
+        history.total_time_s = time.perf_counter() - start
+        return history
+
+    def _evaluate(self, inputs: np.ndarray, targets: np.ndarray) -> tuple[float, float]:
+        self.model.eval()
+        logits = predict_logits(self.model, inputs, batch_size=self.batch_size)
+        loss_value = float(self.loss(Tensor(logits), targets).item())
+        accuracy = float((logits.argmax(axis=1) == targets.argmax(axis=1)).mean())
+        self.model.train()
+        return loss_value, accuracy
+
+
+def predict_logits(model: Module, inputs: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Run the model in eval mode without the gradient tape; returns logits."""
+    model.eval()
+    inputs = np.asarray(inputs, dtype=np.float32)
+    chunks: list[np.ndarray] = []
+    with no_grad():
+        for lo in range(0, len(inputs), batch_size):
+            chunks.append(model(Tensor(inputs[lo : lo + batch_size])).data)
+    return np.concatenate(chunks, axis=0)
+
+
+def predict_proba(model: Module, inputs: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Softmax probabilities for each input."""
+    logits = predict_logits(model, inputs, batch_size=batch_size)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=1, keepdims=True)
+
+
+def predict_labels(model: Module, inputs: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Hard label predictions."""
+    return predict_logits(model, inputs, batch_size=batch_size).argmax(axis=1)
+
+
+def evaluate_accuracy(
+    model: Module, inputs: np.ndarray, labels: Sequence[int] | np.ndarray, batch_size: int = 128
+) -> float:
+    """Top-1 accuracy against integer labels."""
+    labels = np.asarray(labels)
+    if labels.ndim == 2:  # accept one-hot as a convenience
+        labels = labels.argmax(axis=1)
+    predictions = predict_labels(model, inputs, batch_size=batch_size)
+    return float((predictions == labels).mean())

@@ -1,0 +1,15 @@
+"""``repro.survey`` — the Table I technique catalog and selection procedure."""
+
+from .catalog import APPROACHES, TABLE1_CANDIDATES, CandidateTechnique, Criteria
+from .selection import SelectionResult, candidates_for, render_table1, select_representatives
+
+__all__ = [
+    "APPROACHES",
+    "TABLE1_CANDIDATES",
+    "CandidateTechnique",
+    "Criteria",
+    "SelectionResult",
+    "candidates_for",
+    "select_representatives",
+    "render_table1",
+]

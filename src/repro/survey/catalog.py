@@ -1,0 +1,104 @@
+"""The technique catalog of paper Table I.
+
+The paper surveys ~200 articles, shortlists 50, groups them into five TDFM
+approaches, and scores the top three candidates per approach against five
+selection criteria.  This module encodes those 15 candidates and their
+criterion flags exactly as printed in Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Criteria", "CandidateTechnique", "TABLE1_CANDIDATES", "APPROACHES"]
+
+#: The five TDFM approaches, in Table I order.
+APPROACHES = (
+    "Label Smoothing",
+    "Label Correction",
+    "Robust Loss",
+    "Knowledge Distillation",
+    "Ensemble",
+)
+
+
+@dataclass(frozen=True)
+class Criteria:
+    """The five selection criteria of paper §III-A."""
+
+    code_available: bool  # (1) code available & easily modifiable
+    architecture_agnostic: bool  # (2) evaluated on >1 architecture type & dataset
+    artificial_noise: bool  # (3) capable of tolerating artificial noise
+    not_pretrained: bool  # (4) does not rely on pre-trained weights
+    standalone: bool  # (5) not a combination of other techniques
+
+    def all_met(self) -> bool:
+        """True when every criterion holds — the representative condition."""
+        return all(
+            (
+                self.code_available,
+                self.architecture_agnostic,
+                self.artificial_noise,
+                self.not_pretrained,
+                self.standalone,
+            )
+        )
+
+    def as_tuple(self) -> tuple[bool, bool, bool, bool, bool]:
+        return (
+            self.code_available,
+            self.architecture_agnostic,
+            self.artificial_noise,
+            self.not_pretrained,
+            self.standalone,
+        )
+
+
+@dataclass(frozen=True)
+class CandidateTechnique:
+    """One row of Table I."""
+
+    approach: str
+    technique: str
+    reference: str
+    criteria: Criteria
+
+
+def _row(
+    approach: str,
+    technique: str,
+    reference: str,
+    code: bool,
+    arch: bool,
+    noise: bool,
+    no_pretrain: bool,
+    standalone: bool,
+) -> CandidateTechnique:
+    return CandidateTechnique(
+        approach, technique, reference, Criteria(code, arch, noise, no_pretrain, standalone)
+    )
+
+
+#: Table I rows, verbatim from the paper.
+TABLE1_CANDIDATES: tuple[CandidateTechnique, ...] = (
+    # Label Smoothing
+    _row("Label Smoothing", "Label Relaxation", "[16]", True, True, True, True, True),
+    _row("Label Smoothing", "Lukasik et al.", "[27]", False, False, True, True, False),
+    _row("Label Smoothing", "OLS", "[28]", False, True, True, True, True),
+    # Label Correction
+    _row("Label Correction", "Meta Label Correction", "[17]", True, True, True, True, True),
+    _row("Label Correction", "ProSelfLC", "[29]", False, False, True, True, True),
+    _row("Label Correction", "SMP", "[30]", True, False, False, False, True),
+    # Robust Loss
+    _row("Robust Loss", "Active-Passive Losses", "[18]", True, True, True, True, True),
+    _row("Robust Loss", "Charoenphakdee et al.", "[31]", True, False, True, True, True),
+    _row("Robust Loss", "Zhang et al.", "[32]", True, False, True, True, True),
+    # Knowledge Distillation
+    _row("Knowledge Distillation", "CMD-P", "[33]", False, True, True, False, True),
+    _row("Knowledge Distillation", "KD-Lib", "[34]", True, True, False, True, False),
+    _row("Knowledge Distillation", "Self Distillation", "[19]", True, True, False, True, True),
+    # Ensemble
+    _row("Ensemble", "LTEC", "[35]", True, False, True, True, True),
+    _row("Ensemble", "SELF", "[36]", False, False, True, True, False),
+    _row("Ensemble", "Super-Learner", "[20]", False, True, False, True, True),
+)

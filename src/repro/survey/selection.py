@@ -1,0 +1,87 @@
+"""The representative-technique selection procedure of paper §III-A.
+
+A technique represents its TDFM approach when it satisfies all five criteria.
+For approaches with no all-criteria candidate (Knowledge Distillation and
+Ensemble in Table I), the paper re-implements a representative from the top
+three articles' descriptions; this module reproduces both the selection and
+that fallback, and can render Table I as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .catalog import APPROACHES, TABLE1_CANDIDATES, CandidateTechnique
+
+__all__ = ["SelectionResult", "select_representatives", "render_table1"]
+
+#: The paper's re-implementation choices for approaches with no all-✓ row.
+_REIMPLEMENTATION_CHOICE = {
+    "Knowledge Distillation": "Self Distillation",
+    "Ensemble": "LTEC",  # ensemble-consensus ideas; the study votes 5 diverse models
+}
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of selection for one approach."""
+
+    approach: str
+    representative: CandidateTechnique
+    reimplemented: bool  # True when no candidate met all criteria
+
+    def __str__(self) -> str:
+        marker = " (re-implemented)" if self.reimplemented else ""
+        return f"{self.approach}: {self.representative.technique}{marker}"
+
+
+def candidates_for(approach: str) -> list[CandidateTechnique]:
+    """Table I rows of one approach, in printed order."""
+    rows = [c for c in TABLE1_CANDIDATES if c.approach == approach]
+    if not rows:
+        raise KeyError(f"unknown approach {approach!r}; choices: {APPROACHES}")
+    return rows
+
+
+def select_representatives() -> dict[str, SelectionResult]:
+    """Apply the §III-A selection to every approach.
+
+    Returns one :class:`SelectionResult` per approach.  Approaches with an
+    all-criteria candidate select it directly; the rest fall back to the
+    paper's re-implemented representative.
+    """
+    results: dict[str, SelectionResult] = {}
+    for approach in APPROACHES:
+        rows = candidates_for(approach)
+        qualifying = [c for c in rows if c.criteria.all_met()]
+        if len(qualifying) > 1:
+            raise RuntimeError(
+                f"{approach}: multiple candidates meet all criteria; Table I expects at most one"
+            )
+        if qualifying:
+            results[approach] = SelectionResult(approach, qualifying[0], reimplemented=False)
+            continue
+        fallback_name = _REIMPLEMENTATION_CHOICE[approach]
+        fallback = next(c for c in rows if c.technique == fallback_name)
+        results[approach] = SelectionResult(approach, fallback, reimplemented=True)
+    return results
+
+
+def render_table1() -> str:
+    """Render Table I as aligned text, marking representatives with ``*``."""
+    representatives = {
+        r.representative.technique for r in select_representatives().values() if not r.reimplemented
+    }
+    header = (
+        f"{'Approach':<24}{'Technique':<28}{'Code?':<7}{'Arch?':<7}"
+        f"{'Noise?':<8}{'NoPre?':<8}{'Alone?':<7}"
+    )
+    lines = [header, "-" * len(header)]
+    for candidate in TABLE1_CANDIDATES:
+        flags = ["Y" if f else "x" for f in candidate.criteria.as_tuple()]
+        name = candidate.technique + ("*" if candidate.technique in representatives else "")
+        lines.append(
+            f"{candidate.approach:<24}{name:<28}"
+            f"{flags[0]:<7}{flags[1]:<7}{flags[2]:<8}{flags[3]:<8}{flags[4]:<7}"
+        )
+    return "\n".join(lines)

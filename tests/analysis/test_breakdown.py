@@ -1,0 +1,55 @@
+"""Unit tests for the per-class AD breakdown."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import per_class_accuracy_delta
+from repro.metrics import accuracy_delta
+
+
+class TestPerClassAD:
+    def test_matches_overall_ad(self, rng):
+        labels = rng.integers(0, 4, 100)
+        golden = rng.integers(0, 4, 100)
+        faulty = rng.integers(0, 4, 100)
+        breakdown = per_class_accuracy_delta(golden, faulty, labels, 4)
+        assert breakdown.overall_ad == pytest.approx(accuracy_delta(golden, faulty, labels))
+
+    def test_per_class_values(self):
+        labels = np.array([0, 0, 1, 1])
+        golden = np.array([0, 0, 1, 1])  # all correct
+        faulty = np.array([1, 0, 0, 0])  # breaks one class-0 input, both class-1
+        breakdown = per_class_accuracy_delta(golden, faulty, labels, 3)
+        assert breakdown.per_class_ad[0] == pytest.approx(0.5)
+        assert breakdown.per_class_ad[1] == pytest.approx(1.0)
+        assert np.isnan(breakdown.per_class_ad[2])  # class absent
+        np.testing.assert_array_equal(breakdown.per_class_support, [2, 2, 0])
+
+    def test_worst_classes_sorted(self):
+        labels = np.array([0, 1, 2])
+        golden = labels.copy()
+        faulty = np.array([0, 0, 0])  # breaks classes 1 and 2
+        breakdown = per_class_accuracy_delta(golden, faulty, labels, 3)
+        worst = breakdown.worst_classes(top=2)
+        assert {cls for cls, _ in worst} == {1, 2}
+        assert all(ad == 1.0 for _, ad in worst)
+
+    def test_support_counts_golden_correct_only(self):
+        labels = np.array([0, 0])
+        golden = np.array([0, 1])  # only first is golden-correct
+        faulty = np.array([0, 0])
+        breakdown = per_class_accuracy_delta(golden, faulty, labels, 1)
+        assert breakdown.per_class_support[0] == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            per_class_accuracy_delta(np.zeros(2), np.zeros(3), np.zeros(3), 2)
+
+    def test_str_mentions_worst(self):
+        labels = np.array([0, 1])
+        golden = labels.copy()
+        faulty = np.array([1, 1])
+        text = str(per_class_accuracy_delta(golden, faulty, labels, 2))
+        assert "worst classes" in text

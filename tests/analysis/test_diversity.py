@@ -1,0 +1,90 @@
+"""Unit tests for ensemble-diversity statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_ensemble,
+    pairwise_disagreement,
+    q_statistic,
+    simultaneous_failure_rate,
+)
+
+
+class TestPairwiseDisagreement:
+    def test_identical_predictions(self):
+        preds = np.array([0, 1, 2])
+        assert pairwise_disagreement(preds, preds) == 0.0
+
+    def test_fully_different(self):
+        assert pairwise_disagreement(np.array([0, 0]), np.array([1, 1])) == 1.0
+
+    def test_partial(self):
+        assert pairwise_disagreement(np.array([0, 1, 2, 3]), np.array([0, 1, 0, 0])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_disagreement(np.zeros(2), np.zeros(3))
+
+
+class TestQStatistic:
+    def test_perfectly_correlated_errors(self):
+        labels = np.array([0, 0, 0, 0])
+        a = np.array([0, 0, 1, 1])  # wrong on last two
+        assert q_statistic(a, a, labels) == pytest.approx(1.0)
+
+    def test_complementary_errors_negative(self):
+        labels = np.array([0, 0, 0, 0])
+        a = np.array([0, 0, 1, 1])  # wrong on {2,3}
+        b = np.array([1, 1, 0, 0])  # wrong on {0,1}
+        assert q_statistic(a, b, labels) == pytest.approx(-1.0)
+
+    def test_degenerate_all_correct(self):
+        labels = np.array([0, 1])
+        assert q_statistic(labels, labels, labels) == 0.0
+
+
+class TestSimultaneousFailures:
+    def test_majority_failures_counted(self):
+        labels = np.array([0, 0, 0])
+        preds = np.array(
+            [
+                [0, 1, 1],  # member 1 wrong on {1,2}
+                [0, 1, 0],  # member 2 wrong on {1}
+                [0, 1, 0],  # member 3 wrong on {1}
+            ]
+        )
+        # Input 0: 0 wrong; input 1: 3 wrong (majority); input 2: 1 wrong.
+        assert simultaneous_failure_rate(preds, labels) == pytest.approx(1 / 3)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            simultaneous_failure_rate(np.zeros(3), np.zeros(3))
+
+    def test_vote_error_bound(self, rng):
+        # The majority vote's error rate can never exceed the simultaneous
+        # failure rate plus ties — sanity-check on random data.
+        labels = rng.integers(0, 3, 50)
+        preds = rng.integers(0, 3, (5, 50))
+        rate = simultaneous_failure_rate(preds, labels)
+        assert 0.0 <= rate <= 1.0
+
+
+class TestAnalyzeEnsemble:
+    def test_full_report(self, rng):
+        from repro.data import SyntheticConfig, make_pneumonia_like
+        from repro.mitigation import EnsembleTechnique, TrainingBudget
+
+        train, test = make_pneumonia_like(SyntheticConfig(train_size=40, test_size=20, seed=8))
+        fitted = EnsembleTechnique(members=("convnet", "deconvnet", "vgg11")).fit(
+            train, "ignored", TrainingBudget(epochs=3, batch_size=8), np.random.default_rng(0)
+        )
+        report = analyze_ensemble(fitted, test.images, test.labels)
+        assert len(report.member_accuracies) == 3
+        assert 0.0 <= report.mean_pairwise_disagreement <= 1.0
+        assert -1.0 <= report.mean_q_statistic <= 1.0
+        assert 0.0 <= report.simultaneous_failure_rate <= 1.0
+        assert 0.0 <= report.ensemble_accuracy <= 1.0
+        assert "disagreement" in str(report)

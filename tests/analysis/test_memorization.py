@@ -1,0 +1,84 @@
+"""Unit tests for noise-memorization analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import MemorizationReport, measure_memorization
+from repro.data import SyntheticConfig, make_pneumonia_like
+from repro.faults import inject, mislabelling, removal
+from repro.mitigation import BaselineTechnique, TrainingBudget
+
+
+class _FixedPredictor:
+    """A FittedModel stand-in that returns canned predictions."""
+
+    def __init__(self, predictions):
+        self.predictions = np.asarray(predictions)
+
+    def predict(self, images):
+        return self.predictions[: len(images)]
+
+
+@pytest.fixture(scope="module")
+def injected():
+    train, _ = make_pneumonia_like(SyntheticConfig(train_size=40, test_size=10, seed=6))
+    faulty, report = inject(train, mislabelling(0.5), seed=2)
+    return train, faulty, report
+
+
+class TestMeasureMemorization:
+    def test_full_memorizer(self, injected):
+        original, faulty, report = injected
+        model = _FixedPredictor(faulty.labels)  # predicts observed labels
+        result = measure_memorization(model, faulty, original, report)
+        assert result.noisy_label_fit_rate == 1.0
+        assert result.true_label_recovery_rate == 0.0
+        assert result.clean_fit_rate == 1.0
+        assert not result.resisted_noise
+
+    def test_perfect_resister(self, injected):
+        original, faulty, report = injected
+        model = _FixedPredictor(original.labels)  # predicts true labels
+        result = measure_memorization(model, faulty, original, report)
+        assert result.noisy_label_fit_rate == 0.0
+        assert result.true_label_recovery_rate == 1.0
+        assert result.resisted_noise
+
+    def test_population_counts(self, injected):
+        original, faulty, report = injected
+        model = _FixedPredictor(faulty.labels)
+        result = measure_memorization(model, faulty, original, report)
+        assert result.num_mislabelled == report.num_mislabelled
+        assert result.num_mislabelled + result.num_clean == len(original)
+
+    def test_rejects_size_changing_faults(self, injected):
+        original, _, _ = injected
+        shrunk, report = inject(original, removal(0.3), seed=1)
+        model = _FixedPredictor(shrunk.labels)
+        with pytest.raises(ValueError, match="size-preserving"):
+            measure_memorization(model, shrunk, original, report)
+
+    def test_no_flips_reports_zero(self, injected):
+        original, _, _ = injected
+        clean, report = inject(original, mislabelling(0.0), seed=1)
+        model = _FixedPredictor(original.labels)
+        result = measure_memorization(model, clean, original, report)
+        assert result.noisy_label_fit_rate == 0.0
+        assert result.num_mislabelled == 0
+
+    def test_str_readable(self, injected):
+        original, faulty, report = injected
+        result = measure_memorization(_FixedPredictor(faulty.labels), faulty, original, report)
+        assert "memorized" in str(result)
+
+    def test_real_model_end_to_end(self, injected):
+        original, faulty, report = injected
+        fitted = BaselineTechnique().fit(
+            faulty, "convnet", TrainingBudget(epochs=4, batch_size=8), np.random.default_rng(0)
+        )
+        result = measure_memorization(fitted, faulty, original, report)
+        assert isinstance(result, MemorizationReport)
+        assert 0.0 <= result.noisy_label_fit_rate <= 1.0
+        assert 0.0 <= result.clean_fit_rate <= 1.0

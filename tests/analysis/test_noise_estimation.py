@@ -1,0 +1,98 @@
+"""Unit tests for confident-learning noise estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import cross_validated_probabilities, estimate_noise
+from repro.data import ArrayDataset, SyntheticConfig, make_sensor_like
+from repro.faults import inject, mislabelling
+from repro.mitigation import TrainingBudget
+
+
+def _dataset_with_probs(noise_rate: float, n=200, k=4, sharpness=0.9, seed=0):
+    """A dataset plus oracle-quality out-of-sample probabilities."""
+    rng = np.random.default_rng(seed)
+    true_labels = rng.integers(0, k, n)
+    images = rng.random((n, 1, 2, 2)).astype(np.float32)
+    dataset = ArrayDataset(images, true_labels, k, "synthetic")
+    faulty, report = inject(dataset, mislabelling(noise_rate), seed=seed + 1)
+
+    # Probabilities concentrated on the TRUE label (a good out-of-sample model).
+    probs = np.full((n, k), (1 - sharpness) / (k - 1), dtype=np.float64)
+    probs[np.arange(n), true_labels] = sharpness
+    return faulty, report, probs
+
+
+class TestEstimateWithOracleProbabilities:
+    @pytest.mark.parametrize("rate", [0.1, 0.3, 0.5])
+    def test_recovers_injected_rate(self, rate):
+        faulty, report, probs = _dataset_with_probs(rate)
+        estimate = estimate_noise(faulty, probabilities=probs)
+        assert estimate.estimated_noise_rate == pytest.approx(rate, abs=0.06)
+
+    def test_suspects_are_the_mislabelled(self):
+        faulty, report, probs = _dataset_with_probs(0.3)
+        estimate = estimate_noise(faulty, probabilities=probs)
+        assert estimate.precision_against(report.mislabelled_indices) > 0.95
+        assert estimate.recall_against(report.mislabelled_indices) > 0.95
+
+    def test_clean_dataset_near_zero(self):
+        faulty, _, probs = _dataset_with_probs(0.0)
+        estimate = estimate_noise(faulty, probabilities=probs)
+        assert estimate.estimated_noise_rate < 0.02
+        assert len(estimate.suspect_indices) < 5
+
+    def test_confident_joint_shape_and_mass(self):
+        faulty, _, probs = _dataset_with_probs(0.2)
+        estimate = estimate_noise(faulty, probabilities=probs)
+        assert estimate.confident_joint.shape == (4, 4)
+        assert estimate.confident_joint.sum() <= len(faulty)
+
+    def test_suspects_ranked_by_margin(self):
+        faulty, _, probs = _dataset_with_probs(0.3)
+        estimate = estimate_noise(faulty, probabilities=probs)
+        labels = faulty.labels
+        idx = estimate.suspect_indices
+        margins = probs.max(axis=1) - probs[np.arange(len(faulty)), labels]
+        suspect_margins = margins[idx]
+        assert (np.diff(suspect_margins) <= 1e-12).all()
+
+    def test_shape_mismatch_rejected(self):
+        faulty, _, probs = _dataset_with_probs(0.1)
+        with pytest.raises(ValueError, match="probabilities shape"):
+            estimate_noise(faulty, probabilities=probs[:, :2])
+
+    def test_metrics_on_empty_edge_cases(self):
+        faulty, _, probs = _dataset_with_probs(0.0)
+        estimate = estimate_noise(faulty, probabilities=probs)
+        assert estimate.recall_against(np.array([])) == 0.0
+        assert "%" in str(estimate)
+
+
+class TestCrossValidation:
+    def test_every_example_gets_probabilities(self):
+        train, _ = make_sensor_like(SyntheticConfig(train_size=60, test_size=10, seed=4))
+        budget = TrainingBudget(epochs=3, batch_size=16)
+        probs = cross_validated_probabilities(
+            train, "mlp", budget, np.random.default_rng(0), folds=3
+        )
+        assert probs.shape == (60, train.num_classes)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(60), atol=1e-4)
+
+    def test_fold_validation(self):
+        train, _ = make_sensor_like(SyntheticConfig(train_size=20, test_size=10, seed=4))
+        budget = TrainingBudget(epochs=1)
+        with pytest.raises(ValueError):
+            cross_validated_probabilities(train, "mlp", budget, np.random.default_rng(0), folds=1)
+
+    def test_end_to_end_detects_heavy_noise(self):
+        # A learnable tabular task + 40% noise: the estimator should report
+        # substantially more noise than for the clean dataset.
+        train, _ = make_sensor_like(SyntheticConfig(train_size=120, test_size=10, seed=5))
+        faulty, _ = inject(train, mislabelling(0.4), seed=6)
+        budget = TrainingBudget(epochs=8, batch_size=16)
+        clean_est = estimate_noise(train, "mlp", budget, np.random.default_rng(1), folds=3)
+        noisy_est = estimate_noise(faulty, "mlp", budget, np.random.default_rng(1), folds=3)
+        assert noisy_est.estimated_noise_rate > clean_est.estimated_noise_rate + 0.1

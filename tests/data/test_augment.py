@@ -1,0 +1,125 @@
+"""Unit tests for data augmentations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Compose,
+    GaussianNoise,
+    RandomBrightness,
+    RandomHorizontalFlip,
+    RandomShift,
+)
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.random((8, 3, 6, 6)).astype(np.float32)
+
+
+class TestRandomHorizontalFlip:
+    def test_p_zero_is_identity(self, batch, rng):
+        out = RandomHorizontalFlip(p=0.0, rng=rng)(batch)
+        np.testing.assert_array_equal(out, batch)
+
+    def test_p_one_flips_all(self, batch, rng):
+        out = RandomHorizontalFlip(p=1.0, rng=rng)(batch)
+        np.testing.assert_array_equal(out, batch[:, :, :, ::-1])
+
+    def test_does_not_mutate_input(self, batch, rng):
+        before = batch.copy()
+        RandomHorizontalFlip(p=1.0, rng=rng)(batch)
+        np.testing.assert_array_equal(batch, before)
+
+    def test_seeded_reproducibility(self, batch):
+        a = RandomHorizontalFlip(p=0.5, rng=np.random.default_rng(1))(batch)
+        b = RandomHorizontalFlip(p=0.5, rng=np.random.default_rng(1))(batch)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(p=1.5)
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(rng=rng)(np.zeros((3, 6, 6)))
+
+
+class TestRandomShift:
+    def test_zero_shift_identity(self, batch, rng):
+        out = RandomShift(0, rng=rng)(batch)
+        np.testing.assert_array_equal(out, batch)
+
+    def test_shape_preserved_and_zero_padded(self, batch):
+        out = RandomShift(2, rng=np.random.default_rng(0))(batch)
+        assert out.shape == batch.shape
+        # Total mass can only decrease (pixels shifted out, zeros shifted in).
+        assert out.sum() <= batch.sum() + 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomShift(-1)
+
+
+class TestRandomBrightness:
+    def test_scales_within_bounds(self, batch, rng):
+        out = RandomBrightness(delta=0.5, rng=rng)(batch)
+        ratio = out.sum(axis=(1, 2, 3)) / batch.sum(axis=(1, 2, 3))
+        assert (ratio >= 0.5 - 1e-5).all()
+        assert (ratio <= 1.5 + 1e-5).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomBrightness(delta=1.0)
+
+
+class TestGaussianNoise:
+    def test_zero_std_identity(self, batch, rng):
+        out = GaussianNoise(0.0, rng=rng)(batch)
+        np.testing.assert_allclose(out, batch)
+
+    def test_noise_magnitude(self, batch):
+        out = GaussianNoise(0.1, rng=np.random.default_rng(0))(batch)
+        residual = out - batch
+        assert 0.05 < residual.std() < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-0.1)
+
+
+class TestCompose:
+    def test_applies_in_order(self, batch, rng):
+        double = lambda b: b * 2.0
+        add_one = lambda b: b + 1.0
+        out = Compose(double, add_one)(batch)
+        np.testing.assert_allclose(out, batch * 2.0 + 1.0)
+
+    def test_needs_transforms(self):
+        with pytest.raises(ValueError):
+            Compose()
+
+    def test_repr(self, rng):
+        text = repr(Compose(RandomHorizontalFlip(rng=rng), GaussianNoise(rng=rng)))
+        assert "RandomHorizontalFlip" in text
+
+
+class TestTrainerIntegration:
+    def test_input_transform_applied_per_batch(self, rng):
+        from repro.nn import SGD, CrossEntropy, Dense, Sequential, Trainer
+
+        x = rng.random((16, 4)).astype(np.float32)
+        y = np.eye(2, dtype=np.float32)[rng.integers(0, 2, 16)]
+        model = Sequential(Dense(4, 2, rng=rng))
+        calls = []
+
+        def transform(batch):
+            calls.append(len(batch))
+            return batch
+
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.01),
+                          epochs=1, batch_size=8, rng=rng, input_transform=transform)
+        trainer.fit(x, y)
+        assert calls == [8, 8]

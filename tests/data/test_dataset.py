@@ -1,0 +1,131 @@
+"""Unit tests for dataset containers and splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader, stratified_indices, train_validation_split
+
+
+def _dataset(rng, n=60, k=3, name="toy"):
+    images = rng.random((n, 1, 4, 4)).astype(np.float32)
+    labels = np.arange(n) % k
+    return ArrayDataset(images, labels, k, name)
+
+
+class TestArrayDataset:
+    def test_basic_properties(self, rng):
+        ds = _dataset(rng)
+        assert len(ds) == 60
+        assert ds.image_shape == (1, 4, 4)
+        assert ds.class_counts().tolist() == [20, 20, 20]
+
+    def test_one_hot(self, rng):
+        ds = _dataset(rng, n=6, k=3)
+        onehot = ds.one_hot_labels()
+        assert onehot.shape == (6, 3)
+        np.testing.assert_array_equal(onehot.argmax(axis=1), ds.labels)
+
+    def test_validation_errors(self, rng):
+        with pytest.raises(ValueError, match="images must be"):
+            ArrayDataset(np.zeros((4, 16)), np.zeros(4), 2)
+        with pytest.raises(ValueError, match="differ in length"):
+            ArrayDataset(np.zeros((4, 1, 2, 2)), np.zeros(5), 2)
+        with pytest.raises(ValueError, match="num_classes"):
+            ArrayDataset(np.zeros((4, 1, 2, 2)), np.zeros(4), 1)
+        with pytest.raises(ValueError, match="out of range"):
+            ArrayDataset(np.zeros((4, 1, 2, 2)), np.array([0, 1, 2, 5]), 3)
+
+    def test_subset_copies(self, rng):
+        ds = _dataset(rng)
+        sub = ds.subset(np.array([0, 1, 2]))
+        sub.images[...] = -1.0
+        assert not (ds.images[:3] == -1.0).any()
+        assert sub.name.endswith("/subset")
+
+    def test_copy_is_deep(self, rng):
+        ds = _dataset(rng)
+        dup = ds.copy()
+        dup.labels[0] = (dup.labels[0] + 1) % 3
+        assert ds.labels[0] != dup.labels[0]
+
+    def test_split_clean_subset_stratified(self, rng):
+        ds = _dataset(rng, n=90, k=3)
+        clean, noisy = ds.split_clean_subset(0.2, rng)
+        assert len(clean) + len(noisy) == 90
+        assert len(clean) == pytest.approx(18, abs=3)
+        # Each class represented in the clean subset.
+        assert (clean.class_counts() > 0).all()
+
+    def test_split_clean_subset_validates_fraction(self, rng):
+        ds = _dataset(rng)
+        with pytest.raises(ValueError):
+            ds.split_clean_subset(0.0, rng)
+        with pytest.raises(ValueError):
+            ds.split_clean_subset(1.0, rng)
+
+
+class TestStratifiedIndices:
+    def test_respects_fraction_per_class(self, rng):
+        labels = np.repeat(np.arange(4), 25)
+        idx = stratified_indices(labels, 0.2, 4, rng)
+        chosen = labels[idx]
+        assert (np.bincount(chosen, minlength=4) == 5).all()
+
+    def test_at_least_one_per_class(self, rng):
+        labels = np.repeat(np.arange(5), 3)
+        idx = stratified_indices(labels, 0.01, 5, rng)
+        assert (np.bincount(labels[idx], minlength=5) >= 1).all()
+
+    def test_sorted_unique(self, rng):
+        labels = np.repeat(np.arange(3), 20)
+        idx = stratified_indices(labels, 0.5, 3, rng)
+        assert (np.diff(idx) > 0).all()
+
+    def test_empty_class_skipped(self, rng):
+        labels = np.zeros(10, dtype=np.int64)
+        idx = stratified_indices(labels, 0.3, 2, rng)
+        assert (labels[idx] == 0).all()
+
+
+class TestTrainValidationSplit:
+    def test_sizes_and_disjoint(self, rng):
+        ds = _dataset(rng, n=100, k=4)
+        train, val = train_validation_split(ds, 0.25, rng)
+        assert len(train) + len(val) == 100
+        assert len(val) == pytest.approx(25, abs=4)
+
+
+class TestDataLoader:
+    def test_covers_all_samples(self, rng):
+        ds = _dataset(rng, n=23)
+        loader = DataLoader(ds, batch_size=5, rng=rng)
+        total = sum(len(x) for x, _ in loader)
+        assert total == 23
+        assert len(loader) == 5
+
+    def test_drop_last(self, rng):
+        ds = _dataset(rng, n=23)
+        loader = DataLoader(ds, batch_size=5, drop_last=True, rng=rng)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert all(len(x) == 5 for x, _ in batches)
+
+    def test_no_shuffle_is_ordered(self, rng):
+        ds = _dataset(rng, n=10)
+        loader = DataLoader(ds, batch_size=10, shuffle=False)
+        x, y = next(iter(loader))
+        np.testing.assert_array_equal(y, ds.labels)
+
+    def test_shuffle_uses_rng(self, rng):
+        ds = _dataset(rng, n=50)
+        l1 = DataLoader(ds, batch_size=50, rng=np.random.default_rng(3))
+        l2 = DataLoader(ds, batch_size=50, rng=np.random.default_rng(3))
+        _, y1 = next(iter(l1))
+        _, y2 = next(iter(l2))
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            DataLoader(_dataset(rng), batch_size=0)

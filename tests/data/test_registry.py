@@ -1,0 +1,56 @@
+"""Unit tests for the dataset registry (paper Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import DATASETS, PAPER_TABLE2, dataset_names, load_dataset
+
+
+class TestRegistryContents:
+    def test_three_paper_datasets(self):
+        assert dataset_names() == ["cifar10", "gtsrb", "pneumonia"]
+
+    def test_class_counts_match_table2(self):
+        assert DATASETS["cifar10"].num_classes == 10
+        assert DATASETS["gtsrb"].num_classes == 43
+        assert DATASETS["pneumonia"].num_classes == 2
+
+    def test_paper_sizes_match_table2(self):
+        assert DATASETS["cifar10"].paper_train_size == 50_000
+        assert DATASETS["gtsrb"].paper_train_size == 39_209
+        assert DATASETS["pneumonia"].paper_train_size == 5_239
+        assert DATASETS["pneumonia"].paper_test_size == 624
+
+    def test_pneumonia_keeps_one_tenth_ratio(self):
+        # The paper stresses Pneumonia is ~1/10 the size of the others; the
+        # scaled defaults preserve that ratio.
+        pneumonia = DATASETS["pneumonia"].default_train_size
+        cifar = DATASETS["cifar10"].default_train_size
+        assert 5 <= cifar / pneumonia <= 15
+
+    def test_table2_rows(self):
+        names = [row[0] for row in PAPER_TABLE2]
+        assert names == ["CIFAR-10", "GTSRB", "Pneumonia"]
+
+
+class TestLoadDataset:
+    def test_load_with_defaults(self):
+        train, test = load_dataset("pneumonia")
+        assert len(train) == DATASETS["pneumonia"].default_train_size
+        assert len(test) == DATASETS["pneumonia"].default_test_size
+
+    def test_load_with_overrides(self):
+        train, test = load_dataset("cifar10", train_size=30, test_size=10, image_size=16)
+        assert len(train) == 30
+        assert len(test) == 10
+        assert train.image_shape == (3, 16, 16)
+
+    def test_seed_controls_content(self):
+        a, _ = load_dataset("gtsrb", train_size=20, test_size=5, seed=1)
+        b, _ = load_dataset("gtsrb", train_size=20, test_size=5, seed=2)
+        assert not (a.images == b.images).all()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("mnist")

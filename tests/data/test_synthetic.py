@@ -1,0 +1,171 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticConfig,
+    make_cifar10_like,
+    make_dataset_pair,
+    make_gtsrb_like,
+    make_pneumonia_like,
+)
+
+SMALL = SyntheticConfig(train_size=50, test_size=20, image_size=16, seed=3)
+
+
+class TestGeneratorContracts:
+    @pytest.mark.parametrize(
+        ("maker", "classes", "channels"),
+        [
+            (make_cifar10_like, 10, 3),
+            (make_gtsrb_like, 43, 3),
+            (make_pneumonia_like, 2, 1),
+        ],
+        ids=["cifar10", "gtsrb", "pneumonia"],
+    )
+    def test_shapes_ranges_and_classes(self, maker, classes, channels):
+        train, test = maker(SMALL)
+        assert len(train) == 50
+        assert len(test) == 20
+        assert train.num_classes == classes
+        assert train.image_shape == (channels, 16, 16)
+        assert train.images.min() >= 0.0
+        assert train.images.max() <= 1.0
+        assert train.images.dtype == np.float32
+
+    @pytest.mark.parametrize(
+        "maker", [make_cifar10_like, make_gtsrb_like, make_pneumonia_like],
+        ids=["cifar10", "gtsrb", "pneumonia"],
+    )
+    def test_deterministic_given_seed(self, maker):
+        a_train, a_test = maker(SMALL)
+        b_train, b_test = maker(SMALL)
+        np.testing.assert_array_equal(a_train.images, b_train.images)
+        np.testing.assert_array_equal(a_train.labels, b_train.labels)
+        np.testing.assert_array_equal(a_test.images, b_test.images)
+
+    @pytest.mark.parametrize(
+        "maker", [make_cifar10_like, make_gtsrb_like, make_pneumonia_like],
+        ids=["cifar10", "gtsrb", "pneumonia"],
+    )
+    def test_different_seed_different_data(self, maker):
+        a, _ = maker(SMALL)
+        b, _ = maker(SyntheticConfig(train_size=50, test_size=20, image_size=16, seed=4))
+        assert not np.array_equal(a.images, b.images)
+
+    @pytest.mark.parametrize(
+        "maker", [make_cifar10_like, make_gtsrb_like, make_pneumonia_like],
+        ids=["cifar10", "gtsrb", "pneumonia"],
+    )
+    def test_train_and_test_are_disjoint_draws(self, maker):
+        train, test = maker(SMALL)
+        # No identical image should appear in both splits.
+        flat_train = train.images.reshape(len(train), -1)
+        flat_test = test.images.reshape(len(test), -1)
+        cross = (flat_train[:, None, :] == flat_test[None, :, :]).all(axis=2)
+        assert not cross.any()
+
+    def test_metadata_names_paper_dataset(self):
+        train, _ = make_gtsrb_like(SMALL)
+        assert train.metadata["paper_dataset"] == "GTSRB"
+        assert "gtsrb" in train.name
+
+
+class TestClassSignal:
+    def test_gtsrb_same_class_images_are_similar(self):
+        train, _ = make_gtsrb_like(SyntheticConfig(train_size=200, test_size=20, seed=1))
+        # Mean pairwise distance within a class should be far below the
+        # between-class distance: that's what makes the task learnable.
+        images = train.images.reshape(len(train), -1)
+        labels = train.labels
+        cls = labels[0]
+        same = images[labels == cls]
+        other = images[labels != cls]
+        d_same = np.linalg.norm(same[0] - same[1:], axis=1).mean()
+        d_other = np.linalg.norm(same[0] - other[: len(same)], axis=1).mean()
+        assert d_same < d_other
+
+    def test_pneumonia_classes_differ_in_brightness(self):
+        train, _ = make_pneumonia_like(SyntheticConfig(train_size=200, test_size=20, seed=1))
+        normal = train.images[train.labels == 0]
+        sick = train.images[train.labels == 1]
+        # Opacities brighten the lung fields on average.
+        assert sick.mean() > normal.mean()
+
+    def test_labels_cover_many_classes(self):
+        train, _ = make_gtsrb_like(SyntheticConfig(train_size=430, test_size=20, seed=1))
+        assert len(np.unique(train.labels)) > 30
+
+
+class TestSensorLike:
+    """The tabular extension dataset (paper §V future work)."""
+
+    def test_shape_and_classes(self):
+        from repro.data import make_sensor_like
+
+        train, test = make_sensor_like(SyntheticConfig(train_size=60, test_size=30, seed=2))
+        assert train.image_shape == (1, 1, 24)
+        assert train.num_classes == 6
+        assert len(train) == 60
+        assert train.images.min() >= 0.0
+        assert train.images.max() <= 1.0
+
+    def test_deterministic(self):
+        from repro.data import make_sensor_like
+
+        cfg = SyntheticConfig(train_size=40, test_size=10, seed=3)
+        a, _ = make_sensor_like(cfg)
+        b, _ = make_sensor_like(cfg)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_custom_dimensions(self):
+        from repro.data import make_sensor_like
+
+        train, _ = make_sensor_like(
+            SyntheticConfig(train_size=40, test_size=10, seed=3),
+            num_classes=4,
+            num_features=10,
+        )
+        assert train.num_classes == 4
+        assert train.image_shape == (1, 1, 10)
+
+    def test_classes_are_separable(self):
+        from repro.data import make_sensor_like
+
+        train, _ = make_sensor_like(SyntheticConfig(train_size=200, test_size=10, seed=1))
+        # Class means should differ measurably (the task is learnable).
+        flat = train.images.reshape(len(train), -1)
+        centroids = np.stack([flat[train.labels == c].mean(axis=0) for c in range(6)])
+        distances = np.linalg.norm(centroids[:, None] - centroids[None, :], axis=2)
+        off_diagonal = distances[~np.eye(6, dtype=bool)]
+        assert off_diagonal.min() > 0.05
+
+    def test_dispatch_by_family(self):
+        train, _ = make_dataset_pair(
+            "sensor-like", SyntheticConfig(train_size=20, test_size=10, seed=0)
+        )
+        assert train.metadata["family"] == "sensor-like"
+        assert train.metadata["paper_dataset"] is None  # extension marker
+
+
+class TestConfigValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(train_size=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(image_size=4)
+        with pytest.raises(ValueError):
+            SyntheticConfig(noise_std=-0.1)
+
+
+class TestFamilyDispatch:
+    def test_by_name(self):
+        train, _ = make_dataset_pair("pneumonia-like", SMALL)
+        assert train.num_classes == 2
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown dataset family"):
+            make_dataset_pair("imagenet-like", SMALL)

@@ -1,0 +1,88 @@
+"""Unit tests for label/image transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    flatten_images,
+    from_one_hot,
+    normalize_images,
+    one_hot,
+    per_channel_standardize,
+    smooth_labels,
+)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+        assert out.dtype == np.float32
+
+    def test_roundtrip(self, rng):
+        labels = rng.integers(0, 7, 40)
+        np.testing.assert_array_equal(from_one_hot(one_hot(labels, 7)), labels)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 3]), 3)
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_from_one_hot_requires_2d(self):
+        with pytest.raises(ValueError):
+            from_one_hot(np.zeros(3))
+
+
+class TestSmoothLabels:
+    def test_paper_example(self):
+        # The paper's own example: alpha=0.1 maps [0,1,0] to [0.033, 0.933, 0.033].
+        out = smooth_labels(np.array([[0.0, 1.0, 0.0]], dtype=np.float32), 0.1)
+        np.testing.assert_allclose(out, [[0.0333, 0.9333, 0.0333]], atol=1e-3)
+
+    def test_rows_still_sum_to_one(self, rng):
+        targets = one_hot(rng.integers(0, 5, 10), 5)
+        out = smooth_labels(targets, 0.3)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(10), rtol=1e-5)
+
+    def test_alpha_zero_is_identity(self, rng):
+        targets = one_hot(rng.integers(0, 4, 6), 4)
+        np.testing.assert_array_equal(smooth_labels(targets, 0.0), targets)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smooth_labels(np.eye(3, dtype=np.float32), 1.0)
+        with pytest.raises(ValueError):
+            smooth_labels(np.zeros(3), 0.1)
+
+
+class TestImageTransforms:
+    def test_normalize_to_unit_range(self, rng):
+        images = rng.normal(5.0, 3.0, size=(4, 1, 3, 3)).astype(np.float32)
+        out = normalize_images(images)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_normalize_constant_input(self):
+        out = normalize_images(np.full((2, 1, 2, 2), 7.0))
+        np.testing.assert_array_equal(out, np.zeros((2, 1, 2, 2)))
+
+    def test_per_channel_standardize(self, rng):
+        images = rng.normal(3.0, 2.0, size=(50, 3, 4, 4)).astype(np.float32)
+        out = per_channel_standardize(images)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(3), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), np.ones(3), atol=1e-3)
+
+    def test_per_channel_standardize_requires_4d(self):
+        with pytest.raises(ValueError):
+            per_channel_standardize(np.zeros((3, 4)))
+
+    def test_flatten(self, rng):
+        images = rng.random((5, 2, 3, 3))
+        assert flatten_images(images).shape == (5, 18)

@@ -1,0 +1,90 @@
+"""Unit tests for the experiment disk cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentRunner, ScaleSettings
+from repro.experiments.cache import CellCache
+from repro.faults import mislabelling
+from repro.metrics.overhead import RuntimeCost
+
+
+class TestCellCache:
+    def test_roundtrip(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        predictions = np.array([1, 2, 3], dtype=np.int64)
+        cache.put("some|key", predictions, RuntimeCost(1.5, 0.25))
+        hit = cache.get("some|key")
+        assert hit is not None
+        np.testing.assert_array_equal(hit[0], predictions)
+        assert hit[1].training_s == 1.5
+        assert hit[1].inference_s == 0.25
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = CellCache(tmp_path)
+        assert cache.get("unknown") is None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cache.put("a", np.zeros(2), RuntimeCost(1.0, 1.0))
+        cache.put("b", np.zeros(2), RuntimeCost(1.0, 1.0))
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cache.put("k", np.zeros(2), RuntimeCost(1.0, 1.0))
+        for path in cache.directory.glob("*.npz"):
+            path.write_bytes(b"garbage")
+        assert cache.get("k") is None
+
+
+def _micro_scale():
+    return ScaleSettings(
+        name="micro",
+        dataset_sizes={"cifar10": (40, 20), "gtsrb": (86, 43), "pneumonia": (30, 16)},
+        epochs=2,
+        batch_size=16,
+        repeats=1,
+        seed=9,
+    )
+
+
+class TestRunnerDiskCache:
+    def test_second_runner_reuses_cells(self, tmp_path):
+        cache_dir = str(tmp_path / "cells")
+        first = ExperimentRunner(_micro_scale(), cache_dir=cache_dir)
+        result_a = first.run("pneumonia", "convnet", "baseline", mislabelling(0.3))
+        assert len(first.cell_cache) > 0
+
+        second = ExperimentRunner(_micro_scale(), cache_dir=cache_dir)
+        result_b = second.run("pneumonia", "convnet", "baseline", mislabelling(0.3))
+        assert result_b.accuracy_delta.mean == result_a.accuracy_delta.mean
+        assert result_b.mean_training_s == result_a.mean_training_s  # cached cost
+
+    def test_different_scale_does_not_collide(self, tmp_path):
+        cache_dir = str(tmp_path / "cells")
+        first = ExperimentRunner(_micro_scale(), cache_dir=cache_dir)
+        first.run("pneumonia", "convnet", "baseline", mislabelling(0.3))
+        entries = len(first.cell_cache)
+
+        other_scale = ScaleSettings(
+            name="micro2",
+            dataset_sizes={"cifar10": (40, 20), "gtsrb": (86, 43), "pneumonia": (30, 16)},
+            epochs=3,  # different budget -> different fingerprint
+            batch_size=16,
+            repeats=1,
+            seed=9,
+        )
+        second = ExperimentRunner(other_scale, cache_dir=cache_dir)
+        second.run("pneumonia", "convnet", "baseline", mislabelling(0.3))
+        assert len(second.cell_cache) > entries  # new cells were written
+
+    def test_no_cache_dir_means_no_disk_io(self):
+        runner = ExperimentRunner(_micro_scale())
+        assert runner.cell_cache is None
+        result = runner.run("pneumonia", "convnet", "baseline", mislabelling(0.1))
+        assert 0.0 <= result.accuracy_delta.mean <= 1.0

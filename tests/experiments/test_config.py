@@ -1,0 +1,80 @@
+"""Unit tests for experiment scales and env-variable overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import SCALES, ExperimentConfig, resolve_scale
+
+
+class TestScales:
+    def test_three_scales(self):
+        assert set(SCALES) == {"smoke", "small", "paper"}
+
+    def test_all_scales_cover_all_datasets(self):
+        for scale in SCALES.values():
+            assert set(scale.dataset_sizes) == {"cifar10", "gtsrb", "pneumonia"}
+
+    def test_scales_are_ordered_by_size(self):
+        for ds in ("cifar10", "gtsrb", "pneumonia"):
+            assert (
+                SCALES["smoke"].sizes_for(ds)[0]
+                < SCALES["small"].sizes_for(ds)[0]
+                < SCALES["paper"].sizes_for(ds)[0]
+            )
+
+    def test_paper_scale_repeats_twenty(self):
+        # The paper evaluates each configuration 20 times (§IV).
+        assert SCALES["paper"].repeats == 20
+
+    def test_budget_reflects_scale(self):
+        budget = SCALES["smoke"].budget()
+        assert budget.epochs == SCALES["smoke"].epochs
+        assert budget.batch_size == SCALES["smoke"].batch_size
+
+    def test_unknown_dataset_in_scale(self):
+        with pytest.raises(KeyError):
+            SCALES["smoke"].sizes_for("imagenet")
+
+
+class TestResolveScale:
+    def test_default_is_smoke(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale().name == "smoke"
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert resolve_scale().name == "small"
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert resolve_scale("paper").name == "paper"
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPEATS", "7")
+        monkeypatch.setenv("REPRO_EPOCHS", "3")
+        monkeypatch.setenv("REPRO_SEED", "42")
+        scale = resolve_scale("smoke")
+        assert scale.repeats == 7
+        assert scale.epochs == 3
+        assert scale.seed == 42
+
+    def test_unknown_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        with pytest.raises(KeyError, match="unknown scale"):
+            resolve_scale("huge")
+
+
+class TestExperimentConfig:
+    def test_describe(self):
+        config = ExperimentConfig(
+            dataset="gtsrb",
+            model="convnet",
+            technique="ensemble",
+            fault_label="mislabelling@30%",
+            repeats=3,
+            scale="smoke",
+        )
+        text = config.describe()
+        assert "gtsrb/convnet/ensemble/mislabelling@30%" in text
+        assert "x3" in text

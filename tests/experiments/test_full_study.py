@@ -1,0 +1,62 @@
+"""Tests for the full-study driver at micro scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ScaleSettings,
+    full_study,
+    load_results,
+    save_results,
+)
+from repro.faults import FaultType
+
+
+@pytest.fixture(scope="module")
+def runner():
+    scale = ScaleSettings(
+        name="micro",
+        dataset_sizes={"cifar10": (40, 20), "gtsrb": (86, 43), "pneumonia": (30, 16)},
+        epochs=2,
+        batch_size=16,
+        repeats=1,
+        seed=5,
+    )
+    return ExperimentRunner(scale)
+
+
+def test_full_study_covers_grid(runner):
+    seen = []
+    results = full_study(
+        runner,
+        models=("convnet",),
+        datasets=("pneumonia",),
+        fault_types=(FaultType.MISLABELLING, FaultType.REMOVAL),
+        rates=(0.3,),
+        techniques=["baseline", "label_correction"],
+        progress=seen.append,
+    )
+    # mislabelling: baseline + LC; removal: baseline only (LC skipped).
+    assert len(results) == 3
+    assert seen == results
+    labels = {(r.config.technique, r.config.fault_label) for r in results}
+    assert ("label_correction", "mislabelling@30%") in labels
+    assert ("label_correction", "removal@30%") not in labels
+
+
+def test_full_study_roundtrips_through_archive(runner, tmp_path):
+    results = full_study(
+        runner,
+        models=("convnet",),
+        datasets=("pneumonia",),
+        fault_types=(FaultType.REPETITION,),
+        rates=(0.1,),
+        techniques=["baseline"],
+    )
+    path = tmp_path / "study.json"
+    save_results(results, path)
+    loaded = load_results(path)
+    assert len(loaded) == len(results)
+    assert loaded[0].accuracy_delta.mean == results[0].accuracy_delta.mean

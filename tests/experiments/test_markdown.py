@@ -1,0 +1,53 @@
+"""Unit tests for Markdown report rendering."""
+
+from __future__ import annotations
+
+from repro.experiments import overheads_to_markdown, panel_to_markdown, table4_to_markdown
+from repro.experiments.study import ADPanel, ADSeries
+from repro.faults import FaultType
+from repro.metrics import OverheadResult
+from repro.metrics.stats import MeanWithCI
+
+
+def _ci(mean, hw=0.0, n=1):
+    return MeanWithCI(mean, hw, 0.95, n)
+
+
+def _panel():
+    panel = ADPanel(dataset="gtsrb", model="convnet", fault_type=FaultType.MISLABELLING)
+    panel.series["baseline"] = ADSeries("baseline", [0.1, 0.5], [_ci(0.2), _ci(0.6)])
+    panel.series["ensemble"] = ADSeries("ensemble", [0.1, 0.5], [_ci(0.1, 0.02, 3), _ci(0.3, 0.05, 3)])
+    return panel
+
+
+class TestPanelMarkdown:
+    def test_table_structure(self):
+        text = panel_to_markdown(_panel())
+        lines = text.splitlines()
+        assert lines[0].startswith("**gtsrb, convnet, mislabelling**")
+        assert "| Technique | 10% | 50% |" in text
+        assert "| Base | 20.0% | 60.0% |" in text
+
+    def test_confidence_interval_cells(self):
+        text = panel_to_markdown(_panel())
+        assert "10.0% ± 2.0%" in text
+
+
+class TestTable4Markdown:
+    def test_bold_best_and_missing(self):
+        table = {
+            ("convnet", "gtsrb", "baseline"): _ci(0.90),
+            ("convnet", "gtsrb", "ensemble"): _ci(0.95),
+        }
+        text = table4_to_markdown(
+            table, ("convnet",), ("gtsrb",), ["baseline", "label_smoothing", "ensemble"]
+        )
+        assert "**95%**" in text
+        assert "—" in text
+        assert text.count("|---") >= 3
+
+
+class TestOverheadsMarkdown:
+    def test_multiplier_cells(self):
+        text = overheads_to_markdown({"ensemble": OverheadResult("ensemble", 5.0, 4.9)})
+        assert "| Ens | 5.00× | 4.90× |" in text

@@ -1,0 +1,79 @@
+"""Unit tests for experiment-result archiving."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.overhead import RuntimeCost
+from repro.metrics.reliability import ReliabilityResult
+
+
+def _result(technique="baseline", ads=(0.3, 0.4)):
+    config = ExperimentConfig(
+        dataset="gtsrb",
+        model="convnet",
+        technique=technique,
+        fault_label="mislabelling@30%",
+        repeats=len(ads),
+        scale="smoke",
+    )
+    result = ExperimentResult(config=config)
+    for ad in ads:
+        result.repetitions.append(
+            ReliabilityResult(
+                golden_accuracy=0.9,
+                faulty_accuracy=0.6,
+                accuracy_delta=ad,
+                reverse_accuracy_delta=0.01,
+                num_test=172,
+            )
+        )
+        result.costs.append(RuntimeCost(training_s=2.5, inference_s=0.1))
+    return result
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        original = _result()
+        rebuilt = result_from_dict(result_to_dict(original))
+        assert rebuilt.config == original.config
+        assert rebuilt.ad_values() == original.ad_values()
+        assert rebuilt.mean_training_s == original.mean_training_s
+
+    def test_file_roundtrip(self, tmp_path):
+        results = [_result("baseline"), _result("ensemble", ads=(0.1,))]
+        path = tmp_path / "archive" / "study.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert len(loaded) == 2
+        assert loaded[1].config.technique == "ensemble"
+        assert loaded[0].accuracy_delta.mean == pytest.approx(0.35)
+
+    def test_archive_is_plain_json(self, tmp_path):
+        path = tmp_path / "study.json"
+        save_results([_result()], path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-results"
+        assert payload["version"] == 1
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"something": 1}))
+        with pytest.raises(ValueError, match="not a repro results archive"):
+            load_results(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format": "repro-results", "version": 99, "results": []}))
+        with pytest.raises(ValueError, match="unsupported archive version"):
+            load_results(path)

@@ -1,0 +1,112 @@
+"""Unit tests for report renderers (no training required)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import (
+    render_combined_verdicts,
+    render_motivating_example,
+    render_overheads,
+    render_panel,
+    render_panels,
+    render_table4,
+)
+from repro.experiments.study import (
+    ADPanel,
+    ADSeries,
+    CombinedFaultVerdict,
+    MotivatingExampleResult,
+)
+from repro.faults import FaultType
+from repro.metrics import OverheadResult
+from repro.metrics.stats import MeanWithCI
+
+
+def _ci(mean: float, hw: float = 0.01, n: int = 3) -> MeanWithCI:
+    return MeanWithCI(mean, hw, 0.95, n)
+
+
+def _panel() -> ADPanel:
+    panel = ADPanel(dataset="gtsrb", model="convnet", fault_type=FaultType.MISLABELLING)
+    panel.series["baseline"] = ADSeries("baseline", [0.1, 0.5], [_ci(0.2), _ci(0.6)])
+    panel.series["ensemble"] = ADSeries("ensemble", [0.1, 0.5], [_ci(0.1), _ci(0.3)])
+    return panel
+
+
+class TestRenderTable4:
+    def test_marks_best_and_missing_cells(self):
+        table = {
+            ("convnet", "gtsrb", "baseline"): _ci(0.90),
+            ("convnet", "gtsrb", "ensemble"): _ci(0.95),
+            # label_smoothing cell intentionally missing
+        }
+        text = render_table4(
+            table, ("convnet",), ("gtsrb",), ["baseline", "label_smoothing", "ensemble"]
+        )
+        assert "95%*" in text  # best cell starred
+        assert "-" in text  # missing cell placeholder
+        assert "Base" in text
+        assert "Ens" in text
+
+    def test_dataset_ids_match_paper(self):
+        table = {("convnet", "cifar10", "baseline"): _ci(0.8)}
+        text = render_table4(table, ("convnet",), ("cifar10",), ["baseline"])
+        # Paper Table IV numbers datasets: CIFAR-10 (1), GTSRB (2), Pneumonia (3).
+        assert "1" in text.splitlines()[2]
+
+
+class TestRenderPanel:
+    def test_contains_rates_and_abbreviations(self):
+        text = render_panel(_panel())
+        assert "10%" in text
+        assert "50%" in text
+        assert "Base" in text
+        assert "Ens" in text
+        assert "gtsrb, convnet, mislabelling" in text
+
+    def test_render_panels_headline(self):
+        text = render_panels({"a": _panel(), "b": _panel()}, "Fig X")
+        assert text.startswith("=== Fig X ===")
+        assert text.count("[gtsrb, convnet, mislabelling]") == 2
+
+
+class TestWinnerAt:
+    def test_winner_is_lowest_mean(self):
+        assert _panel().winner_at(0.5) == "ensemble"
+
+
+class TestRenderOverheads:
+    def test_formats_multipliers(self):
+        text = render_overheads(
+            {
+                "ensemble": OverheadResult("ensemble", 5.0, 5.2),
+                "label_smoothing": OverheadResult("label_smoothing", 1.02, 1.0),
+            }
+        )
+        assert "5.00x" in text
+        assert "1.02x" in text
+
+
+class TestRenderCombined:
+    def test_similarity_wording(self):
+        verdicts = [
+            CombinedFaultVerdict("a+b", "a", _ci(0.3), _ci(0.31), True),
+            CombinedFaultVerdict("c+d", "d", _ci(0.3), _ci(0.6), False),
+        ]
+        text = render_combined_verdicts(verdicts)
+        assert "similar" in text
+        assert "DIFFERENT" in text
+
+
+class TestRenderMotivatingExample:
+    def test_orders_by_ad(self):
+        result = MotivatingExampleResult(
+            golden_accuracy=_ci(0.9),
+            baseline_faulty_accuracy=_ci(0.55),
+            baseline_ad=_ci(0.4),
+            technique_ads={"ensemble": _ci(0.05), "robust_loss": _ci(0.15)},
+        )
+        text = render_motivating_example(result)
+        assert text.index("Ens") < text.index("RL")
+        assert "90.0%" in text

@@ -1,0 +1,111 @@
+"""Tests for the experiment runner (Fig. 2 workflow) at a micro scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentRunner, ScaleSettings
+from repro.faults import mislabelling, removal
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """A micro-scale runner so each test cell trains in a second or two."""
+    scale = ScaleSettings(
+        name="micro",
+        dataset_sizes={"cifar10": (40, 20), "gtsrb": (86, 43), "pneumonia": (30, 16)},
+        epochs=3,
+        batch_size=16,
+        repeats=1,
+        seed=7,
+    )
+    return ExperimentRunner(scale)
+
+
+class TestDatasetCache:
+    def test_same_object_returned(self, runner):
+        a = runner.dataset("pneumonia")
+        b = runner.dataset("pneumonia")
+        assert a[0] is b[0]
+
+    def test_sizes_follow_scale(self, runner):
+        train, test = runner.dataset("pneumonia")
+        assert len(train) == 30
+        assert len(test) == 16
+
+
+class TestGoldenCache:
+    def test_predictions_cached(self, runner):
+        a = runner.golden_predictions("pneumonia", "convnet", 0)
+        b = runner.golden_predictions("pneumonia", "convnet", 0)
+        assert a is b
+
+    def test_different_repetitions_different_models(self, runner):
+        a = runner.golden_predictions("pneumonia", "convnet", 0)
+        b = runner.golden_predictions("pneumonia", "convnet", 1)
+        assert a is not b
+
+    def test_repetition_seed_stable(self, runner):
+        assert runner._repetition_seed("gtsrb", "convnet", 0) == runner._repetition_seed(
+            "gtsrb", "convnet", 0
+        )
+        assert runner._repetition_seed("gtsrb", "convnet", 0) != runner._repetition_seed(
+            "gtsrb", "convnet", 1
+        )
+
+
+class TestRun:
+    def test_clean_run_reports_accuracy(self, runner):
+        result = runner.run("pneumonia", "convnet", "baseline", fault=None)
+        assert result.config.fault_label == "none"
+        assert len(result.repetitions) == 1
+        assert 0.0 <= result.faulty_accuracy.mean <= 1.0
+        assert result.mean_training_s > 0
+
+    def test_faulty_run_has_ad(self, runner):
+        result = runner.run("pneumonia", "convnet", "baseline", mislabelling(0.3))
+        assert 0.0 <= result.accuracy_delta.mean <= 1.0
+        assert result.config.fault_label == "mislabelling@30%"
+
+    def test_repeats_override(self, runner):
+        result = runner.run("pneumonia", "convnet", "baseline", mislabelling(0.1), repeats=2)
+        assert len(result.repetitions) == 2
+        assert result.accuracy_delta.n == 2
+
+    def test_runs_are_reproducible(self, runner):
+        a = runner.run("pneumonia", "convnet", "baseline", mislabelling(0.3))
+        b = runner.run("pneumonia", "convnet", "baseline", mislabelling(0.3))
+        assert a.accuracy_delta.mean == b.accuracy_delta.mean
+
+    def test_label_correction_gets_protected_clean_subset(self, runner):
+        # The runner must reserve clean indices for LC and attach them.
+        train, _ = runner.dataset("pneumonia")
+        faulty = runner._prepare_faulty_train(
+            train, mislabelling(0.5), "label_correction", 0.2, np.random.default_rng(0)
+        )
+        clean = faulty.metadata["clean_indices"]
+        assert len(clean) > 0
+        np.testing.assert_array_equal(faulty.labels[clean], train.labels[clean])
+
+    def test_other_techniques_get_no_clean_subset(self, runner):
+        train, _ = runner.dataset("pneumonia")
+        faulty = runner._prepare_faulty_train(
+            train, mislabelling(0.5), "baseline", 0.2, np.random.default_rng(0)
+        )
+        assert "clean_indices" not in faulty.metadata
+
+    def test_no_fault_passes_original_data(self, runner):
+        train, _ = runner.dataset("pneumonia")
+        same = runner._prepare_faulty_train(
+            train, None, "baseline", 0.2, np.random.default_rng(0)
+        )
+        assert same is train
+
+    def test_removal_fault_shrinks_training_data(self, runner):
+        result = runner.run("pneumonia", "convnet", "baseline", removal(0.5))
+        assert result.config.fault_label == "removal@50%"
+
+    def test_result_string(self, runner):
+        result = runner.run("pneumonia", "convnet", "baseline", mislabelling(0.1))
+        assert "AD=" in str(result)

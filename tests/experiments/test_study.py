@@ -1,0 +1,142 @@
+"""Tests for the study drivers and report rendering at micro scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ScaleSettings,
+    ad_panel,
+    combined_fault_analysis,
+    golden_accuracy_table,
+    motivating_example,
+    overhead_table,
+    render_combined_verdicts,
+    render_motivating_example,
+    render_overheads,
+    render_panel,
+    render_table4,
+)
+from repro.faults import FaultType
+
+
+@pytest.fixture(scope="module")
+def runner():
+    scale = ScaleSettings(
+        name="micro",
+        dataset_sizes={"cifar10": (40, 20), "gtsrb": (86, 43), "pneumonia": (30, 16)},
+        epochs=3,
+        batch_size=16,
+        repeats=1,
+        seed=3,
+    )
+    return ExperimentRunner(scale)
+
+
+TECHS = ["baseline", "label_smoothing"]
+
+
+class TestGoldenAccuracyTable:
+    def test_shape_and_rendering(self, runner):
+        table = golden_accuracy_table(
+            runner, models=("convnet",), datasets=("pneumonia",), techniques=TECHS
+        )
+        assert set(table) == {("convnet", "pneumonia", t) for t in TECHS}
+        text = render_table4(table, ("convnet",), ("pneumonia",), TECHS)
+        assert "Base" in text
+        assert "LS" in text
+        assert "*" in text  # best-per-row marker
+
+
+class TestADPanel:
+    def test_panel_structure(self, runner):
+        panel = ad_panel(
+            runner,
+            "pneumonia",
+            "convnet",
+            FaultType.MISLABELLING,
+            rates=(0.1, 0.5),
+            techniques=TECHS,
+        )
+        assert set(panel.series) == set(TECHS)
+        for series in panel.series.values():
+            assert series.rates == [0.1, 0.5]
+            assert len(series.points) == 2
+        assert panel.winner_at(0.5) in TECHS
+        assert "pneumonia" in panel.title
+
+    def test_label_correction_skipped_for_removal(self, runner):
+        panel = ad_panel(
+            runner,
+            "pneumonia",
+            "convnet",
+            FaultType.REMOVAL,
+            rates=(0.3,),
+            techniques=["baseline", "label_correction"],
+        )
+        assert "label_correction" not in panel.series
+
+    def test_label_correction_kept_for_mislabelling(self, runner):
+        panel = ad_panel(
+            runner,
+            "pneumonia",
+            "convnet",
+            FaultType.MISLABELLING,
+            rates=(0.3,),
+            techniques=["baseline", "label_correction"],
+        )
+        assert "label_correction" in panel.series
+
+    def test_series_at_unknown_rate(self, runner):
+        panel = ad_panel(
+            runner, "pneumonia", "convnet", FaultType.MISLABELLING, rates=(0.1,), techniques=TECHS
+        )
+        with pytest.raises(KeyError):
+            panel.series["baseline"].at(0.9)
+
+    def test_render_panel_text(self, runner):
+        panel = ad_panel(
+            runner, "pneumonia", "convnet", FaultType.MISLABELLING, rates=(0.1,), techniques=TECHS
+        )
+        text = render_panel(panel)
+        assert "10%" in text
+        assert "Base" in text
+
+
+class TestOverheadTable:
+    def test_structure_and_rendering(self, runner):
+        overheads = overhead_table(
+            runner, dataset="pneumonia", model="convnet", techniques=TECHS
+        )
+        assert "label_smoothing" in overheads
+        assert "baseline" not in overheads  # baseline is the denominator
+        ls = overheads["label_smoothing"]
+        assert ls.training_overhead > 0
+        text = render_overheads(overheads)
+        assert "x" in text
+
+
+class TestCombinedFaults:
+    def test_verdicts_cover_three_combinations(self, runner):
+        verdicts = combined_fault_analysis(
+            runner, dataset="pneumonia", model="convnet", rate=0.3
+        )
+        assert len(verdicts) == 3
+        labels = [v.combined_label for v in verdicts]
+        assert "mislabelling@30%+removal@30%" in labels
+        text = render_combined_verdicts(verdicts)
+        assert "->" in text
+
+
+class TestMotivatingExample:
+    def test_structure(self, runner):
+        result = motivating_example(
+            runner, dataset="pneumonia", model="convnet", techniques=["label_smoothing"]
+        )
+        assert 0.0 <= result.golden_accuracy.mean <= 1.0
+        assert "label_smoothing" in result.technique_ads
+        ranked = result.ranked_techniques()
+        assert ranked[0][0] == "label_smoothing"
+        text = render_motivating_example(result)
+        assert "golden accuracy" in text

@@ -1,0 +1,188 @@
+"""Unit tests for the fault injector (the TF-DM substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.faults import (
+    FaultReport,
+    inject,
+    inject_mislabelling,
+    inject_removal,
+    inject_repetition,
+    mislabelling,
+    removal,
+    repetition,
+)
+
+
+@pytest.fixture
+def dataset(rng):
+    n, k = 100, 5
+    images = rng.random((n, 1, 4, 4)).astype(np.float32)
+    labels = np.arange(n) % k
+    return ArrayDataset(images, labels, k, "toy")
+
+
+class TestMislabelling:
+    def test_flips_exactly_rate_fraction(self, dataset, rng):
+        faulty, report = inject_mislabelling(dataset, 0.3, rng)
+        changed = (faulty.labels != dataset.labels).sum()
+        assert changed == 30
+        assert report.num_mislabelled == 30
+        assert len(faulty) == len(dataset)
+
+    def test_new_labels_differ_and_are_valid(self, dataset, rng):
+        faulty, report = inject_mislabelling(dataset, 0.5, rng)
+        flipped = report.mislabelled_indices
+        assert (faulty.labels[flipped] != dataset.labels[flipped]).all()
+        assert faulty.labels.max() < dataset.num_classes
+        assert faulty.labels.min() >= 0
+
+    def test_images_untouched(self, dataset, rng):
+        faulty, _ = inject_mislabelling(dataset, 0.5, rng)
+        np.testing.assert_array_equal(faulty.images, dataset.images)
+
+    def test_original_not_mutated(self, dataset, rng):
+        before = dataset.labels.copy()
+        inject_mislabelling(dataset, 0.5, rng)
+        np.testing.assert_array_equal(dataset.labels, before)
+
+    def test_zero_rate_changes_nothing(self, dataset, rng):
+        faulty, report = inject_mislabelling(dataset, 0.0, rng)
+        np.testing.assert_array_equal(faulty.labels, dataset.labels)
+        assert report.num_mislabelled == 0
+
+    def test_protected_indices_never_flipped(self, dataset, rng):
+        protected = np.arange(0, 50)
+        faulty, report = inject_mislabelling(dataset, 0.5, rng, protected_indices=protected)
+        np.testing.assert_array_equal(faulty.labels[:50], dataset.labels[:50])
+        assert (report.mislabelled_indices >= 50).all()
+
+
+class TestPairwiseMislabelling:
+    """The class-dependent pair-noise extension (beyond the paper's protocol)."""
+
+    def test_flips_to_successor_class(self, dataset, rng):
+        faulty, report = inject_mislabelling(dataset, 0.4, rng, mode="pairwise")
+        flipped = report.mislabelled_indices
+        expected = (dataset.labels[flipped] + 1) % dataset.num_classes
+        np.testing.assert_array_equal(faulty.labels[flipped], expected)
+
+    def test_count_matches_rate(self, dataset, rng):
+        _, report = inject_mislabelling(dataset, 0.2, rng, mode="pairwise")
+        assert report.num_mislabelled == 20
+
+    def test_unknown_mode_rejected(self, dataset, rng):
+        with pytest.raises(ValueError, match="mode"):
+            inject_mislabelling(dataset, 0.2, rng, mode="adversarial")
+
+
+class TestRepetition:
+    def test_appends_duplicates(self, dataset, rng):
+        faulty, report = inject_repetition(dataset, 0.3, rng)
+        assert len(faulty) == 130
+        assert report.num_repeated == 30
+        # Appended rows are copies of original rows.
+        for new_idx, src in zip(range(100, 130), np.sort(report.repeated_source_indices)):
+            pass  # order of sources is sorted in the report, not positionally
+        sources = report.repeated_source_indices
+        assert sources.min() >= 0
+        assert sources.max() < 100
+
+    def test_duplicates_match_sources(self, dataset, rng):
+        faulty, _ = inject_repetition(dataset, 0.1, rng)
+        appended = faulty.images[100:]
+        # Every appended image exists in the original data.
+        flat_orig = dataset.images.reshape(100, -1)
+        for img in appended.reshape(len(appended), -1):
+            assert (flat_orig == img).all(axis=1).any()
+
+    def test_zero_rate(self, dataset, rng):
+        faulty, report = inject_repetition(dataset, 0.0, rng)
+        assert len(faulty) == 100
+        assert report.num_repeated == 0
+
+
+class TestRemoval:
+    def test_removes_rate_fraction(self, dataset, rng):
+        faulty, report = inject_removal(dataset, 0.3, rng)
+        assert len(faulty) == 70
+        assert report.num_removed == 30
+
+    def test_never_deletes_everything(self, dataset, rng):
+        faulty, _ = inject_removal(dataset, 1.0, rng)
+        assert len(faulty) >= 1
+
+    def test_remaining_rows_are_originals(self, dataset, rng):
+        faulty, report = inject_removal(dataset, 0.5, rng)
+        keep = np.ones(100, dtype=bool)
+        keep[report.removed_indices] = False
+        np.testing.assert_array_equal(faulty.images, dataset.images[keep])
+        np.testing.assert_array_equal(faulty.labels, dataset.labels[keep])
+
+    def test_protected_indices_survive(self, dataset, rng):
+        protected = np.arange(90, 100)
+        _, report = inject_removal(dataset, 0.5, rng, protected_indices=protected)
+        assert not set(report.removed_indices) & set(protected)
+
+
+class TestInjectDispatch:
+    def test_single_spec(self, dataset):
+        faulty, report = inject(dataset, mislabelling(0.2), seed=1)
+        assert report.num_mislabelled == 20
+        assert "mislabelling@20%" in report.spec_label
+
+    def test_seed_reproducibility(self, dataset):
+        a, _ = inject(dataset, mislabelling(0.4), seed=9)
+        b, _ = inject(dataset, mislabelling(0.4), seed=9)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_rng_and_seed_mutually_exclusive(self, dataset, rng):
+        with pytest.raises(ValueError):
+            inject(dataset, mislabelling(0.1), rng=rng, seed=1)
+
+    def test_combined_spec_applied_in_order(self, dataset):
+        combo = mislabelling(0.2) & removal(0.1)
+        faulty, report = inject(dataset, combo, seed=2)
+        assert len(faulty) == 90
+        assert report.num_mislabelled == 20
+        assert report.num_removed == 10
+        assert report.spec_label == "mislabelling@20%+removal@10%"
+
+    def test_combined_all_three(self, dataset):
+        combo = mislabelling(0.1) & removal(0.1) & repetition(0.1)
+        faulty, report = inject(dataset, combo, seed=3)
+        # 100 -> mislabel (100) -> remove 10 (90) -> repeat 9 (99)
+        assert len(faulty) == 99
+
+    def test_protected_remap_through_removal(self, dataset):
+        protected = np.arange(0, 10)
+        combo = removal(0.5) & mislabelling(0.5)
+        faulty, report = inject(dataset, combo, seed=4, protected_indices=protected)
+        after = report.protected_indices_after
+        assert after is not None
+        assert len(after) == 10
+        # The protected rows kept their original labels and images.
+        np.testing.assert_array_equal(faulty.labels[after], dataset.labels[:10])
+        np.testing.assert_array_equal(faulty.images[after], dataset.images[:10])
+
+    def test_report_summary_readable(self, dataset):
+        _, report = inject(dataset, mislabelling(0.2), seed=1)
+        text = report.summary()
+        assert "20 mislabelled" in text
+        assert "100 -> 100" in text
+
+
+class TestFaultReportMerge:
+    def test_merge_concatenates(self):
+        a = FaultReport("x", 10, 10, mislabelled_indices=np.array([1, 2]))
+        b = FaultReport("y", 10, 8, removed_indices=np.array([3]))
+        merged = a.merge(b)
+        assert merged.spec_label == "x+y"
+        assert merged.original_size == 10
+        assert merged.resulting_size == 8
+        assert merged.num_mislabelled == 2
+        assert merged.num_removed == 1

@@ -1,0 +1,70 @@
+"""Unit tests for fault specifications and their combination algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    PAPER_FAULT_RATES,
+    CombinedFaultSpec,
+    FaultSpec,
+    FaultType,
+    mislabelling,
+    removal,
+    repetition,
+)
+
+
+class TestFaultSpec:
+    def test_shorthand_constructors(self):
+        assert mislabelling(0.1).fault_type is FaultType.MISLABELLING
+        assert repetition(0.2).fault_type is FaultType.REPETITION
+        assert removal(0.3).fault_type is FaultType.REMOVAL
+
+    def test_accepts_string_fault_type(self):
+        spec = FaultSpec("mislabelling", 0.1)
+        assert spec.fault_type is FaultType.MISLABELLING
+
+    def test_label_format(self):
+        assert mislabelling(0.3).label == "mislabelling@30%"
+        assert removal(0.05).label == "removal@5%"
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            mislabelling(-0.1)
+        with pytest.raises(ValueError):
+            mislabelling(1.5)
+
+    def test_paper_rates(self):
+        assert PAPER_FAULT_RATES == (0.1, 0.3, 0.5)
+
+    def test_frozen(self):
+        spec = mislabelling(0.1)
+        with pytest.raises(AttributeError):
+            spec.rate = 0.5
+
+
+class TestCombination:
+    def test_and_composes_two(self):
+        combo = mislabelling(0.3) & removal(0.3)
+        assert isinstance(combo, CombinedFaultSpec)
+        assert combo.label == "mislabelling@30%+removal@30%"
+
+    def test_and_chains_three(self):
+        combo = mislabelling(0.1) & removal(0.1) & repetition(0.1)
+        assert len(combo.faults) == 3
+        assert [f.fault_type for f in combo.faults] == [
+            FaultType.MISLABELLING,
+            FaultType.REMOVAL,
+            FaultType.REPETITION,
+        ]
+
+    def test_spec_and_combined(self):
+        combo = removal(0.1) & repetition(0.1)
+        wider = mislabelling(0.1) & combo
+        assert len(wider.faults) == 3
+        assert wider.faults[0].fault_type is FaultType.MISLABELLING
+
+    def test_empty_combination_rejected(self):
+        with pytest.raises(ValueError):
+            CombinedFaultSpec(())

@@ -1,0 +1,113 @@
+"""Integration tests: the full Fig. 2 workflow across module boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, load_dataset, make_gtsrb_like
+from repro.experiments import ExperimentRunner, ScaleSettings
+from repro.faults import inject, mislabelling, removal
+from repro.metrics import accuracy, compare_models
+from repro.mitigation import BaselineTechnique, TrainingBudget, build_technique, technique_names
+from repro.models import build_model
+from repro.nn import Adam, CrossEntropy, Trainer, evaluate_accuracy, load_into, save_model
+
+
+class TestTrainingPipeline:
+    def test_golden_model_learns_gtsrb_like(self):
+        """A convnet must reach well-above-chance accuracy on clean data."""
+        train, test = load_dataset("gtsrb", train_size=430, test_size=172, seed=0)
+        model = build_model("convnet", train.image_shape, train.num_classes, seed=1)
+        trainer = Trainer(
+            model,
+            CrossEntropy(),
+            Adam(model.parameters(), lr=3e-3),
+            epochs=12,
+            batch_size=32,
+            rng=np.random.default_rng(2),
+            clip_norm=5.0,
+        )
+        trainer.fit(train.images, train.one_hot_labels())
+        acc = evaluate_accuracy(model, test.images, test.labels)
+        assert acc > 0.5  # chance is ~2.3% on 43 classes
+
+    def test_mislabelling_degrades_baseline(self):
+        """Paper §II: heavy mislabelling must hurt an unprotected model."""
+        train, test = load_dataset("gtsrb", train_size=430, test_size=172, seed=0)
+        budget = TrainingBudget(epochs=12)
+        golden = BaselineTechnique().fit(train, "convnet", budget, np.random.default_rng(1))
+        golden_acc = accuracy(golden.predict(test.images), test.labels)
+
+        faulty_train, _ = inject(train, mislabelling(0.5), seed=9)
+        faulty = BaselineTechnique().fit(faulty_train, "convnet", budget, np.random.default_rng(1))
+        faulty_acc = accuracy(faulty.predict(test.images), test.labels)
+        assert faulty_acc < golden_acc - 0.1
+
+    def test_mislabelling_hurts_more_than_removal(self):
+        """Paper §IV-C: removal faults produce much lower AD than mislabelling."""
+        train, test = load_dataset("gtsrb", train_size=430, test_size=172, seed=0)
+        budget = TrainingBudget(epochs=12)
+        golden = BaselineTechnique().fit(train, "convnet", budget, np.random.default_rng(1))
+        golden_pred = golden.predict(test.images)
+
+        def ad_for(spec):
+            faulty_train, _ = inject(train, spec, seed=9)
+            fitted = BaselineTechnique().fit(
+                faulty_train, "convnet", budget, np.random.default_rng(1)
+            )
+            return compare_models(golden_pred, fitted.predict(test.images), test.labels).accuracy_delta
+
+        assert ad_for(mislabelling(0.5)) > ad_for(removal(0.5))
+
+
+class TestModelPersistenceAcrossPipeline:
+    def test_fitted_model_roundtrips_through_disk(self, tmp_path):
+        train, test = make_gtsrb_like(SyntheticConfig(train_size=86, test_size=43, seed=5))
+        budget = TrainingBudget(epochs=3)
+        fitted = BaselineTechnique().fit(train, "convnet", budget, np.random.default_rng(0))
+        path = tmp_path / "golden.npz"
+        save_model(fitted.model, path)
+
+        clone = build_model("convnet", train.image_shape, train.num_classes, seed=99)
+        load_into(clone, path)
+        from repro.nn import predict_labels
+
+        np.testing.assert_array_equal(
+            predict_labels(clone, test.images), fitted.predict(test.images)
+        )
+
+
+class TestAllTechniquesEndToEnd:
+    @pytest.mark.parametrize("technique", technique_names())
+    def test_runs_on_faulty_pneumonia(self, technique):
+        """Every registered technique completes the full workflow."""
+        train, test = load_dataset("pneumonia", train_size=40, test_size=20, seed=4)
+        faulty, _ = inject(train, mislabelling(0.2), seed=1)
+        if technique == "label_correction":
+            faulty.metadata["clean_indices"] = np.arange(0, 8)
+        kwargs = {"members": ("convnet", "deconvnet", "vgg11")} if technique == "ensemble" else {}
+        tech = build_technique(technique, **kwargs)
+        fitted = tech.fit(faulty, "convnet", TrainingBudget(epochs=3, batch_size=16), np.random.default_rng(0))
+        predictions = fitted.predict(test.images)
+        assert predictions.shape == (len(test),)
+        assert fitted.cost.training_s > 0
+
+
+class TestRunnerIntegration:
+    def test_full_cell_with_every_metric(self):
+        scale = ScaleSettings(
+            name="it",
+            dataset_sizes={"cifar10": (40, 20), "gtsrb": (86, 43), "pneumonia": (30, 16)},
+            epochs=3,
+            batch_size=16,
+            repeats=2,
+            seed=1,
+        )
+        runner = ExperimentRunner(scale)
+        result = runner.run("gtsrb", "convnet", "label_smoothing", mislabelling(0.3))
+        assert result.accuracy_delta.n == 2
+        assert result.golden_accuracy.mean > 0.0
+        assert result.mean_training_s > 0
+        assert result.mean_inference_s > 0
+        assert len(result.ad_values()) == 2

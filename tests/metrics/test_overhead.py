@@ -1,0 +1,37 @@
+"""Unit tests for runtime-overhead accounting (paper §IV-E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import OverheadResult, RuntimeCost, relative_overhead
+
+
+class TestRuntimeCost:
+    def test_addition(self):
+        total = RuntimeCost(1.0, 2.0) + RuntimeCost(3.0, 4.0)
+        assert total.training_s == 4.0
+        assert total.inference_s == 6.0
+
+
+class TestRelativeOverhead:
+    def test_ensemble_like_ratios(self):
+        baseline = RuntimeCost(training_s=10.0, inference_s=1.0)
+        ensemble = RuntimeCost(training_s=50.0, inference_s=5.0)
+        result = relative_overhead("ensemble", ensemble, baseline)
+        assert result.training_overhead == pytest.approx(5.0)
+        assert result.inference_overhead == pytest.approx(5.0)
+
+    def test_baseline_against_itself_is_one(self):
+        cost = RuntimeCost(training_s=7.0, inference_s=0.5)
+        result = relative_overhead("baseline", cost, cost)
+        assert result.training_overhead == pytest.approx(1.0)
+        assert result.inference_overhead == pytest.approx(1.0)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            relative_overhead("x", RuntimeCost(1.0, 1.0), RuntimeCost(0.0, 1.0))
+
+    def test_str_format(self):
+        result = OverheadResult("kd", 1.5, 1.0)
+        assert "1.50x" in str(result)

@@ -1,0 +1,181 @@
+"""Unit tests for the AD metric and reliability comparisons (paper §III-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    ReliabilityResult,
+    accuracy,
+    accuracy_delta,
+    compare_models,
+    confusion_matrix,
+    per_class_accuracy,
+    reverse_accuracy_delta,
+)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([0, 1, 2, 2]), np.array([0, 1, 1, 2])) == 0.75
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0]), np.array([0, 1]))
+
+
+class TestAccuracyDelta:
+    def test_definition(self):
+        # golden correct on {0,1,2}; faulty breaks {1,2} -> AD = 2/3.
+        labels = np.array([0, 0, 0, 1])
+        golden = np.array([0, 0, 0, 0])  # correct on first three
+        faulty = np.array([0, 1, 1, 1])  # breaks positions 1 and 2
+        assert accuracy_delta(golden, faulty, labels) == pytest.approx(2 / 3)
+
+    def test_no_double_counting(self):
+        # Inputs both models get wrong do not contribute.
+        labels = np.array([0, 1])
+        golden = np.array([1, 0])  # all wrong
+        faulty = np.array([1, 0])  # all wrong
+        assert accuracy_delta(golden, faulty, labels) == 0.0
+
+    def test_identical_models_zero_ad(self, rng):
+        labels = rng.integers(0, 5, 50)
+        preds = rng.integers(0, 5, 50)
+        assert accuracy_delta(preds, preds, labels) == 0.0
+
+    def test_perfect_golden_total_break(self):
+        labels = np.array([0, 1, 2])
+        golden = labels.copy()
+        faulty = (labels + 1) % 3
+        assert accuracy_delta(golden, faulty, labels) == 1.0
+
+    def test_ad_bounded(self, rng):
+        labels = rng.integers(0, 4, 200)
+        golden = rng.integers(0, 4, 200)
+        faulty = rng.integers(0, 4, 200)
+        ad = accuracy_delta(golden, faulty, labels)
+        assert 0.0 <= ad <= 1.0
+
+    def test_golden_all_wrong_returns_zero(self):
+        labels = np.array([0, 0])
+        golden = np.array([1, 1])
+        faulty = np.array([0, 0])
+        assert accuracy_delta(golden, faulty, labels) == 0.0
+
+
+class TestReverseAD:
+    def test_fixed_fraction(self):
+        labels = np.array([0, 0, 0, 0])
+        golden = np.array([1, 1, 0, 0])  # wrong on {0,1}
+        faulty = np.array([0, 1, 0, 0])  # fixes position 0
+        assert reverse_accuracy_delta(golden, faulty, labels) == pytest.approx(0.5)
+
+    def test_golden_perfect_returns_zero(self):
+        labels = np.array([0, 1])
+        assert reverse_accuracy_delta(labels, labels, labels) == 0.0
+
+
+class TestCompareModels:
+    def test_returns_full_result(self, rng):
+        labels = rng.integers(0, 3, 30)
+        golden = labels.copy()
+        faulty = labels.copy()
+        faulty[:10] = (faulty[:10] + 1) % 3
+        result = compare_models(golden, faulty, labels)
+        assert isinstance(result, ReliabilityResult)
+        assert result.golden_accuracy == 1.0
+        assert result.faulty_accuracy == pytest.approx(2 / 3)
+        assert result.accuracy_delta == pytest.approx(1 / 3)
+        assert result.num_test == 30
+        assert "AD=" in str(result)
+
+
+class TestTopKAccuracy:
+    def test_k1_matches_plain_accuracy(self, rng):
+        from repro.metrics import top_k_accuracy
+
+        probs = rng.random((30, 5))
+        probs /= probs.sum(axis=1, keepdims=True)
+        labels = rng.integers(0, 5, 30)
+        assert top_k_accuracy(probs, labels, k=1) == pytest.approx(
+            accuracy(probs.argmax(axis=1), labels)
+        )
+
+    def test_k_equals_classes_is_one(self, rng):
+        from repro.metrics import top_k_accuracy
+
+        probs = rng.random((10, 4))
+        labels = rng.integers(0, 4, 10)
+        assert top_k_accuracy(probs, labels, k=4) == 1.0
+
+    def test_monotone_in_k(self, rng):
+        from repro.metrics import top_k_accuracy
+
+        probs = rng.random((50, 6))
+        labels = rng.integers(0, 6, 50)
+        values = [top_k_accuracy(probs, labels, k=k) for k in range(1, 7)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_validation(self, rng):
+        from repro.metrics import top_k_accuracy
+
+        with pytest.raises(ValueError):
+            top_k_accuracy(rng.random((5, 3)), np.zeros(5, dtype=int), k=4)
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros(5), np.zeros(5, dtype=int))
+
+
+class TestExpectedCalibrationError:
+    def test_perfectly_calibrated_confident_model(self):
+        from repro.metrics import expected_calibration_error
+
+        # Always predicts class 0 with confidence 1.0 and is always right.
+        probs = np.tile(np.array([[1.0, 0.0]]), (20, 1))
+        labels = np.zeros(20, dtype=int)
+        assert expected_calibration_error(probs, labels) == pytest.approx(0.0)
+
+    def test_overconfident_model_has_high_ece(self):
+        from repro.metrics import expected_calibration_error
+
+        # Confidence ~1.0 but only 50% correct -> ECE ~0.5.
+        probs = np.tile(np.array([[0.99, 0.01]]), (20, 1))
+        labels = np.array([0, 1] * 10)
+        ece = expected_calibration_error(probs, labels)
+        assert ece == pytest.approx(0.49, abs=0.02)
+
+    def test_bounded(self, rng):
+        from repro.metrics import expected_calibration_error
+
+        probs = rng.random((40, 3))
+        probs /= probs.sum(axis=1, keepdims=True)
+        labels = rng.integers(0, 3, 40)
+        assert 0.0 <= expected_calibration_error(probs, labels) <= 1.0
+
+    def test_validation(self):
+        from repro.metrics import expected_calibration_error
+
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.zeros((4, 2)), np.zeros(4, dtype=int), bins=0)
+
+
+class TestPerClassAndConfusion:
+    def test_per_class_accuracy(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        preds = np.array([0, 1, 1, 1, 0])
+        acc = per_class_accuracy(preds, labels, 4)
+        np.testing.assert_allclose(acc[:3], [0.5, 1.0, 0.0])
+        assert np.isnan(acc[3])
+
+    def test_confusion_matrix(self):
+        labels = np.array([0, 0, 1, 2])
+        preds = np.array([0, 1, 1, 2])
+        m = confusion_matrix(preds, labels, 3)
+        expected = np.array([[1, 1, 0], [0, 1, 0], [0, 0, 1]])
+        np.testing.assert_array_equal(m, expected)
+        assert m.sum() == 4

@@ -1,0 +1,21 @@
+"""Shared fixtures for mitigation-technique tests: a tiny learnable dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, make_pneumonia_like
+from repro.mitigation import TrainingBudget
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """A small pneumonia-like (train, test) pair that trains in seconds."""
+    return make_pneumonia_like(SyntheticConfig(train_size=48, test_size=24, seed=11))
+
+
+@pytest.fixture
+def tiny_budget():
+    """A budget that keeps each technique's fit under a few seconds."""
+    return TrainingBudget(epochs=4, batch_size=16, learning_rate=3e-3)

@@ -1,0 +1,122 @@
+"""Unit tests for the technique interface, budget, and fitted-model contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mitigation import (
+    BaselineTechnique,
+    SingleModelFitted,
+    TrainingBudget,
+    build_technique,
+    technique_names,
+    TECHNIQUE_ABBREVIATIONS,
+)
+from repro.nn import SGD, Adam
+
+
+class TestTrainingBudget:
+    def test_defaults_valid(self):
+        budget = TrainingBudget()
+        assert budget.epochs >= 1
+        assert budget.optimizer in ("adam", "sgd")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingBudget(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingBudget(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingBudget(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TrainingBudget(optimizer="lion")
+
+    def test_scaled_epochs_rounds_and_floors(self):
+        budget = TrainingBudget(epochs=10)
+        assert budget.scaled_epochs(0.5).epochs == 5
+        assert budget.scaled_epochs(0.01).epochs == 1
+        assert budget.scaled_epochs(1.0).epochs == 10
+
+    def test_scaled_epochs_preserves_other_fields(self):
+        budget = TrainingBudget(epochs=10, batch_size=64, learning_rate=0.01)
+        scaled = budget.scaled_epochs(0.5)
+        assert scaled.batch_size == 64
+        assert scaled.learning_rate == 0.01
+
+    def test_make_optimizer_adam(self):
+        from repro.nn.module import Parameter
+
+        params = [Parameter(np.zeros(2, dtype=np.float32))]
+        assert isinstance(TrainingBudget(optimizer="adam").make_optimizer(params), Adam)
+        assert isinstance(TrainingBudget(optimizer="sgd").make_optimizer(params), SGD)
+
+
+class TestRegistry:
+    def test_six_techniques_baseline_first(self):
+        names = technique_names()
+        assert names[0] == "baseline"
+        assert set(names) == {
+            "baseline",
+            "label_smoothing",
+            "label_correction",
+            "robust_loss",
+            "knowledge_distillation",
+            "ensemble",
+        }
+
+    def test_exclude_baseline(self):
+        assert "baseline" not in technique_names(include_baseline=False)
+        assert len(technique_names(include_baseline=False)) == 5
+
+    def test_paper_abbreviations(self):
+        paper = {
+            "baseline": "Base",
+            "label_smoothing": "LS",
+            "label_correction": "LC",
+            "robust_loss": "RL",
+            "knowledge_distillation": "KD",
+            "ensemble": "Ens",
+        }
+        for name, abbreviation in paper.items():
+            assert TECHNIQUE_ABBREVIATIONS[name] == abbreviation
+        # Extensions get abbreviations too but never shadow the paper set.
+        assert TECHNIQUE_ABBREVIATIONS["co_teaching"] == "CoT"
+
+    def test_build_with_kwargs(self):
+        technique = build_technique("label_smoothing", alpha=0.3)
+        assert technique.alpha == 0.3
+
+    def test_unknown_technique(self):
+        with pytest.raises(KeyError, match="unknown technique"):
+            build_technique("dropout")
+
+
+class TestFittedModelContract:
+    def test_predict_accumulates_inference_time(self, tiny_data, tiny_budget):
+        train, test = tiny_data
+        fitted = BaselineTechnique().fit(train, "convnet", tiny_budget, np.random.default_rng(0))
+        assert isinstance(fitted, SingleModelFitted)
+        assert fitted.cost.training_s > 0
+        before = fitted.cost.inference_s
+        fitted.predict(test.images)
+        assert fitted.cost.inference_s > before
+
+    def test_predict_proba_shape(self, tiny_data, tiny_budget):
+        train, test = tiny_data
+        fitted = BaselineTechnique().fit(train, "convnet", tiny_budget, np.random.default_rng(0))
+        probs = fitted.predict_proba(test.images)
+        assert probs.shape == (len(test), train.num_classes)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(len(test)), rtol=1e-4)
+
+    def test_seeded_fit_is_reproducible(self, tiny_data, tiny_budget):
+        train, test = tiny_data
+        a = BaselineTechnique().fit(train, "convnet", tiny_budget, np.random.default_rng(5))
+        b = BaselineTechnique().fit(train, "convnet", tiny_budget, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.predict(test.images), b.predict(test.images))
+
+    def test_history_recorded(self, tiny_data, tiny_budget):
+        train, _ = tiny_data
+        fitted = BaselineTechnique().fit(train, "convnet", tiny_budget, np.random.default_rng(0))
+        assert fitted.history is not None
+        assert len(fitted.history.epochs) == tiny_budget.epochs

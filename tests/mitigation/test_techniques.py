@@ -1,0 +1,197 @@
+"""Behavioural tests for each of the five TDFM techniques."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, make_pneumonia_like
+from repro.faults import inject, mislabelling
+from repro.mitigation import (
+    EnsembleFitted,
+    EnsembleTechnique,
+    LabelCorrector,
+    LabelSmoothingTechnique,
+    MetaLabelCorrectionTechnique,
+    RobustLossTechnique,
+    SelfDistillationTechnique,
+    TrainingBudget,
+)
+from repro.mitigation.ensemble import PAPER_ENSEMBLE_MEMBERS
+
+
+class TestLabelSmoothing:
+    def test_uniform_mode_fits(self, tiny_data, tiny_budget):
+        train, test = tiny_data
+        fitted = LabelSmoothingTechnique(alpha=0.2, mode="uniform").fit(
+            train, "convnet", tiny_budget, np.random.default_rng(0)
+        )
+        predictions = fitted.predict(test.images)
+        assert predictions.shape == (len(test),)
+
+    def test_relaxation_mode_fits(self, tiny_data, tiny_budget):
+        train, test = tiny_data
+        fitted = LabelSmoothingTechnique(alpha=0.1, mode="relaxation").fit(
+            train, "convnet", tiny_budget, np.random.default_rng(0)
+        )
+        assert fitted.predict(test.images).shape == (len(test),)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LabelSmoothingTechnique(mode="other")
+        with pytest.raises(ValueError):
+            LabelSmoothingTechnique(alpha=0.0)
+
+    def test_repr_shows_config(self):
+        assert "uniform" in repr(LabelSmoothingTechnique())
+
+
+class TestRobustLoss:
+    def test_fits_and_predicts(self, tiny_data, tiny_budget):
+        train, test = tiny_data
+        fitted = RobustLossTechnique().fit(train, "convnet", tiny_budget, np.random.default_rng(0))
+        assert fitted.predict(test.images).shape == (len(test),)
+
+    def test_auto_hyperparameters_by_class_count(self, tiny_data, tiny_budget):
+        # Indirectly check the auto rule via the internal threshold.
+        technique = RobustLossTechnique()
+        assert technique.alpha is None
+        assert RobustLossTechnique.MANY_CLASSES == 20
+
+    def test_explicit_hyperparameters(self, tiny_data, tiny_budget):
+        train, test = tiny_data
+        technique = RobustLossTechnique(alpha=2.0, beta=0.5, active="nfl", passive="mae")
+        fitted = technique.fit(train, "convnet", tiny_budget, np.random.default_rng(0))
+        assert fitted.predict(test.images).shape == (len(test),)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RobustLossTechnique(active="ce")
+        with pytest.raises(ValueError):
+            RobustLossTechnique(passive="ce")
+
+
+class TestSelfDistillation:
+    def test_fits_and_predicts(self, tiny_data, tiny_budget):
+        train, test = tiny_data
+        fitted = SelfDistillationTechnique().fit(
+            train, "convnet", tiny_budget, np.random.default_rng(0)
+        )
+        assert fitted.predict(test.images).shape == (len(test),)
+
+    def test_training_cost_includes_teacher_and_student(self, tiny_data, tiny_budget):
+        train, _ = tiny_data
+        from repro.mitigation import BaselineTechnique
+
+        baseline = BaselineTechnique().fit(train, "convnet", tiny_budget, np.random.default_rng(0))
+        kd = SelfDistillationTechnique().fit(train, "convnet", tiny_budget, np.random.default_rng(0))
+        # Teacher + student must cost more than a single baseline training.
+        assert kd.cost.training_s > baseline.cost.training_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelfDistillationTechnique(alpha=-0.1)
+        with pytest.raises(ValueError):
+            SelfDistillationTechnique(temperature=0)
+        with pytest.raises(ValueError):
+            SelfDistillationTechnique(student_epoch_factor=0)
+
+
+class TestMetaLabelCorrection:
+    def test_fits_and_exposes_corrector(self, tiny_data, tiny_budget):
+        train, test = tiny_data
+        fitted = MetaLabelCorrectionTechnique().fit(
+            train, "convnet", tiny_budget, np.random.default_rng(0)
+        )
+        assert fitted.predict(test.images).shape == (len(test),)
+        assert isinstance(fitted.corrector, LabelCorrector)
+
+    def test_uses_harness_clean_indices(self, tiny_budget):
+        train, test = make_pneumonia_like(SyntheticConfig(train_size=48, test_size=12, seed=2))
+        faulty, report = inject(
+            train, mislabelling(0.4), seed=3, protected_indices=np.arange(0, 10)
+        )
+        faulty.metadata["clean_indices"] = report.protected_indices_after
+        fitted = MetaLabelCorrectionTechnique().fit(
+            faulty, "convnet", tiny_budget, np.random.default_rng(0)
+        )
+        assert fitted.predict(test.images).shape == (len(test),)
+
+    def test_rejects_bad_clean_indices(self, tiny_data, tiny_budget):
+        train, _ = tiny_data
+        bad = train.copy()
+        bad.metadata["clean_indices"] = np.array([10_000])
+        with pytest.raises(ValueError, match="out of range"):
+            MetaLabelCorrectionTechnique().fit(bad, "convnet", tiny_budget, np.random.default_rng(0))
+
+    def test_rejects_empty_clean_indices(self, tiny_data, tiny_budget):
+        train, _ = tiny_data
+        bad = train.copy()
+        bad.metadata["clean_indices"] = np.array([], dtype=np.int64)
+        with pytest.raises(ValueError, match="empty"):
+            MetaLabelCorrectionTechnique().fit(bad, "convnet", tiny_budget, np.random.default_rng(0))
+
+    def test_corrector_learns_to_keep_confident_labels(self, rng):
+        # A corrector trained on (probs, observed) pairs should map a clean
+        # confident example back to its own label.
+        corrector = LabelCorrector(num_classes=3, hidden=16, rng=rng)
+        probs = np.array([[0.9, 0.05, 0.05]], dtype=np.float32)
+        observed = np.array([[1.0, 0.0, 0.0]], dtype=np.float32)
+        corrected = corrector.correct(probs, observed)
+        assert corrected.shape == (1, 3)
+        np.testing.assert_allclose(corrected.sum(axis=1), [1.0], rtol=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetaLabelCorrectionTechnique(clean_fraction=0.0)
+        with pytest.raises(ValueError):
+            MetaLabelCorrectionTechnique(warmup_fraction=1.0)
+        with pytest.raises(ValueError):
+            MetaLabelCorrectionTechnique(simulated_flip_rate=0.0)
+
+
+class TestEnsemble:
+    def test_paper_members(self):
+        assert PAPER_ENSEMBLE_MEMBERS == ("convnet", "mobilenet", "resnet18", "vgg11", "vgg16")
+
+    def test_three_member_ensemble_fits(self, tiny_data, tiny_budget):
+        train, test = tiny_data
+        technique = EnsembleTechnique(members=("convnet", "deconvnet", "vgg11"))
+        fitted = technique.fit(train, "ignored", tiny_budget, np.random.default_rng(0))
+        assert isinstance(fitted, EnsembleFitted)
+        assert len(fitted.members) == 3
+        assert fitted.predict(test.images).shape == (len(test),)
+
+    def test_training_cost_sums_members(self, tiny_data, tiny_budget):
+        train, _ = tiny_data
+        technique = EnsembleTechnique(members=("convnet", "deconvnet", "vgg11"))
+        fitted = technique.fit(train, "ignored", tiny_budget, np.random.default_rng(0))
+        member_total = sum(m.cost.training_s for m in fitted.members)
+        assert fitted.cost.training_s == pytest.approx(member_total)
+
+    def test_rejects_even_member_count(self):
+        with pytest.raises(ValueError, match="odd"):
+            EnsembleTechnique(members=("convnet", "vgg11"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EnsembleTechnique(members=())
+
+    def test_majority_vote_overrules_minority(self, tiny_data, tiny_budget):
+        # With an ensemble where members agree, the vote must match members.
+        train, test = tiny_data
+        technique = EnsembleTechnique(members=("convnet", "convnet", "convnet"))
+        fitted = technique.fit(train, "ignored", tiny_budget, np.random.default_rng(0))
+        votes = np.stack([m.predict(test.images) for m in fitted.members])
+        ensemble_pred = fitted.predict(test.images)
+        for i in range(len(test)):
+            counts = np.bincount(votes[:, i], minlength=train.num_classes)
+            assert counts[ensemble_pred[i]] == counts.max()
+
+    def test_agreement_in_unit_range(self, tiny_data, tiny_budget):
+        train, test = tiny_data
+        technique = EnsembleTechnique(members=("convnet", "deconvnet", "vgg11"))
+        fitted = technique.fit(train, "ignored", tiny_budget, np.random.default_rng(0))
+        agreement = fitted.agreement(test.images)
+        assert agreement.min() >= 1 / 3 - 1e-9
+        assert agreement.max() <= 1.0 + 1e-9

@@ -1,0 +1,162 @@
+"""Unit tests for the seven architectures of paper Table III."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODELS,
+    PAPER_TABLE3,
+    build_model,
+    model_names,
+    resnet18,
+    resnet50,
+    build_mobilenet,
+    vgg11,
+    vgg16,
+)
+from repro.nn import Adam, CrossEntropy, Tensor, Trainer
+
+SHAPE_RGB = (3, 16, 16)
+SHAPE_GRAY = (1, 16, 16)
+
+
+class TestRegistry:
+    def test_seven_models_in_table3_order(self):
+        assert model_names() == [
+            "convnet",
+            "deconvnet",
+            "vgg11",
+            "vgg16",
+            "resnet18",
+            "mobilenet",
+            "resnet50",
+        ]
+
+    def test_table3_has_seven_rows(self):
+        assert len(PAPER_TABLE3) == 7
+
+    def test_depth_classes(self):
+        assert MODELS["convnet"].depth_class == "Moderate"
+        assert MODELS["deconvnet"].depth_class == "Moderate"
+        for deep in ("vgg11", "vgg16", "resnet18", "mobilenet", "resnet50"):
+            assert MODELS[deep].depth_class == "Deep"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            build_model("alexnet", SHAPE_RGB, 10)
+
+    def test_case_insensitive(self):
+        model = build_model("ConvNet", SHAPE_RGB, 10, seed=0)
+        assert type(model).__name__ == "ConvNet"
+
+    def test_rng_seed_exclusive(self):
+        with pytest.raises(ValueError):
+            build_model("convnet", SHAPE_RGB, 10, rng=np.random.default_rng(0), seed=1)
+
+    def test_seeded_build_reproducible(self):
+        a = build_model("vgg11", SHAPE_RGB, 5, seed=3)
+        b = build_model("vgg11", SHAPE_RGB, 5, seed=3)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_lr_multiplier_attached(self):
+        model = build_model("mobilenet", SHAPE_RGB, 10, seed=0)
+        assert model.lr_multiplier > 1.0
+        model = build_model("convnet", SHAPE_RGB, 10, seed=0)
+        assert model.lr_multiplier == 1.0
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("name", [
+        "convnet", "deconvnet", "vgg11", "vgg16", "resnet18", "mobilenet", "resnet50",
+    ])
+    @pytest.mark.parametrize(("shape", "classes"), [(SHAPE_RGB, 43), (SHAPE_GRAY, 2)])
+    def test_logit_shape(self, name, shape, classes, rng):
+        model = build_model(name, shape, classes, seed=0)
+        x = Tensor(rng.normal(size=(4, *shape)).astype(np.float32))
+        model.eval()
+        assert model(x).shape == (4, classes)
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_finite_outputs(self, name, rng):
+        model = build_model(name, SHAPE_RGB, 10, seed=0)
+        model.eval()
+        out = model(Tensor(rng.normal(size=(2, *SHAPE_RGB)).astype(np.float32)))
+        assert np.isfinite(out.data).all()
+
+
+class TestPaperDepths:
+    def test_vgg_conv_counts(self):
+        assert vgg11(SHAPE_RGB, 10, rng=np.random.default_rng(0)).num_conv_layers == 8
+        assert vgg16(SHAPE_RGB, 10, rng=np.random.default_rng(0)).num_conv_layers == 13
+
+    def test_resnet_conv_counts(self):
+        # Table III: ResNet18 = 17 conv + 1 FC, ResNet50 = 49 conv + 1 FC.
+        assert resnet18(SHAPE_RGB, 10, rng=np.random.default_rng(0)).num_conv_layers == 17
+        assert resnet50(SHAPE_RGB, 10, rng=np.random.default_rng(0)).num_conv_layers == 49
+
+    def test_mobilenet_conv_count(self):
+        # Table III: MobileNet = 27 conv + 1 FC.
+        model = build_mobilenet(SHAPE_RGB, 10, rng=np.random.default_rng(0))
+        assert model.num_conv_layers == 27
+
+    def test_deconvnet_has_dropout(self):
+        from repro.nn import Dropout
+
+        model = build_model("deconvnet", SHAPE_RGB, 10, seed=0)
+        dropouts = [m for m in model.modules() if isinstance(m, Dropout)]
+        assert dropouts
+        assert all(d.rate == 0.5 for d in dropouts)
+
+    def test_resnet50_uses_bottlenecks(self):
+        from repro.models import BottleneckBlock
+
+        model = resnet50(SHAPE_RGB, 10, rng=np.random.default_rng(0))
+        blocks = [m for m in model.modules() if isinstance(m, BottleneckBlock)]
+        assert len(blocks) == 16  # 3 + 4 + 6 + 3
+
+
+class TestExtensionModels:
+    def test_mlp_hidden_in_registry_default_list(self):
+        assert "mlp" not in model_names()
+        assert "mlp" in model_names(include_extensions=True)
+
+    def test_mlp_forward_on_tabular_shape(self, rng):
+        model = build_model("mlp", (1, 1, 24), 6, seed=0)
+        from repro.nn import Tensor
+
+        out = model(Tensor(rng.normal(size=(3, 1, 1, 24)).astype(np.float32)))
+        assert out.shape == (3, 6)
+
+    def test_mlp_depth_validation(self):
+        from repro.models import MLP
+
+        with pytest.raises(ValueError):
+            MLP((1, 1, 8), 2, depth=0)
+
+
+class TestVGGWithoutBatchNorm:
+    def test_plain_vgg_builds_and_runs(self, rng):
+        from repro.models.vgg import VGG
+
+        model = VGG("vgg11", SHAPE_RGB, 10, rng=np.random.default_rng(0), batch_norm=False)
+        from repro.nn import BatchNorm2D, Tensor
+
+        assert not any(isinstance(m, BatchNorm2D) for m in model.modules())
+        out = model(Tensor(rng.normal(size=(2, *SHAPE_RGB)).astype(np.float32)))
+        assert out.shape == (2, 10)
+
+
+class TestTrainability:
+    @pytest.mark.parametrize("name", ["convnet", "deconvnet", "vgg11"])
+    def test_model_overfits_tiny_batch(self, name, rng):
+        # Every architecture must be able to drive its loss down on 16 samples.
+        x = rng.normal(size=(16, *SHAPE_RGB)).astype(np.float32)
+        y = np.eye(4, dtype=np.float32)[rng.integers(0, 4, 16)]
+        model = build_model(name, SHAPE_RGB, 4, seed=0)
+        trainer = Trainer(model, CrossEntropy(), Adam(model.parameters(), lr=3e-3),
+                          epochs=25, batch_size=8, rng=rng, clip_norm=5.0)
+        history = trainer.fit(x, y)
+        assert history.loss_curve()[-1] < history.loss_curve()[0] * 0.5

@@ -1,0 +1,68 @@
+"""Unit tests for weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_dense_shape(self):
+        assert init._fan_in_out((10, 20)) == (10, 20)
+
+    def test_conv_shape(self):
+        # (out, in, kh, kw) = (8, 3, 3, 3): fan_in = 3*9, fan_out = 8*9
+        assert init._fan_in_out((8, 3, 3, 3)) == (27, 72)
+
+    def test_other_shapes_use_size(self):
+        assert init._fan_in_out((5,)) == (5, 5)
+
+
+class TestStatistics:
+    def test_he_normal_std(self, rng):
+        w = init.he_normal((1000, 100), rng)
+        expected = np.sqrt(2.0 / 1000)
+        assert np.std(w) == pytest.approx(expected, rel=0.05)
+        assert w.dtype == np.float32
+
+    def test_xavier_normal_std(self, rng):
+        w = init.xavier_normal((500, 500), rng)
+        expected = np.sqrt(2.0 / 1000)
+        assert np.std(w) == pytest.approx(expected, rel=0.05)
+
+    def test_lecun_normal_std(self, rng):
+        w = init.lecun_normal((1000, 10), rng)
+        assert np.std(w) == pytest.approx(np.sqrt(1.0 / 1000), rel=0.05)
+
+    def test_uniform_bounds(self, rng):
+        w = init.he_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 100)
+        assert w.min() >= -limit
+        assert w.max() <= limit
+
+    def test_xavier_uniform_bounds(self, rng):
+        w = init.xavier_uniform((50, 50), rng)
+        limit = np.sqrt(6.0 / 100)
+        assert np.abs(w).max() <= limit
+
+    def test_zeros_and_ones(self, rng):
+        np.testing.assert_array_equal(init.zeros((2, 2), rng), np.zeros((2, 2)))
+        np.testing.assert_array_equal(init.ones((2, 2), rng), np.ones((2, 2)))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "name", ["he_normal", "he_uniform", "xavier_normal", "xavier_uniform", "lecun_normal"]
+    )
+    def test_same_seed_same_weights(self, name):
+        fn = init.get_initializer(name)
+        w1 = fn((8, 8), np.random.default_rng(7))
+        w2 = fn((8, 8), np.random.default_rng(7))
+        np.testing.assert_array_equal(w1, w2)
+
+
+def test_get_initializer_unknown():
+    with pytest.raises(KeyError, match="unknown initializer"):
+        init.get_initializer("glorot")

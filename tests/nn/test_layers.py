@@ -1,0 +1,204 @@
+"""Unit tests for the layer zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    Identity,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(8, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 8)).astype(np.float32)))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self, rng):
+        layer = Dense(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((1, 4), dtype=np.float32)))
+        np.testing.assert_allclose(out.data, np.zeros((1, 2)))
+
+    def test_linearity(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        x = rng.normal(size=(1, 4)).astype(np.float32)
+        out1 = layer(Tensor(x)).data
+        out2 = layer(Tensor(2 * x)).data
+        bias = layer.bias.data
+        np.testing.assert_allclose(out2 - bias, 2 * (out1 - bias), rtol=1e-4)
+
+    def test_seeded_init_reproducible(self):
+        a = Dense(6, 4, rng=np.random.default_rng(1))
+        b = Dense(6, 4, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestConvLayers:
+    def test_conv2d_shapes(self, rng):
+        layer = Conv2D(3, 8, kernel_size=3, stride=2, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_depthwise_shapes(self, rng):
+        layer = DepthwiseConv2D(5, kernel_size=3, stride=1, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 5, 8, 8)).astype(np.float32)))
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_conv_parameters_registered(self, rng):
+        layer = Conv2D(3, 8, rng=rng)
+        names = [n for n, _ in layer.named_parameters()]
+        assert names == ["weight", "bias"]
+
+
+class TestPoolLayers:
+    def test_max_pool_module(self, rng):
+        out = MaxPool2D(2)(Tensor(rng.normal(size=(1, 2, 8, 8)).astype(np.float32)))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_avg_pool_module(self, rng):
+        out = AvgPool2D(4)(Tensor(rng.normal(size=(1, 2, 8, 8)).astype(np.float32)))
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_global_avg_pool_module(self, rng):
+        out = GlobalAvgPool2D()(Tensor(rng.normal(size=(3, 7, 4, 4)).astype(np.float32)))
+        assert out.shape == (3, 7)
+
+
+class TestBatchNorm2D:
+    def test_training_normalises(self, rng):
+        bn = BatchNorm2D(4)
+        x = rng.normal(5.0, 3.0, size=(16, 4, 6, 6)).astype(np.float32)
+        out = bn(Tensor(x))
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), np.zeros(4), atol=1e-4)
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm2D(2, momentum=0.5)
+        x = rng.normal(10.0, 1.0, size=(8, 2, 4, 4)).astype(np.float32)
+        bn(Tensor(x))
+        assert (bn.running_mean > 1.0).all()
+
+    def test_eval_mode_uses_running_stats(self, rng):
+        bn = BatchNorm2D(2, momentum=1.0)  # running stats = last batch stats
+        x = rng.normal(3.0, 2.0, size=(32, 2, 4, 4)).astype(np.float32)
+        bn(Tensor(x))
+        bn.eval()
+        out = bn(Tensor(x))
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), np.zeros(2), atol=1e-2)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            BatchNorm2D(3)(Tensor(np.zeros((2, 3))))
+
+    def test_state_dict_includes_running_stats(self):
+        bn = BatchNorm2D(3)
+        state = bn.state_dict()
+        assert "running_mean" in state
+        assert "running_var" in state
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(4, 4)).astype(np.float32)
+        np.testing.assert_array_equal(layer(Tensor(x)).data, x)
+
+    def test_training_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 100), dtype=np.float32)
+        out = layer(Tensor(x)).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        surviving = out[out != 0]
+        np.testing.assert_allclose(surviving, 2.0)  # inverted scaling
+
+    def test_rate_zero_is_identity(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = rng.normal(size=(3, 3)).astype(np.float32)
+        assert layer(Tensor(x)).data is not None
+        np.testing.assert_array_equal(layer(Tensor(x)).data, x)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestActivationsAndMisc:
+    def test_sigmoid_module(self):
+        from repro.nn import Sigmoid
+
+        out = Sigmoid()(Tensor(np.array([0.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [0.5], rtol=1e-6)
+
+    def test_tanh_module(self):
+        from repro.nn import Tanh
+
+        out = Tanh()(Tensor(np.array([0.0, 100.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-5)
+
+    def test_zero_pad_module(self, rng):
+        from repro.nn import ZeroPad2D
+
+        x = Tensor(rng.normal(size=(1, 2, 3, 3)).astype(np.float32))
+        out = ZeroPad2D(2)(x)
+        assert out.shape == (1, 2, 7, 7)
+        np.testing.assert_allclose(out.data[:, :, :2, :], 0.0)
+        with pytest.raises(ValueError):
+            ZeroPad2D(-1)
+
+    def test_relu_module(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_leaky_relu_module(self):
+        out = LeakyReLU(0.2)(Tensor(np.array([-1.0, 2.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [-0.2, 2.0], rtol=1e-6)
+
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(2, 2)).astype(np.float32))
+        assert Identity()(x) is x
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.normal(size=(3, 2, 4, 4)).astype(np.float32)))
+        assert out.shape == (3, 32)
+
+
+class TestSequential:
+    def test_runs_in_order(self, rng):
+        model = Sequential(Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng))
+        out = model(Tensor(rng.normal(size=(5, 4)).astype(np.float32)))
+        assert out.shape == (5, 2)
+
+    def test_parameter_discovery_through_lists(self, rng):
+        model = Sequential(Dense(4, 4, rng=rng), Dense(4, 4, rng=rng))
+        assert len(model.parameters()) == 4  # 2 weights + 2 biases
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Dropout(0.5, rng=rng), Dense(4, 4, rng=rng))
+        model.eval()
+        assert not model.layers[0].training
+        model.train()
+        assert model.layers[0].training
+
+    def test_append_and_indexing(self, rng):
+        model = Sequential(Dense(4, 4, rng=rng))
+        relu = ReLU()
+        model.append(relu)
+        assert model[1] is relu
+        assert len(list(iter(model))) == 2

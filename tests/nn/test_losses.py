@@ -1,0 +1,224 @@
+"""Unit tests for loss functions, including the paper's noise-robust losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.losses import (
+    ActivePassiveLoss,
+    CrossEntropy,
+    DistillationLoss,
+    FocalLoss,
+    GeneralizedCrossEntropy,
+    LabelRelaxationLoss,
+    MeanAbsoluteError,
+    NormalizedCrossEntropy,
+    NormalizedFocalLoss,
+    ReverseCrossEntropy,
+    SoftTargetCrossEntropy,
+    get_loss,
+)
+
+
+def _one_hot(labels, k):
+    return np.eye(k, dtype=np.float32)[labels]
+
+
+@pytest.fixture
+def logits(rng):
+    return Tensor(rng.normal(size=(8, 5)).astype(np.float32), requires_grad=True)
+
+
+@pytest.fixture
+def targets(rng):
+    return _one_hot(rng.integers(0, 5, 8), 5)
+
+
+ALL_LOSSES = [
+    CrossEntropy(),
+    SoftTargetCrossEntropy(),
+    NormalizedCrossEntropy(),
+    ReverseCrossEntropy(),
+    ActivePassiveLoss(),
+    MeanAbsoluteError(),
+    GeneralizedCrossEntropy(),
+    FocalLoss(),
+    NormalizedFocalLoss(),
+    LabelRelaxationLoss(),
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: l.name)
+    def test_scalar_nonnegative_and_differentiable(self, loss, logits, targets):
+        value = loss(logits, targets)
+        assert value.size == 1
+        assert float(value.item()) >= -1e-6
+        value.backward()
+        assert logits.grad is not None
+        assert np.isfinite(logits.grad).all()
+
+    @pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: l.name)
+    def test_shape_mismatch_raises(self, loss, rng):
+        logits = Tensor(rng.normal(size=(4, 3)).astype(np.float32))
+        if isinstance(loss, DistillationLoss):
+            pytest.skip("distillation is tested separately")
+        with pytest.raises(ValueError):
+            loss(logits, _one_hot([0, 1], 3))
+
+    @pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: l.name)
+    def test_perfect_prediction_has_low_loss(self, loss):
+        # Strongly confident correct logits should cost (near) the minimum.
+        k = 4
+        labels = np.array([0, 1, 2, 3])
+        good = Tensor((20.0 * _one_hot(labels, k) - 10.0).astype(np.float32))
+        bad = Tensor((20.0 * _one_hot((labels + 1) % k, k) - 10.0).astype(np.float32))
+        good_loss = float(loss(good, _one_hot(labels, k)).item())
+        bad_loss = float(loss(bad, _one_hot(labels, k)).item())
+        assert good_loss < bad_loss
+
+
+class TestCrossEntropy:
+    def test_matches_manual_formula(self, rng):
+        logits_val = rng.normal(size=(4, 3)).astype(np.float32)
+        labels = rng.integers(0, 3, 4)
+        targets = _one_hot(labels, 3)
+        loss = float(CrossEntropy()(Tensor(logits_val), targets).item())
+        shifted = logits_val - logits_val.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), labels].mean()
+        assert loss == pytest.approx(expected, rel=1e-5)
+
+    def test_uniform_prediction_costs_log_k(self):
+        logits = Tensor(np.zeros((2, 10), dtype=np.float32))
+        loss = float(CrossEntropy()(logits, _one_hot([0, 5], 10)).item())
+        assert loss == pytest.approx(np.log(10), rel=1e-5)
+
+
+class TestRobustLosses:
+    def test_nce_bounded_by_one(self, rng):
+        # NCE is normalised: numerator <= denominator, so NCE in (0, 1].
+        logits = Tensor(rng.normal(size=(16, 7)).astype(np.float32))
+        targets = _one_hot(rng.integers(0, 7, 16), 7)
+        value = float(NormalizedCrossEntropy()(logits, targets).item())
+        assert 0.0 < value <= 1.0
+
+    def test_rce_reduces_to_scaled_mae_for_one_hot(self, rng):
+        # For one-hot targets RCE = -A * (1 - p_y), A = log_clip.
+        logits_val = rng.normal(size=(6, 4)).astype(np.float32)
+        labels = rng.integers(0, 4, 6)
+        value = float(ReverseCrossEntropy(log_clip=-4.0)(Tensor(logits_val), _one_hot(labels, 4)).item())
+        shifted = np.exp(logits_val - logits_val.max(axis=1, keepdims=True))
+        probs = shifted / shifted.sum(axis=1, keepdims=True)
+        p_y = probs[np.arange(6), labels]
+        assert value == pytest.approx((4.0 * (1 - p_y)).mean(), rel=1e-4)
+
+    def test_apl_is_weighted_sum(self, logits, targets):
+        apl = ActivePassiveLoss(alpha=2.0, beta=3.0)
+        combined = float(apl(logits, targets).item())
+        nce = float(NormalizedCrossEntropy()(logits, targets).item())
+        rce = float(ReverseCrossEntropy()(logits, targets).item())
+        assert combined == pytest.approx(2.0 * nce + 3.0 * rce, rel=1e-5)
+
+    def test_symmetric_loss_property_of_mae(self, rng):
+        # MAE satisfies sum_k L(f, k) = constant — the symmetry condition that
+        # makes it robust to uniform label noise (Ghosh et al.).
+        logits = Tensor(rng.normal(size=(1, 5)).astype(np.float32))
+        total = sum(
+            float(MeanAbsoluteError()(logits, _one_hot([k], 5)).item()) for k in range(5)
+        )
+        assert total == pytest.approx(2.0 * (5 - 1), rel=1e-4)
+
+    def test_gce_interpolates_ce_and_mae(self, rng):
+        # q -> 0 approaches CE; q = 1 is exactly 1 - p_y.
+        logits_val = rng.normal(size=(4, 3)).astype(np.float32)
+        labels = rng.integers(0, 3, 4)
+        targets = _one_hot(labels, 3)
+        gce1 = float(GeneralizedCrossEntropy(q=1.0)(Tensor(logits_val), targets).item())
+        shifted = np.exp(logits_val - logits_val.max(axis=1, keepdims=True))
+        probs = shifted / shifted.sum(axis=1, keepdims=True)
+        assert gce1 == pytest.approx((1 - probs[np.arange(4), labels]).mean(), rel=1e-4)
+
+    def test_gce_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            GeneralizedCrossEntropy(q=0.0)
+
+
+class TestLabelRelaxation:
+    def test_zero_loss_inside_credal_set(self):
+        # Prediction assigns > 1 - alpha to the target -> zero loss.
+        logits = Tensor(np.array([[10.0, 0.0, 0.0]], dtype=np.float32))
+        value = float(LabelRelaxationLoss(alpha=0.1)(logits, _one_hot([0], 3)).item())
+        assert value == pytest.approx(0.0, abs=1e-6)
+
+    def test_positive_loss_outside_credal_set(self):
+        logits = Tensor(np.array([[0.0, 0.0, 0.0]], dtype=np.float32))
+        value = float(LabelRelaxationLoss(alpha=0.1)(logits, _one_hot([0], 3)).item())
+        assert value > 0.1
+
+    def test_less_punishing_than_ce_for_plausible_mistakes(self, rng):
+        # Relaxation reduces the penalty gap between correct and incorrect
+        # encodings — the mechanism that mitigates mislabelled data.
+        logits = Tensor(rng.normal(size=(32, 6)).astype(np.float32))
+        targets = _one_hot(rng.integers(0, 6, 32), 6)
+        lr = float(LabelRelaxationLoss(alpha=0.1)(logits, targets).item())
+        ce = float(CrossEntropy()(logits, targets).item())
+        assert lr < ce
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            LabelRelaxationLoss(alpha=0.0)
+
+
+class TestDistillation:
+    def test_requires_teacher_probs(self, logits, targets):
+        with pytest.raises(RuntimeError):
+            DistillationLoss()(logits, targets)
+
+    def test_teacher_shape_check(self, logits, targets):
+        loss = DistillationLoss()
+        loss.set_teacher_probs(np.ones((2, 2), dtype=np.float32))
+        with pytest.raises(ValueError):
+            loss(logits, targets)
+
+    def test_alpha_zero_reduces_to_ce(self, rng):
+        logits_val = rng.normal(size=(4, 3)).astype(np.float32)
+        targets = _one_hot(rng.integers(0, 3, 4), 3)
+        loss = DistillationLoss(alpha=0.0, temperature=4.0)
+        loss.set_teacher_probs(np.full((4, 3), 1 / 3, dtype=np.float32))
+        value = float(loss(Tensor(logits_val), targets).item())
+        ce = float(CrossEntropy()(Tensor(logits_val), targets).item())
+        assert value == pytest.approx(ce, rel=1e-5)
+
+    def test_matching_teacher_minimises_soft_term(self, rng):
+        # Student logits equal to teacher logits minimise the soft loss.
+        from repro.nn.functional import softmax
+
+        teacher_logits = rng.normal(size=(6, 4)).astype(np.float32)
+        teacher_soft = softmax(Tensor(teacher_logits), axis=1, temperature=4.0).data
+        targets = _one_hot(rng.integers(0, 4, 6), 4)
+        loss = DistillationLoss(alpha=1.0, temperature=4.0)
+
+        loss.set_teacher_probs(teacher_soft)
+        match = float(loss(Tensor(teacher_logits), targets).item())
+        loss.set_teacher_probs(teacher_soft)
+        mismatch = float(loss(Tensor(-teacher_logits), targets).item())
+        assert match < mismatch
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DistillationLoss(alpha=1.5)
+        with pytest.raises(ValueError):
+            DistillationLoss(temperature=0.0)
+
+
+class TestRegistry:
+    def test_builds_by_name(self):
+        assert isinstance(get_loss("cross_entropy"), CrossEntropy)
+        assert isinstance(get_loss("label_relaxation", alpha=0.2), LabelRelaxationLoss)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown loss"):
+            get_loss("nope")

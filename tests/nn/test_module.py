@@ -1,0 +1,127 @@
+"""Unit tests for the Module base class: discovery, modes, state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2D, Dense, Dropout, Module, ReLU, Sequential, Tensor
+from repro.nn.module import Parameter
+
+
+class TinyNet(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = Dense(4, 8, rng=rng)
+        self.blocks = [Dense(8, 8, rng=rng), Dense(8, 8, rng=rng)]
+        self.head = Dense(8, 2, rng=rng)
+
+    def forward(self, x):
+        x = self.first(x).relu()
+        for block in self.blocks:
+            x = block(x).relu()
+        return self.head(x)
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_are_dotted(self, rng):
+        net = TinyNet(rng)
+        names = [n for n, _ in net.named_parameters()]
+        assert "first.weight" in names
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+        assert "head.weight" in names
+
+    def test_parameter_count(self, rng):
+        net = TinyNet(rng)
+        assert len(net.parameters()) == 8  # 4 layers x (weight + bias)
+
+    def test_num_parameters_counts_scalars(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_modules_iterates_descendants(self, rng):
+        net = TinyNet(rng)
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert kinds.count("Dense") == 4
+        assert kinds[0] == "TinyNet"
+
+
+class TestModes:
+    def test_zero_grad_clears_all(self, rng):
+        net = TinyNet(rng)
+        out = net(Tensor(rng.normal(size=(2, 4)).astype(np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_train_eval_reach_nested_modules(self, rng):
+        net = Sequential(Sequential(Dropout(0.5, rng=rng)), ReLU())
+        net.eval()
+        assert not net.layers[0].layers[0].training
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        net1 = TinyNet(np.random.default_rng(1))
+        net2 = TinyNet(np.random.default_rng(2))
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        assert not np.allclose(net1(Tensor(x)).data, net2(Tensor(x)).data)
+        net2.load_state_dict(net1.state_dict())
+        np.testing.assert_allclose(net1(Tensor(x)).data, net2(Tensor(x)).data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        net = TinyNet(rng)
+        state = net.state_dict()
+        state["first.weight"][...] = 0.0
+        assert not np.allclose(net.first.weight.data, 0.0)
+
+    def test_missing_key_raises(self, rng):
+        net = TinyNet(rng)
+        state = net.state_dict()
+        del state["head.bias"]
+        with pytest.raises(ValueError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        net = TinyNet(rng)
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(ValueError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        net = TinyNet(rng)
+        state = net.state_dict()
+        state["head.bias"] = np.zeros(99, dtype=np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            net.load_state_dict(state)
+
+    def test_buffers_roundtrip(self, rng):
+        bn1 = BatchNorm2D(3)
+        bn1(Tensor(rng.normal(2.0, 1.0, size=(8, 3, 4, 4)).astype(np.float32)))
+        bn2 = BatchNorm2D(3)
+        bn2.load_state_dict(bn1.state_dict())
+        np.testing.assert_allclose(bn2.running_mean, bn1.running_mean)
+        np.testing.assert_allclose(bn2.running_var, bn1.running_var)
+
+
+class TestRegisterBuffer:
+    def test_buffer_listed_and_named(self):
+        m = Module()
+        m.register_buffer("counts", np.arange(3, dtype=np.float32))
+        names = dict(m.named_buffers())
+        assert "counts" in names
+        np.testing.assert_allclose(names["counts"], [0.0, 1.0, 2.0])
+
+    def test_double_register_keeps_single_entry(self):
+        m = Module()
+        m.register_buffer("b", np.zeros(1))
+        m.register_buffer("b", np.ones(1))
+        assert len(list(m.named_buffers())) == 1
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        assert isinstance(p, Tensor)
+        assert p.requires_grad

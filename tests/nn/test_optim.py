@@ -1,0 +1,181 @@
+"""Unit tests for optimisers and LR schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    AdamW,
+    CosineAnnealingLR,
+    ExponentialLR,
+    RMSProp,
+    StepLR,
+    Tensor,
+    get_optimizer,
+)
+from repro.nn.module import Parameter
+
+
+def quadratic_step(optimizer, param, target=3.0):
+    """One optimisation step of f(w) = (w - target)^2."""
+    optimizer.zero_grad()
+    loss = ((param - target) ** 2).sum()
+    loss.backward()
+    optimizer.step()
+    return float(loss.item())
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda p: SGD(p, lr=0.1),
+        lambda p: SGD(p, lr=0.05, momentum=0.9),
+        lambda p: SGD(p, lr=0.05, momentum=0.9, nesterov=True),
+        lambda p: Adam(p, lr=0.2),
+        lambda p: AdamW(p, lr=0.2, weight_decay=0.01),
+        lambda p: RMSProp(p, lr=0.1),
+        lambda p: RMSProp(p, lr=0.05, momentum=0.5),
+    ],
+    ids=["sgd", "sgd-mom", "nesterov", "adam", "adamw", "rmsprop", "rmsprop-mom"],
+)
+def test_all_optimizers_converge_on_quadratic(factory):
+    param = Parameter(np.array([0.0], dtype=np.float32))
+    optimizer = factory([param])
+    for _ in range(200):
+        quadratic_step(optimizer, param)
+    assert param.data[0] == pytest.approx(3.0, abs=0.05)
+
+
+class TestOptimizerBasics:
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_skips_params_without_grad(self):
+        a = Parameter(np.array([1.0], dtype=np.float32))
+        b = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([a, b], lr=0.5)
+        (a * 2.0).sum().backward()
+        opt.step()
+        assert a.data[0] != 1.0
+        assert b.data[0] == 1.0
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1)
+        (p * 2.0).sum().backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([10.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 10.0
+
+
+class TestClipGradNorm:
+    def test_clips_above_max(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        norm = opt.clip_grad_norm(1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_leaves_small_gradients_alone(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 0.1, dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.clip_grad_norm(10.0)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+
+class TestAdam:
+    def test_bias_correction_first_step(self):
+        # First Adam step should move by ~lr regardless of gradient scale.
+        p = Parameter(np.array([0.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1e-4], dtype=np.float32)
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_adamw_decouples_decay(self):
+        # With zero gradient AdamW still decays weights; Adam does not.
+        p1 = Parameter(np.array([5.0], dtype=np.float32))
+        p2 = Parameter(np.array([5.0], dtype=np.float32))
+        adamw = AdamW([p1], lr=0.1, weight_decay=0.1)
+        adam = Adam([p2], lr=0.1, weight_decay=0.0)
+        p1.grad = np.zeros(1, dtype=np.float32)
+        p2.grad = np.zeros(1, dtype=np.float32)
+        adamw.step()
+        adam.step()
+        assert p1.data[0] < 5.0
+        assert p2.data[0] == pytest.approx(5.0)
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01], rtol=1e-6)
+
+    def test_cosine_reaches_min(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, total_epochs=10, min_lr=0.01)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.01, abs=1e-6)
+
+    def test_cosine_monotone_decrease(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, total_epochs=5)
+        previous = opt.lr
+        for _ in range(5):
+            sched.step()
+            assert opt.lr <= previous
+            previous = opt.lr
+
+    def test_exponential(self):
+        opt = self._opt()
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._opt(), total_epochs=0)
+
+
+class TestRegistry:
+    def test_builds_by_name(self):
+        p = [Parameter(np.zeros(1, dtype=np.float32))]
+        assert isinstance(get_optimizer("sgd", p, lr=0.1), SGD)
+        assert isinstance(get_optimizer("adam", p), Adam)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown optimizer"):
+            get_optimizer("lion", [Parameter(np.zeros(1))])

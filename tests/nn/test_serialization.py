@@ -1,0 +1,50 @@
+"""Unit tests for model persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    ReLU,
+    Sequential,
+    Tensor,
+    load_into,
+    load_state,
+    save_model,
+    save_state,
+)
+
+
+def test_state_roundtrip(tmp_path, rng):
+    state = {"a": rng.normal(size=(3, 3)).astype(np.float32), "b": np.arange(4.0)}
+    path = tmp_path / "model.npz"
+    save_state(state, path)
+    loaded = load_state(path)
+    assert set(loaded) == {"a", "b"}
+    np.testing.assert_array_equal(loaded["a"], state["a"])
+    np.testing.assert_array_equal(loaded["b"], state["b"])
+
+
+def test_save_model_and_load_into(tmp_path, rng):
+    model1 = Sequential(Dense(4, 8, rng=np.random.default_rng(1)), ReLU(), Dense(8, 2, rng=np.random.default_rng(2)))
+    model2 = Sequential(Dense(4, 8, rng=np.random.default_rng(3)), ReLU(), Dense(8, 2, rng=np.random.default_rng(4)))
+    path = tmp_path / "net.npz"
+    save_model(model1, path)
+    load_into(model2, path)
+    x = rng.normal(size=(5, 4)).astype(np.float32)
+    np.testing.assert_allclose(model1(Tensor(x)).data, model2(Tensor(x)).data)
+
+
+def test_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "model.npz"
+    save_state({"w": np.zeros(2)}, path)
+    assert path.exists()
+
+
+def test_rejects_foreign_archive(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez(path, something=np.zeros(3))
+    with pytest.raises(ValueError, match="not a repro model archive"):
+        load_state(path)

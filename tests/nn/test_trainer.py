@@ -1,0 +1,197 @@
+"""Unit tests for the training loop, inference helpers, and early stopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    CrossEntropy,
+    Dense,
+    EarlyStopping,
+    ReLU,
+    Sequential,
+    StepLR,
+    Trainer,
+    evaluate_accuracy,
+    predict_labels,
+    predict_logits,
+    predict_proba,
+)
+
+
+def _toy_problem(rng, n=64, dim=6, k=3):
+    """A linearly separable toy problem."""
+    centers = rng.normal(scale=3.0, size=(k, dim)).astype(np.float32)
+    labels = rng.integers(0, k, n)
+    x = centers[labels] + rng.normal(scale=0.3, size=(n, dim)).astype(np.float32)
+    y = np.eye(k, dtype=np.float32)[labels]
+    return x.astype(np.float32), y, labels
+
+
+def _model(rng, dim=6, k=3):
+    return Sequential(Dense(dim, 16, rng=rng), ReLU(), Dense(16, k, rng=rng))
+
+
+class TestFit:
+    def test_learns_separable_problem(self, rng):
+        x, y, labels = _toy_problem(rng)
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), Adam(model.parameters(), lr=0.01),
+                          epochs=30, batch_size=16, rng=rng)
+        history = trainer.fit(x, y)
+        assert history.final_train_accuracy > 0.95
+        assert evaluate_accuracy(model, x, labels) > 0.95
+
+    def test_loss_decreases(self, rng):
+        x, y, _ = _toy_problem(rng)
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), Adam(model.parameters(), lr=0.01),
+                          epochs=15, batch_size=16, rng=rng)
+        curve = trainer.fit(x, y).loss_curve()
+        assert curve[-1] < curve[0]
+
+    def test_history_records_epochs(self, rng):
+        x, y, _ = _toy_problem(rng)
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.01),
+                          epochs=4, batch_size=16, rng=rng)
+        history = trainer.fit(x, y)
+        assert [e.epoch for e in history.epochs] == [0, 1, 2, 3]
+        assert history.total_time_s > 0
+        assert all(e.duration_s >= 0 for e in history.epochs)
+
+    def test_validation_metrics_recorded(self, rng):
+        x, y, _ = _toy_problem(rng)
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.05),
+                          epochs=3, batch_size=16, rng=rng)
+        history = trainer.fit(x, y, validation=(x, y))
+        assert history.epochs[-1].val_loss is not None
+        assert history.final_val_accuracy is not None
+
+    def test_length_mismatch_raises(self, rng):
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.1))
+        with pytest.raises(ValueError, match="differ in length"):
+            trainer.fit(np.zeros((4, 6), dtype=np.float32), np.zeros((5, 3), dtype=np.float32))
+
+    def test_requires_one_hot_targets(self, rng):
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.1))
+        with pytest.raises(ValueError, match="one-hot"):
+            trainer.fit(np.zeros((4, 6), dtype=np.float32), np.zeros(4, dtype=np.float32))
+
+    def test_target_transform_applied(self, rng):
+        x, y, _ = _toy_problem(rng, n=32)
+        model = _model(rng)
+        seen: list[np.ndarray] = []
+
+        def transform(targets):
+            seen.append(targets)
+            return targets
+
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.01),
+                          epochs=1, batch_size=8, rng=rng, target_transform=transform)
+        trainer.fit(x, y)
+        assert len(seen) == 4  # 32 / 8 batches
+
+    def test_batch_hook_sees_batches(self, rng):
+        x, y, _ = _toy_problem(rng, n=16)
+        model = _model(rng)
+        sizes: list[int] = []
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.01),
+                          epochs=1, batch_size=5, rng=rng,
+                          batch_hook=lambda m, xb, yb: sizes.append(len(xb)))
+        trainer.fit(x, y)
+        assert sorted(sizes, reverse=True) == [5, 5, 5, 1]
+
+    def test_scheduler_steps_each_epoch(self, rng):
+        x, y, _ = _toy_problem(rng, n=16)
+        model = _model(rng)
+        opt = SGD(model.parameters(), lr=1.0)
+        trainer = Trainer(model, CrossEntropy(), opt, epochs=3, batch_size=8, rng=rng,
+                          scheduler=StepLR(opt, step_size=1, gamma=0.1))
+        history = trainer.fit(x, y)
+        assert opt.lr == pytest.approx(0.001)
+        # The LR recorded for epoch 0 is the pre-step value.
+        assert history.epochs[0].learning_rate == pytest.approx(1.0)
+
+    def test_epoch_callback_invoked(self, rng):
+        x, y, _ = _toy_problem(rng, n=16)
+        model = _model(rng)
+        records = []
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.01),
+                          epochs=2, batch_size=8, rng=rng, epoch_callback=records.append)
+        trainer.fit(x, y)
+        assert len(records) == 2
+
+    def test_validation_of_loop_geometry(self, rng):
+        model = _model(rng)
+        with pytest.raises(ValueError):
+            Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.1), epochs=0)
+        with pytest.raises(ValueError):
+            Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.1), batch_size=0)
+
+
+class TestEarlyStopping:
+    def test_stops_on_plateau(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.0)
+        assert not stopper.should_stop(1.0)
+        assert not stopper.should_stop(1.0)  # stale 1
+        assert stopper.should_stop(1.0)  # stale 2 -> stop
+
+    def test_improvement_resets(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.01)
+        assert not stopper.should_stop(1.0)
+        assert not stopper.should_stop(1.1)
+        assert not stopper.should_stop(0.5)  # improved, reset
+        assert not stopper.should_stop(0.51)
+        assert stopper.should_stop(0.52)
+
+    def test_trainer_integration(self, rng):
+        x, y, _ = _toy_problem(rng)
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), Adam(model.parameters(), lr=0.01),
+                          epochs=100, batch_size=16, rng=rng,
+                          early_stopping=EarlyStopping(patience=3))
+        history = trainer.fit(x, y)
+        assert history.stopped_early
+        assert len(history.epochs) < 100
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestInferenceHelpers:
+    def test_predict_logits_batched_consistency(self, rng):
+        x, _, _ = _toy_problem(rng, n=33)
+        model = _model(rng)
+        full = predict_logits(model, x, batch_size=33)
+        batched = predict_logits(model, x, batch_size=7)
+        np.testing.assert_allclose(full, batched, rtol=1e-5)
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        x, _, _ = _toy_problem(rng, n=10)
+        probs = predict_proba(_model(rng), x)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10), rtol=1e-5)
+
+    def test_predict_labels_in_range(self, rng):
+        x, _, _ = _toy_problem(rng, n=10)
+        labels = predict_labels(_model(rng), x)
+        assert labels.min() >= 0
+        assert labels.max() < 3
+
+    def test_evaluate_accuracy_accepts_one_hot(self, rng):
+        x, y, labels = _toy_problem(rng, n=20)
+        model = _model(rng)
+        assert evaluate_accuracy(model, x, y) == evaluate_accuracy(model, x, labels)
+
+    def test_history_empty_raises(self):
+        from repro.nn.trainer import TrainHistory
+
+        with pytest.raises(ValueError):
+            TrainHistory().final_train_accuracy

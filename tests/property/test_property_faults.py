@@ -1,0 +1,117 @@
+"""Property-based tests for the fault injector's invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import ArrayDataset
+from repro.faults import (
+    inject,
+    mislabelling,
+    removal,
+    repetition,
+)
+
+
+@st.composite
+def datasets(draw):
+    n = draw(st.integers(10, 60))
+    k = draw(st.integers(2, 6))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    images = rng.random((n, 1, 4, 4)).astype(np.float32)
+    labels = rng.integers(0, k, n)
+    return ArrayDataset(images, labels, k, "prop")
+
+
+RATES = st.sampled_from([0.0, 0.1, 0.3, 0.5, 0.9])
+SEEDS = st.integers(0, 2**16)
+
+
+class TestMislabellingInvariants:
+    @given(datasets(), RATES, SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_size_preserved_and_count_exact(self, ds, rate, seed):
+        faulty, report = inject(ds, mislabelling(rate), seed=seed)
+        assert len(faulty) == len(ds)
+        expected = int(round(rate * len(ds)))
+        assert report.num_mislabelled == expected
+        assert (faulty.labels != ds.labels).sum() == expected
+
+    @given(datasets(), RATES, SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_labels_stay_valid(self, ds, rate, seed):
+        faulty, _ = inject(ds, mislabelling(rate), seed=seed)
+        assert faulty.labels.min() >= 0
+        assert faulty.labels.max() < ds.num_classes
+
+    @given(datasets(), RATES, SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_images_never_touched(self, ds, rate, seed):
+        faulty, _ = inject(ds, mislabelling(rate), seed=seed)
+        np.testing.assert_array_equal(faulty.images, ds.images)
+
+
+class TestRemovalInvariants:
+    @given(datasets(), RATES, SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_size_shrinks_exactly(self, ds, rate, seed):
+        faulty, report = inject(ds, removal(rate), seed=seed)
+        expected_removed = min(int(round(rate * len(ds))), len(ds) - 1)
+        assert len(faulty) == len(ds) - expected_removed
+        assert report.num_removed == expected_removed
+
+    @given(datasets(), RATES, SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_survivors_are_a_subsequence(self, ds, rate, seed):
+        faulty, report = inject(ds, removal(rate), seed=seed)
+        keep = np.ones(len(ds), dtype=bool)
+        keep[report.removed_indices] = False
+        np.testing.assert_array_equal(faulty.labels, ds.labels[keep])
+
+
+class TestRepetitionInvariants:
+    @given(datasets(), RATES, SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_size_grows_exactly(self, ds, rate, seed):
+        faulty, report = inject(ds, repetition(rate), seed=seed)
+        expected = int(round(rate * len(ds)))
+        assert len(faulty) == len(ds) + expected
+        assert report.num_repeated == expected
+
+    @given(datasets(), RATES, SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_unchanged(self, ds, rate, seed):
+        faulty, _ = inject(ds, repetition(rate), seed=seed)
+        np.testing.assert_array_equal(faulty.labels[: len(ds)], ds.labels)
+        np.testing.assert_array_equal(faulty.images[: len(ds)], ds.images)
+
+
+class TestDeterminismAndComposition:
+    @given(datasets(), RATES, SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_same_outcome(self, ds, rate, seed):
+        a, _ = inject(ds, mislabelling(rate), seed=seed)
+        b, _ = inject(ds, mislabelling(rate), seed=seed)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    @given(datasets(), SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_combined_size_arithmetic(self, ds, seed):
+        spec = mislabelling(0.2) & removal(0.2) & repetition(0.2)
+        n = len(ds)
+        after_removal = n - min(int(round(0.2 * n)), n - 1)
+        expected = after_removal + int(round(0.2 * after_removal))
+        faulty, _ = inject(ds, spec, seed=seed)
+        assert len(faulty) == expected
+
+    @given(datasets(), SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_protected_indices_keep_labels_through_any_combo(self, ds, seed):
+        protected = np.arange(min(5, len(ds)))
+        spec = mislabelling(0.5) & removal(0.3)
+        faulty, report = inject(ds, spec, seed=seed, protected_indices=protected)
+        after = report.protected_indices_after
+        np.testing.assert_array_equal(faulty.labels[after], ds.labels[protected])

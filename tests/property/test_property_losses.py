@@ -1,0 +1,110 @@
+"""Property-based tests for the noise-robust loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+from repro.nn.losses import (
+    ActivePassiveLoss,
+    CrossEntropy,
+    MeanAbsoluteError,
+    NormalizedCrossEntropy,
+    ReverseCrossEntropy,
+)
+
+
+@st.composite
+def logits_and_labels(draw):
+    n = draw(st.integers(1, 12))
+    k = draw(st.integers(2, 6))
+    logits = draw(
+        hnp.arrays(
+            dtype=np.float32,
+            shape=(n, k),
+            elements=st.floats(-8.0, 8.0, allow_nan=False, width=32),
+        )
+    )
+    seed = draw(st.integers(0, 2**16))
+    labels = np.random.default_rng(seed).integers(0, k, n)
+    return logits, labels, k
+
+
+def _one_hot(labels, k):
+    return np.eye(k, dtype=np.float32)[labels]
+
+
+class TestSymmetryConditions:
+    """Ghosh et al.: a loss with constant sum over all label assignments is
+    robust to symmetric label noise.  MAE and (one-hot) RCE satisfy it; CE
+    does not."""
+
+    @given(logits_and_labels())
+    @settings(max_examples=40, deadline=None)
+    def test_mae_symmetry(self, case):
+        logits, _, k = case
+        t = Tensor(logits)
+        total = sum(float(MeanAbsoluteError()(t, _one_hot(np.full(len(logits), c), k)).item()) for c in range(k))
+        assert total == pytest.approx(2.0 * (k - 1), rel=1e-3)
+
+    @given(logits_and_labels())
+    @settings(max_examples=40, deadline=None)
+    def test_rce_symmetry(self, case):
+        logits, _, k = case
+        t = Tensor(logits)
+        total = sum(
+            float(ReverseCrossEntropy(log_clip=-4.0)(t, _one_hot(np.full(len(logits), c), k)).item())
+            for c in range(k)
+        )
+        assert total == pytest.approx(4.0 * (k - 1), rel=1e-3)
+
+    @given(logits_and_labels())
+    @settings(max_examples=40, deadline=None)
+    def test_nce_bounded(self, case):
+        logits, labels, k = case
+        value = float(NormalizedCrossEntropy()(Tensor(logits), _one_hot(labels, k)).item())
+        assert 0.0 < value <= 1.0 + 1e-6
+
+
+class TestAPLLinearity:
+    @given(logits_and_labels(), st.floats(0.1, 5.0), st.floats(0.1, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_sum(self, case, alpha, beta):
+        logits, labels, k = case
+        t = Tensor(logits)
+        targets = _one_hot(labels, k)
+        apl = float(ActivePassiveLoss(alpha=alpha, beta=beta)(t, targets).item())
+        nce = float(NormalizedCrossEntropy()(t, targets).item())
+        rce = float(ReverseCrossEntropy()(t, targets).item())
+        assert apl == pytest.approx(alpha * nce + beta * rce, rel=1e-3, abs=1e-4)
+
+
+class TestCEProperties:
+    @given(logits_and_labels())
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative(self, case):
+        logits, labels, k = case
+        value = float(CrossEntropy()(Tensor(logits), _one_hot(labels, k)).item())
+        assert value >= -1e-6
+
+    @given(logits_and_labels(), st.floats(0.5, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_invariance(self, case, shift):
+        # CE over softmax is invariant to adding a constant to all logits.
+        logits, labels, k = case
+        targets = _one_hot(labels, k)
+        a = float(CrossEntropy()(Tensor(logits), targets).item())
+        b = float(CrossEntropy()(Tensor(logits + shift), targets).item())
+        assert a == pytest.approx(b, rel=1e-3, abs=1e-4)
+
+    @given(logits_and_labels())
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_is_finite(self, case):
+        logits, labels, k = case
+        t = Tensor(logits, requires_grad=True)
+        CrossEntropy()(t, _one_hot(labels, k)).backward()
+        assert np.isfinite(t.grad).all()

@@ -1,0 +1,99 @@
+"""Property-based tests for the reliability metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import from_one_hot, one_hot, smooth_labels
+from repro.metrics import accuracy, accuracy_delta, confusion_matrix, reverse_accuracy_delta
+
+
+@st.composite
+def prediction_triples(draw):
+    n = draw(st.integers(1, 60))
+    k = draw(st.integers(2, 8))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, k, n),  # golden
+        rng.integers(0, k, n),  # faulty
+        rng.integers(0, k, n),  # labels
+        k,
+    )
+
+
+class TestADProperties:
+    @given(prediction_triples())
+    @settings(max_examples=60, deadline=None)
+    def test_ad_in_unit_interval(self, triple):
+        golden, faulty, labels, _ = triple
+        assert 0.0 <= accuracy_delta(golden, faulty, labels) <= 1.0
+
+    @given(prediction_triples())
+    @settings(max_examples=60, deadline=None)
+    def test_identical_models_zero_ad(self, triple):
+        golden, _, labels, _ = triple
+        assert accuracy_delta(golden, golden, labels) == 0.0
+
+    @given(prediction_triples())
+    @settings(max_examples=60, deadline=None)
+    def test_ad_decomposition(self, triple):
+        # faulty_acc >= golden_acc * (1 - AD): the faulty model keeps at least
+        # the unbroken golden-correct inputs.
+        golden, faulty, labels, _ = triple
+        g = accuracy(golden, labels)
+        f = accuracy(faulty, labels)
+        ad = accuracy_delta(golden, faulty, labels)
+        assert f >= g * (1 - ad) - 1e-9
+
+    @given(prediction_triples())
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_ad_in_unit_interval(self, triple):
+        golden, faulty, labels, _ = triple
+        assert 0.0 <= reverse_accuracy_delta(golden, faulty, labels) <= 1.0
+
+    @given(prediction_triples())
+    @settings(max_examples=60, deadline=None)
+    def test_accuracy_identity(self, triple):
+        # faulty accuracy = golden_acc*(1-AD) + (1-golden_acc)*reverseAD.
+        golden, faulty, labels, _ = triple
+        g = accuracy(golden, labels)
+        f = accuracy(faulty, labels)
+        ad = accuracy_delta(golden, faulty, labels)
+        rad = reverse_accuracy_delta(golden, faulty, labels)
+        np.testing.assert_allclose(f, g * (1 - ad) + (1 - g) * rad, atol=1e-9)
+
+
+class TestConfusionProperties:
+    @given(prediction_triples())
+    @settings(max_examples=40, deadline=None)
+    def test_total_mass_and_diagonal(self, triple):
+        _, preds, labels, k = triple
+        m = confusion_matrix(preds, labels, k)
+        assert m.sum() == len(labels)
+        assert np.trace(m) == (preds == labels).sum()
+
+
+class TestLabelTransformProperties:
+    @given(st.integers(2, 10), st.integers(1, 50), st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_one_hot_roundtrip(self, k, n, seed):
+        labels = np.random.default_rng(seed).integers(0, k, n)
+        np.testing.assert_array_equal(from_one_hot(one_hot(labels, k)), labels)
+
+    @given(
+        st.integers(2, 10),
+        st.integers(1, 30),
+        st.floats(0.01, 0.95),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_smoothing_preserves_argmax_and_mass(self, k, n, alpha, seed):
+        labels = np.random.default_rng(seed).integers(0, k, n)
+        targets = one_hot(labels, k)
+        smoothed = smooth_labels(targets, alpha)
+        np.testing.assert_allclose(smoothed.sum(axis=1), np.ones(n), rtol=1e-4)
+        if alpha < (k - 1) / k:  # argmax preserved below the uniform point
+            np.testing.assert_array_equal(smoothed.argmax(axis=1), labels)

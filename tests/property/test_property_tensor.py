@@ -1,0 +1,110 @@
+"""Property-based tests for the autodiff core (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+
+FLOATS = st.floats(-10.0, 10.0, allow_nan=False, width=32)
+
+
+def small_arrays(max_side=4, min_dims=1, max_dims=3):
+    return hnp.arrays(
+        dtype=np.float32,
+        shape=hnp.array_shapes(min_dims=min_dims, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=FLOATS,
+    )
+
+
+class TestAlgebraicIdentities:
+    @given(small_arrays())
+    def test_addition_commutes(self, x):
+        a = Tensor(x)
+        b = Tensor(x * 0.5 + 1.0)
+        np.testing.assert_allclose((a + b).data, (b + a).data, rtol=1e-5)
+
+    @given(small_arrays())
+    def test_double_negation(self, x):
+        np.testing.assert_array_equal((-(-Tensor(x))).data, x)
+
+    @given(small_arrays())
+    def test_sub_is_add_neg(self, x):
+        a = Tensor(x)
+        b = Tensor(np.roll(x, 1))
+        np.testing.assert_allclose((a - b).data, (a + (-b)).data, rtol=1e-5)
+
+    @given(small_arrays())
+    def test_exp_log_roundtrip(self, x):
+        positive = np.abs(x) + 0.5
+        np.testing.assert_allclose(Tensor(positive).log().exp().data, positive, rtol=1e-4)
+
+    @given(small_arrays())
+    def test_relu_idempotent(self, x):
+        once = Tensor(x).relu()
+        twice = once.relu()
+        np.testing.assert_array_equal(once.data, twice.data)
+
+    @given(small_arrays())
+    def test_sigmoid_bounded(self, x):
+        out = Tensor(x).sigmoid().data
+        assert (out > 0).all()
+        assert (out < 1).all()
+
+
+class TestGradientProperties:
+    @given(small_arrays())
+    def test_sum_gradient_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+    @given(small_arrays())
+    def test_linearity_of_gradients(self, x):
+        # grad of (2x + 3x) equals grad of 5x.
+        t1 = Tensor(x, requires_grad=True)
+        (t1 * 2.0 + t1 * 3.0).sum().backward()
+        t2 = Tensor(x, requires_grad=True)
+        (t2 * 5.0).sum().backward()
+        np.testing.assert_allclose(t1.grad, t2.grad, rtol=1e-5)
+
+    @given(small_arrays())
+    def test_detach_blocks_gradient(self, x):
+        t = Tensor(x, requires_grad=True)
+        out = t.detach() * 2.0
+        assert not out.requires_grad
+
+    @given(small_arrays(max_side=3, min_dims=2, max_dims=2))
+    @settings(max_examples=25)
+    def test_reshape_preserves_gradient_mass(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.reshape(-1).sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+    @given(small_arrays())
+    def test_mean_gradient_sums_to_one(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad.sum(), 1.0, rtol=1e-4)
+
+
+class TestSoftmaxProperties:
+    @given(small_arrays(min_dims=2, max_dims=2))
+    def test_softmax_is_distribution(self, x):
+        from repro.nn import softmax
+
+        probs = softmax(Tensor(x), axis=1).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(x.shape[0]), rtol=1e-4)
+        assert (probs >= 0).all()
+
+    @given(small_arrays(min_dims=2, max_dims=2), st.floats(0.5, 10.0))
+    @settings(max_examples=30)
+    def test_softmax_shift_invariance(self, x, shift):
+        from repro.nn import softmax
+
+        a = softmax(Tensor(x), axis=1).data
+        b = softmax(Tensor(x + shift), axis=1).data
+        np.testing.assert_allclose(a, b, atol=1e-5)

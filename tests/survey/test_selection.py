@@ -1,0 +1,82 @@
+"""Unit tests for the Table I catalog and the §III-A selection procedure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.survey import (
+    APPROACHES,
+    TABLE1_CANDIDATES,
+    candidates_for,
+    render_table1,
+    select_representatives,
+)
+
+
+class TestCatalog:
+    def test_fifteen_rows_three_per_approach(self):
+        assert len(TABLE1_CANDIDATES) == 15
+        for approach in APPROACHES:
+            assert len(candidates_for(approach)) == 3
+
+    def test_five_approaches(self):
+        assert APPROACHES == (
+            "Label Smoothing",
+            "Label Correction",
+            "Robust Loss",
+            "Knowledge Distillation",
+            "Ensemble",
+        )
+
+    def test_unknown_approach(self):
+        with pytest.raises(KeyError):
+            candidates_for("Data Augmentation")
+
+    def test_asterisked_rows_meet_all_criteria(self):
+        # The three paper-asterisked representatives are the all-criteria rows.
+        qualifying = {c.technique for c in TABLE1_CANDIDATES if c.criteria.all_met()}
+        assert qualifying == {
+            "Label Relaxation",
+            "Meta Label Correction",
+            "Active-Passive Losses",
+        }
+
+
+class TestSelection:
+    def test_one_representative_per_approach(self):
+        results = select_representatives()
+        assert set(results) == set(APPROACHES)
+
+    def test_direct_selections_match_paper(self):
+        results = select_representatives()
+        assert results["Label Smoothing"].representative.technique == "Label Relaxation"
+        assert not results["Label Smoothing"].reimplemented
+        assert results["Label Correction"].representative.technique == "Meta Label Correction"
+        assert results["Robust Loss"].representative.technique == "Active-Passive Losses"
+
+    def test_kd_and_ensemble_are_reimplemented(self):
+        # Paper §III-A: no KD/Ensemble candidate met all criteria, so those
+        # representatives were re-implemented from the articles' descriptions.
+        results = select_representatives()
+        assert results["Knowledge Distillation"].reimplemented
+        assert results["Ensemble"].reimplemented
+
+    def test_result_str_mentions_reimplementation(self):
+        results = select_representatives()
+        assert "re-implemented" in str(results["Ensemble"])
+        assert "re-implemented" not in str(results["Robust Loss"])
+
+
+class TestRendering:
+    def test_render_marks_representatives(self):
+        text = render_table1()
+        assert "Label Relaxation*" in text
+        assert "Meta Label Correction*" in text
+        assert "Active-Passive Losses*" in text
+        # Non-qualifying rows are not starred.
+        assert "OLS*" not in text
+
+    def test_render_has_all_rows(self):
+        text = render_table1()
+        for candidate in TABLE1_CANDIDATES:
+            assert candidate.technique in text

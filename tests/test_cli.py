@@ -1,0 +1,73 @@
+"""Unit tests for the repro-study command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_no_args(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+
+    def test_csv_parsing(self):
+        args = build_parser().parse_args(["fig3", "--models", "convnet, vgg16", "--rates", "0.1,0.5"])
+        assert args.models == ("convnet", "vgg16")
+        assert args.rates == (0.1, 0.5)
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["--scale", "small", "table1"])
+        assert args.scale == "small"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "huge", "table1"])
+
+    def test_panel_requires_fault(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["panel", "--dataset", "gtsrb", "--model", "convnet"])
+
+    def test_panel_fault_choices(self):
+        args = build_parser().parse_args(
+            ["panel", "--dataset", "gtsrb", "--model", "convnet", "--fault", "removal"]
+        )
+        assert args.fault == "removal"
+
+
+class TestMain:
+    def test_table1_prints_catalog(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Label Relaxation*" in out
+        assert "re-implemented" in out
+
+    def test_motivating_smoke(self, capsys, monkeypatch):
+        # Use a fast model/rate at smoke scale to keep the test short.
+        monkeypatch.setenv("REPRO_EPOCHS", "2")
+        assert main(["motivating", "--model", "convnet", "--rate", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "golden accuracy" in out
+
+    def test_panel_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EPOCHS", "2")
+        code = main(
+            [
+                "panel",
+                "--dataset",
+                "pneumonia",
+                "--model",
+                "convnet",
+                "--fault",
+                "mislabelling",
+                "--rates",
+                "0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pneumonia, convnet, mislabelling" in out
+        assert "30%" in out

@@ -1,0 +1,48 @@
+"""Smoke tests for the runnable example scripts (the fast ones)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_directory_complete():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 9
+
+
+def test_technique_selection_runs():
+    result = _run("technique_selection.py")
+    assert result.returncode == 0, result.stderr
+    assert "Label Relaxation*" in result.stdout
+    assert "re-implemented" in result.stdout
+
+
+def test_fault_injection_tour_runs():
+    result = _run("fault_injection_tour.py")
+    assert result.returncode == 0, result.stderr
+    assert "mislabelling@30%" in result.stdout
+    assert "all clean labels intact after mislabel+removal: True" in result.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "golden accuracy" in result.stdout
+    assert "AD=" in result.stdout

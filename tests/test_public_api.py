@@ -1,0 +1,48 @@
+"""Sanity tests for the public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ["nn", "data", "faults", "models", "mitigation", "metrics", "experiments", "survey"]
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackages_importable(name):
+    module = importlib.import_module(f"repro.{name}")
+    assert module is getattr(repro, name)
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_exports_resolve(name):
+    """Every name in __all__ must actually exist (no stale exports)."""
+    module = importlib.import_module(f"repro.{name}")
+    assert hasattr(module, "__all__")
+    for export in module.__all__:
+        assert hasattr(module, export), f"repro.{name}.__all__ lists missing {export!r}"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_exports_unique(name):
+    module = importlib.import_module(f"repro.{name}")
+    assert len(module.__all__) == len(set(module.__all__))
+
+
+def test_public_classes_have_docstrings():
+    """Every public class and function in the top subpackages is documented."""
+    undocumented = []
+    for name in SUBPACKAGES:
+        module = importlib.import_module(f"repro.{name}")
+        for export in module.__all__:
+            obj = getattr(module, export)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(f"repro.{name}.{export}")
+    assert not undocumented, f"undocumented public callables: {undocumented}"
