@@ -10,6 +10,7 @@ Usage::
     repro-study overhead [--dataset gtsrb] [--model convnet]
     repro-study combined [--rate 0.3]
     repro-study panel --dataset gtsrb --model convnet --fault mislabelling
+    repro-study study [--checkpoint out/study.jsonl] [--resume] [--out results.json]
 
 Scale comes from ``--scale`` or the ``REPRO_SCALE`` environment variable
 (default ``smoke``).  Each command prints the paper-shaped text rendering.
@@ -22,7 +23,10 @@ import sys
 from typing import Sequence
 
 from .experiments import (
+    CheckpointError,
     ExperimentRunner,
+    RetryPolicy,
+    StudyCheckpoint,
     ad_panel,
     combined_fault_analysis,
     fig3_panels,
@@ -36,6 +40,8 @@ from .experiments import (
     render_panel,
     render_panels,
     render_table4,
+    run_resilient_study,
+    save_results,
 )
 from .faults import FaultType
 from .mitigation import technique_names
@@ -100,6 +106,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     panel.add_argument("--rates", type=_csv_floats, default=(0.1, 0.3, 0.5))
 
+    study = sub.add_parser(
+        "study", help="full study grid, fault-tolerant (checkpoint/resume, retries)"
+    )
+    study.add_argument("--models", type=_csv, default=("convnet", "vgg16", "resnet18"))
+    study.add_argument("--datasets", type=_csv, default=("cifar10", "gtsrb", "pneumonia"))
+    study.add_argument(
+        "--faults",
+        type=_csv,
+        default=tuple(f.value for f in FaultType),
+        help="comma-separated fault types",
+    )
+    study.add_argument("--rates", type=_csv_floats, default=(0.1, 0.3, 0.5))
+    study.add_argument("--techniques", type=_csv, default=None)
+    study.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL journal path; completed cells are recorded here as the sweep runs",
+    )
+    study.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an existing checkpoint journal (replays completed cells)",
+    )
+    study.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        help="per-cell attempts before a cell is recorded as failed (default 2)",
+    )
+    study.add_argument("--out", default=None, help="write a JSON results archive here")
+
     return parser
 
 
@@ -143,7 +180,50 @@ def main(argv: Sequence[str] | None = None) -> int:
             runner, args.dataset, args.model, FaultType(args.fault), rates=args.rates
         )
         print(render_panel(panel))
+    elif args.command == "study":
+        return _run_study_command(runner, args)
     return 0
+
+
+def _run_study_command(runner: ExperimentRunner, args: argparse.Namespace) -> int:
+    """The fault-tolerant ``study`` subcommand (checkpoint/resume/retries)."""
+    checkpoint = None
+    if args.checkpoint is not None:
+        try:
+            checkpoint = StudyCheckpoint(
+                args.checkpoint,
+                fingerprint=runner._scale_fingerprint(),
+                resume=args.resume,
+            )
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if len(checkpoint):
+            print(
+                f"[resuming: {len(checkpoint)} cells already journaled]",
+                file=sys.stderr,
+            )
+    elif args.resume:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+
+    report = run_resilient_study(
+        runner,
+        models=args.models,
+        datasets=args.datasets,
+        fault_types=tuple(FaultType(f) for f in args.faults),
+        rates=args.rates,
+        techniques=list(args.techniques) if args.techniques else None,
+        checkpoint=checkpoint,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        progress=lambda result: print(f"  {result}", file=sys.stderr),
+        on_failure=lambda failure: print(f"  FAILED {failure.describe()}", file=sys.stderr),
+    )
+    print(report.summary())
+    if args.out is not None:
+        save_results(report.results, args.out)
+        print(f"[archived {len(report.results)} results to {args.out}]", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

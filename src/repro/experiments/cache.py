@@ -5,12 +5,19 @@ scale fingerprint, configuration, and repetition seed, so its predictions and
 measured runtime can be cached on disk and reused across processes (e.g.
 successive benchmark runs).  Keys are hashed into filenames; payloads are
 ``.npz`` files holding the predictions and the original runtime cost.
+
+Crash safety: :meth:`CellCache.put` writes to a ``*.tmp`` sibling and
+atomically renames it into place, so a killed process can never leave a
+truncated ``.npz`` behind; :meth:`CellCache.get` quarantines unreadable
+entries into a ``corrupt/`` subdirectory (counted in
+:attr:`CellCache.quarantined`) instead of silently missing forever.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -26,44 +33,70 @@ class CellCache:
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Number of corrupt entries moved aside by :meth:`get` so far.
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         digest = hashlib.sha256(key.encode()).hexdigest()[:32]
         return self.directory / f"{digest}.npz"
 
     def get(self, key: str) -> tuple[np.ndarray, RuntimeCost] | None:
-        """Look up a cell; returns None on miss or corrupt entry."""
+        """Look up a cell; returns None on miss or (quarantined) corrupt entry."""
         path = self._path(key)
         if not path.exists():
             return None
         try:
             with np.load(path, allow_pickle=False) as archive:
                 stored_key = str(archive["key"])
-                if stored_key != key:  # hash collision (astronomically unlikely)
-                    return None
                 predictions = archive["predictions"]
                 cost = RuntimeCost(
                     training_s=float(archive["training_s"]),
                     inference_s=float(archive["inference_s"]),
                 )
-                return predictions, cost
-        except (OSError, KeyError, ValueError):
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+            self._quarantine(path)
             return None
+        if stored_key != key:  # hash collision (astronomically unlikely)
+            return None
+        return predictions, cost
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry into ``corrupt/`` so it stops shadowing
+        the key and stays available for post-mortems."""
+        corrupt_dir = self.directory / "corrupt"
+        try:
+            corrupt_dir.mkdir(exist_ok=True)
+            os.replace(path, corrupt_dir / path.name)
+        except OSError:  # e.g. raced with another process; best effort
+            pass
+        self.quarantined += 1
 
     def put(self, key: str, predictions: np.ndarray, cost: RuntimeCost) -> None:
-        """Store a cell's predictions and measured runtime."""
-        np.savez(
-            self._path(key),
-            key=np.str_(key),
-            predictions=np.asarray(predictions),
-            training_s=np.float64(cost.training_s),
-            inference_s=np.float64(cost.inference_s),
-        )
+        """Store a cell's predictions and measured runtime (atomically)."""
+        path = self._path(key)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            # np.savez appends ".npz" to bare names, so hand it a file object.
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh,
+                    key=np.str_(key),
+                    predictions=np.asarray(predictions),
+                    training_s=np.float64(cost.training_s),
+                    inference_s=np.float64(cost.inference_s),
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.npz"))
 
     def clear(self) -> None:
-        """Delete every cached cell."""
+        """Delete every cached cell (leftover temp files included)."""
         for path in self.directory.glob("*.npz"):
+            path.unlink()
+        for path in self.directory.glob("*.npz.tmp"):
             path.unlink()

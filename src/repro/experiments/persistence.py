@@ -17,7 +17,13 @@ from ..metrics.reliability import ReliabilityResult
 from .config import ExperimentConfig
 from .runner import ExperimentResult
 
-__all__ = ["result_to_dict", "result_from_dict", "save_results", "load_results"]
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_results",
+    "append_results",
+    "load_results",
+]
 
 _FORMAT_VERSION = 1
 
@@ -59,7 +65,11 @@ def result_from_dict(payload: dict) -> ExperimentResult:
 
 
 def save_results(results: list[ExperimentResult], path: str | os.PathLike) -> None:
-    """Write a list of results to a JSON archive."""
+    """Write a list of results to a JSON archive (atomically).
+
+    The payload lands in a ``*.tmp`` sibling first and is renamed into
+    place, so a crash mid-write can never truncate an existing archive.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
@@ -67,7 +77,32 @@ def save_results(results: list[ExperimentResult], path: str | os.PathLike) -> No
         "version": _FORMAT_VERSION,
         "results": [result_to_dict(r) for r in results],
     }
-    path.write_text(json.dumps(payload, indent=2))
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(payload, indent=2))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def append_results(
+    results: list[ExperimentResult] | ExperimentResult, path: str | os.PathLike
+) -> None:
+    """Append results to an archive, creating it if needed.
+
+    Incremental archiving for long sweeps: call after each completed cell
+    (or batch of cells) and the archive on disk always holds every result
+    so far — each append rewrites the file atomically, so a crash between
+    cells loses nothing already archived.
+    """
+    if isinstance(results, ExperimentResult):
+        results = [results]
+    path = Path(path)
+    existing = load_results(path) if path.exists() and path.stat().st_size > 0 else []
+    save_results(existing + list(results), path)
 
 
 def load_results(path: str | os.PathLike) -> list[ExperimentResult]:

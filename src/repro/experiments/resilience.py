@@ -1,0 +1,462 @@
+"""Fault-tolerant study execution: checkpoint/resume, retries, degradation.
+
+The paper's full grid was a 33-GPU-day sweep; a reproduction of a paper about
+*mitigating faults in training* should itself tolerate faults in its own
+training pipeline.  This module wraps the grid drivers in three layers:
+
+1. :class:`StudyCheckpoint` — an append-only JSONL journal of every completed
+   cell (config + serialized result) with atomic write-then-``os.replace``
+   semantics.  An interrupted sweep resumes exactly where it stopped:
+   journaled cells replay from disk, never retrain.
+2. :class:`RetryPolicy` / :func:`run_cell_with_retry` — per-cell retries with
+   a reseeded RNG per attempt, an exponential-backoff hook, and a learning
+   rate that is halved after a :class:`~repro.nn.DivergenceError`.
+3. Graceful degradation — a cell that keeps failing becomes a
+   :class:`CellFailure` (carrying its exception chain) and the sweep
+   continues; failures are summarized at the end instead of aborting the grid.
+
+Entry points: :func:`run_resilient_study` (returns a :class:`StudyReport`)
+and ``full_study(..., checkpoint=..., retry=...)`` which delegates here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..faults.spec import FaultType
+from ..nn.trainer import DivergenceError
+from .persistence import result_from_dict, result_to_dict
+from .runner import ExperimentResult, ExperimentRunner
+
+__all__ = [
+    "CellFailure",
+    "CellOutcome",
+    "CheckpointError",
+    "RetryPolicy",
+    "StudyCheckpoint",
+    "StudyReport",
+    "cell_key",
+    "run_cell_with_retry",
+    "run_resilient_study",
+]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint journal cannot be used (wrong format or wrong run)."""
+
+
+def cell_key(runner: ExperimentRunner, dataset: str, model: str, technique: str,
+             fault_label: str) -> str:
+    """Stable journal key for one grid cell.
+
+    Includes the repetition count and scale name so a journal written at one
+    scale is never silently replayed into a sweep at another.
+    """
+    scale = runner.scale
+    return f"{dataset}|{model}|{technique}|{fault_label}|x{scale.repeats}|{scale.name}"
+
+
+# ----------------------------------------------------------------------
+# Failure records
+# ----------------------------------------------------------------------
+
+@dataclass
+class CellFailure:
+    """A grid cell that exhausted its retries.
+
+    ``chain`` holds one entry per attempt — ``repr`` of the raised exception
+    — and ``last_traceback`` the formatted traceback of the final attempt,
+    so post-mortems need no re-run.
+    """
+
+    key: str
+    dataset: str
+    model: str
+    technique: str
+    fault_label: str
+    attempts: int
+    error_type: str
+    message: str
+    chain: list[str] = field(default_factory=list)
+    last_traceback: str = ""
+
+    @classmethod
+    def from_errors(
+        cls,
+        key: str,
+        dataset: str,
+        model: str,
+        technique: str,
+        fault_label: str,
+        errors: list[BaseException],
+    ) -> "CellFailure":
+        last = errors[-1]
+        return cls(
+            key=key,
+            dataset=dataset,
+            model=model,
+            technique=technique,
+            fault_label=fault_label,
+            attempts=len(errors),
+            error_type=type(last).__name__,
+            message=str(last),
+            chain=[repr(e) for e in errors],
+            last_traceback="".join(
+                traceback.format_exception(type(last), last, last.__traceback__)
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "dataset": self.dataset,
+            "model": self.model,
+            "technique": self.technique,
+            "fault_label": self.fault_label,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "message": self.message,
+            "chain": self.chain,
+            "last_traceback": self.last_traceback,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellFailure":
+        return cls(**payload)
+
+    def describe(self) -> str:
+        return (
+            f"{self.dataset}/{self.model}/{self.technique}/{self.fault_label}: "
+            f"{self.error_type} after {self.attempts} attempt(s) — {self.message}"
+        )
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell: a result, or a failure, never both."""
+
+    result: ExperimentResult | None = None
+    failure: CellFailure | None = None
+    attempts: int = 1
+    from_checkpoint: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+# ----------------------------------------------------------------------
+# The checkpoint journal
+# ----------------------------------------------------------------------
+
+class StudyCheckpoint:
+    """Append-only JSONL journal of study progress, written atomically.
+
+    Each line is one JSON record: a header (format/version/fingerprint),
+    a completed cell (``{"kind": "cell", "key": ..., "result": ...}``), or
+    a failed cell (``{"kind": "failure", ...}``).  Every append rewrites
+    the journal to a ``*.tmp`` sibling and ``os.replace``\\ s it into place,
+    so a kill at any instant leaves either the previous journal or the new
+    one — never a torn file.  Unparseable lines (e.g. from a journal written
+    by a non-atomic writer) are counted in :attr:`corrupt_lines` and skipped.
+
+    A journal opened with a ``fingerprint`` refuses to resume a journal
+    recorded under a different fingerprint (different scale/seed/geometry),
+    because replaying those cells would silently mix incompatible runs.
+    """
+
+    FORMAT = "repro-study-checkpoint"
+    VERSION = 1
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        fingerprint: str | None = None,
+        resume: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.completed: dict[str, ExperimentResult] = {}
+        self.failures: dict[str, CellFailure] = {}
+        self.corrupt_lines = 0
+        self._lines: list[str] = []
+        if self.path.exists() and self.path.stat().st_size > 0:
+            if not resume:
+                raise CheckpointError(
+                    f"checkpoint {self.path} already exists; pass resume=True "
+                    "(CLI: --resume) to continue it, or remove the file"
+                )
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            header = {
+                "kind": "header",
+                "format": self.FORMAT,
+                "version": self.VERSION,
+                "fingerprint": fingerprint,
+            }
+            self._lines.append(json.dumps(header))
+            self._flush()
+
+    # -- loading -------------------------------------------------------
+    def _load(self) -> None:
+        saw_header = False
+        for raw in self.path.read_text().splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+                kind = record["kind"]
+            except (json.JSONDecodeError, TypeError, KeyError):
+                self.corrupt_lines += 1
+                continue
+            if kind == "header":
+                self._check_header(record)
+                saw_header = True
+            elif kind == "cell":
+                try:
+                    result = result_from_dict(record["result"])
+                except (KeyError, TypeError):
+                    self.corrupt_lines += 1
+                    continue
+                key = record.get("key") or ""
+                self.completed[key] = result
+                self.failures.pop(key, None)
+            elif kind == "failure":
+                try:
+                    failure = CellFailure.from_dict(record["failure"])
+                except (KeyError, TypeError):
+                    self.corrupt_lines += 1
+                    continue
+                if failure.key not in self.completed:
+                    self.failures[failure.key] = failure
+            else:
+                self.corrupt_lines += 1
+                continue
+            self._lines.append(raw)
+        if not saw_header:
+            raise CheckpointError(f"{self.path} is not a study checkpoint journal")
+
+    def _check_header(self, record: dict) -> None:
+        if record.get("format") != self.FORMAT:
+            raise CheckpointError(f"{self.path} is not a study checkpoint journal")
+        if record.get("version") != self.VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {record.get('version')} "
+                f"(expected {self.VERSION})"
+            )
+        recorded = record.get("fingerprint")
+        if self.fingerprint and recorded and recorded != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint {self.path} was recorded under a different scale "
+                f"fingerprint; refusing to mix runs "
+                f"(journal: {recorded!r}, current: {self.fingerprint!r})"
+            )
+
+    # -- recording -----------------------------------------------------
+    def record_success(self, key: str, result: ExperimentResult) -> None:
+        entry = {"kind": "cell", "key": key, "result": result_to_dict(result)}
+        self._lines.append(json.dumps(entry))
+        self.completed[key] = result
+        self.failures.pop(key, None)
+        self._flush()
+
+    def record_failure(self, failure: CellFailure) -> None:
+        entry = {"kind": "failure", "failure": failure.to_dict()}
+        self._lines.append(json.dumps(entry))
+        if failure.key not in self.completed:
+            self.failures[failure.key] = failure
+        self._flush()
+
+    def _flush(self) -> None:
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with open(tmp, "w") as fh:
+                fh.write("\n".join(self._lines) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+
+@dataclass
+class RetryPolicy:
+    """How a failing cell is retried before it degrades to a failure.
+
+    Each attempt after the first runs with a reseeded RNG (``reseed``), and
+    after a :class:`~repro.nn.DivergenceError` the learning rate is further
+    multiplied by ``lr_decay_on_divergence`` — the standard rescue for an
+    exploded loss.  ``backoff_s``/``backoff_factor`` feed the ``sleep`` hook
+    (exponential backoff; default 0 means no waiting — useful for transient
+    resource errors, pointless for deterministic ones).
+    """
+
+    max_attempts: int = 2
+    reseed: bool = True
+    lr_decay_on_divergence: float = 0.5
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 < self.lr_decay_on_divergence <= 1.0:
+            raise ValueError("lr_decay_on_divergence must be in (0, 1]")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Seconds to wait after ``attempt`` (1-based) fails."""
+        return self.backoff_s * self.backoff_factor ** (attempt - 1)
+
+
+def run_cell_with_retry(
+    runner: ExperimentRunner,
+    dataset: str,
+    model: str,
+    technique: str,
+    fault,
+    policy: RetryPolicy | None = None,
+    key: str | None = None,
+) -> CellOutcome:
+    """Run one cell under the retry policy; never raises (except interrupts).
+
+    Returns a :class:`CellOutcome` holding either the result or, after
+    ``policy.max_attempts`` failures, a :class:`CellFailure` with the full
+    exception chain.  ``KeyboardInterrupt``/``SystemExit`` pass through so
+    Ctrl-C still stops the sweep (the checkpoint makes that safe).
+    """
+    policy = policy or RetryPolicy()
+    fault_label = fault.label if fault is not None else "none"
+    key = key or cell_key(runner, dataset, model, technique, fault_label)
+    errors: list[BaseException] = []
+    lr_scale = 1.0
+    for attempt in range(1, policy.max_attempts + 1):
+        seed_offset = attempt - 1 if policy.reseed else 0
+        try:
+            result = runner.run(
+                dataset, model, technique, fault,
+                lr_scale=lr_scale, seed_offset=seed_offset,
+            )
+            return CellOutcome(result=result, attempts=attempt)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except DivergenceError as exc:
+            errors.append(exc)
+            lr_scale *= policy.lr_decay_on_divergence
+        except Exception as exc:
+            errors.append(exc)
+        if attempt < policy.max_attempts:
+            delay = policy.backoff_for(attempt)
+            if delay > 0:
+                policy.sleep(delay)
+    failure = CellFailure.from_errors(key, dataset, model, technique, fault_label, errors)
+    return CellOutcome(failure=failure, attempts=len(errors))
+
+
+# ----------------------------------------------------------------------
+# The resilient study driver
+# ----------------------------------------------------------------------
+
+@dataclass
+class StudyReport:
+    """Outcome of a resilient sweep: results, failures, and replay counts."""
+
+    results: list[ExperimentResult] = field(default_factory=list)
+    failures: list[CellFailure] = field(default_factory=list)
+    replayed: int = 0
+    executed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"study: {len(self.results)} cells ok "
+            f"({self.replayed} replayed from checkpoint, {self.executed} executed), "
+            f"{len(self.failures)} failed"
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAILED {failure.describe()}")
+        return "\n".join(lines)
+
+
+def run_resilient_study(
+    runner: ExperimentRunner,
+    models: tuple[str, ...] = ("convnet", "vgg16", "resnet18"),
+    datasets: tuple[str, ...] = ("cifar10", "gtsrb", "pneumonia"),
+    fault_types: tuple[FaultType, ...] = (
+        FaultType.MISLABELLING,
+        FaultType.REPETITION,
+        FaultType.REMOVAL,
+    ),
+    rates: tuple[float, ...] = (0.1, 0.3, 0.5),
+    techniques: list[str] | None = None,
+    checkpoint: "StudyCheckpoint | str | os.PathLike | None" = None,
+    retry: RetryPolicy | None = None,
+    progress: "Callable[[ExperimentResult], None] | None" = None,
+    on_failure: "Callable[[CellFailure], None] | None" = None,
+) -> StudyReport:
+    """Run the full study grid fault-tolerantly.
+
+    Journaled cells (when ``checkpoint`` is given and its journal already
+    holds them) are replayed without retraining; fresh cells run under
+    ``retry`` (default: two attempts, reseeded, learning rate halved on
+    divergence); cells that exhaust their retries are recorded and skipped
+    rather than aborting the sweep.
+    """
+    from .study import _make_fault, study_grid  # late import: study imports us
+
+    policy = retry or RetryPolicy()
+    ckpt = checkpoint
+    if ckpt is not None and not isinstance(ckpt, StudyCheckpoint):
+        ckpt = StudyCheckpoint(ckpt, fingerprint=runner._scale_fingerprint())
+
+    report = StudyReport()
+    for dataset, model, technique, fault_type, rate in study_grid(
+        models, datasets, fault_types, rates, techniques
+    ):
+        fault = _make_fault(fault_type, rate)
+        key = cell_key(runner, dataset, model, technique, fault.label)
+        if ckpt is not None and key in ckpt:
+            result = ckpt.completed[key]
+            report.results.append(result)
+            report.replayed += 1
+            if progress is not None:
+                progress(result)
+            continue
+        outcome = run_cell_with_retry(
+            runner, dataset, model, technique, fault, policy, key=key
+        )
+        if outcome.ok:
+            report.results.append(outcome.result)
+            report.executed += 1
+            if ckpt is not None:
+                ckpt.record_success(key, outcome.result)
+            if progress is not None:
+                progress(outcome.result)
+        else:
+            report.failures.append(outcome.failure)
+            if ckpt is not None:
+                ckpt.record_failure(outcome.failure)
+            if on_failure is not None:
+                on_failure(outcome.failure)
+    return report

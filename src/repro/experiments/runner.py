@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 import time
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -197,11 +197,20 @@ class ExperimentRunner:
         repeats: int | None = None,
         technique_kwargs: dict | None = None,
         clean_fraction: float = 0.1,
+        lr_scale: float = 1.0,
+        seed_offset: int = 0,
     ) -> ExperimentResult:
         """Run one grid cell; returns the aggregated :class:`ExperimentResult`.
 
         ``fault=None`` measures the technique on clean data (paper Table IV:
         golden accuracies per technique).
+
+        ``lr_scale`` and ``seed_offset`` are retry knobs used by
+        :mod:`repro.experiments.resilience`: a retry after a
+        :class:`~repro.nn.DivergenceError` re-runs the faulty fit with a
+        scaled learning rate and/or a derived fresh seed.  Non-default
+        values get their own disk-cache keys so retried cells never shadow
+        the canonical ones.
         """
         repeats = repeats or self.scale.repeats
         fault_label = fault.label if fault is not None else "none"
@@ -220,7 +229,7 @@ class ExperimentRunner:
             golden_pred = self.golden_predictions(dataset, model, repetition)
             faulty_pred, cost = self._faulty_predictions(
                 dataset, model, technique, fault, fault_label, repetition,
-                technique_kwargs, clean_fraction,
+                technique_kwargs, clean_fraction, lr_scale, seed_offset,
             )
             result.repetitions.append(compare_models(golden_pred, faulty_pred, test.labels))
             result.costs.append(cost)
@@ -236,13 +245,19 @@ class ExperimentRunner:
         repetition: int,
         technique_kwargs: dict | None,
         clean_fraction: float,
+        lr_scale: float = 1.0,
+        seed_offset: int = 0,
     ) -> tuple[np.ndarray, RuntimeCost]:
         """Fit one technique and predict the test set (ensemble fits cached)."""
         train, test = self.dataset(dataset)
+        is_retry = lr_scale != 1.0 or seed_offset != 0
         # Ensembles ignore the per-panel architecture, so seed and cache them
-        # under a model-independent key.
-        is_cacheable_ensemble = technique == "ensemble" and not technique_kwargs
-        seed_model = "ensemble" if is_cacheable_ensemble else model
+        # under a model-independent key (canonical runs only — retries with
+        # altered seeds/learning rates must not poison the shared memo).
+        is_cacheable_ensemble = (
+            technique == "ensemble" and not technique_kwargs and not is_retry
+        )
+        seed_model = "ensemble" if technique == "ensemble" and not technique_kwargs else model
         cache_key = (dataset, fault_label, repetition)
         if is_cacheable_ensemble and cache_key in self._ensemble_predictions:
             return self._ensemble_predictions[cache_key]
@@ -252,6 +267,8 @@ class ExperimentRunner:
             f"{sorted((technique_kwargs or {}).items())}|{fault_label}|"
             f"{clean_fraction}|{repetition}"
         )
+        if is_retry:
+            disk_key += f"|lr{lr_scale}|seed+{seed_offset}"
         if self.cell_cache is not None:
             hit = self.cell_cache.get(disk_key)
             if hit is not None:
@@ -260,13 +277,19 @@ class ExperimentRunner:
                 return hit
 
         seed = self._repetition_seed(dataset, seed_model, repetition)
+        if seed_offset:
+            # Derive a fresh-but-deterministic seed per retry attempt.
+            seed = (seed + seed_offset * 0x9E3779B1) & 0x7FFFFFFF
         injection_rng = np.random.default_rng(seed + 0x5EED)
         faulty_train = self._prepare_faulty_train(
             train, fault, technique, clean_fraction, injection_rng
         )
+        budget = self.budget(dataset)
+        if lr_scale != 1.0:
+            budget = replace(budget, learning_rate=budget.learning_rate * lr_scale)
         tech = build_technique(technique, **(technique_kwargs or {}))
         fitted: FittedModel = tech.fit(
-            faulty_train, model, self.budget(dataset), np.random.default_rng(seed + 1)
+            faulty_train, model, budget, np.random.default_rng(seed + 1)
         )
         start = time.perf_counter()
         faulty_pred = fitted.predict(test.images)

@@ -22,6 +22,7 @@ __all__ = [
     "ADSeries",
     "ADPanel",
     "golden_accuracy_table",
+    "study_grid",
     "full_study",
     "ad_panel",
     "fig3_panels",
@@ -287,6 +288,28 @@ class MotivatingExampleResult:
         )
 
 
+def study_grid(
+    models: tuple[str, ...],
+    datasets: tuple[str, ...],
+    fault_types: tuple[FaultType, ...],
+    rates: tuple[float, ...],
+    techniques: list[str] | None = None,
+):
+    """Yield the study grid cells as ``(dataset, model, technique, fault_type,
+    rate)`` tuples, in the canonical sweep order.
+
+    Shared by :func:`full_study` and the fault-tolerant driver
+    (:func:`repro.experiments.resilience.run_resilient_study`) so both walk
+    the identical grid.
+    """
+    for dataset in datasets:
+        for model in models:
+            for fault_type in fault_types:
+                for technique in _techniques_for(fault_type, techniques):
+                    for rate in rates:
+                        yield dataset, model, technique, fault_type, rate
+
+
 def full_study(
     runner: ExperimentRunner,
     models: tuple[str, ...] = ("convnet", "vgg16", "resnet18"),
@@ -299,6 +322,8 @@ def full_study(
     rates: tuple[float, ...] = DEFAULT_FAULT_RATES,
     techniques: list[str] | None = None,
     progress: "callable | None" = None,
+    checkpoint: "object | None" = None,
+    retry: "object | None" = None,
 ) -> list[ExperimentResult]:
     """Run the study grid (paper §IV) and return every cell's result.
 
@@ -307,19 +332,41 @@ def full_study(
     Combine with :func:`repro.experiments.save_results` to archive the run.
     ``progress`` (if given) is called with each completed
     :class:`ExperimentResult`.
+
+    Passing ``checkpoint`` (a journal path or
+    :class:`~repro.experiments.resilience.StudyCheckpoint`) and/or ``retry``
+    (a :class:`~repro.experiments.resilience.RetryPolicy`) routes the sweep
+    through the fault-tolerant driver: already-journaled cells replay without
+    retraining, failing cells are retried and then recorded instead of
+    aborting, and only the successful results are returned.  Use
+    :func:`~repro.experiments.resilience.run_resilient_study` directly for
+    the full :class:`~repro.experiments.resilience.StudyReport` (including
+    failures).
     """
+    if checkpoint is not None or retry is not None:
+        from .resilience import run_resilient_study
+
+        report = run_resilient_study(
+            runner,
+            models=models,
+            datasets=datasets,
+            fault_types=fault_types,
+            rates=rates,
+            techniques=techniques,
+            checkpoint=checkpoint,
+            retry=retry,
+            progress=progress,
+        )
+        return report.results
+
     results: list[ExperimentResult] = []
-    for dataset in datasets:
-        for model in models:
-            for fault_type in fault_types:
-                for technique in _techniques_for(fault_type, techniques):
-                    for rate in rates:
-                        result = runner.run(
-                            dataset, model, technique, _make_fault(fault_type, rate)
-                        )
-                        results.append(result)
-                        if progress is not None:
-                            progress(result)
+    for dataset, model, technique, fault_type, rate in study_grid(
+        models, datasets, fault_types, rates, techniques
+    ):
+        result = runner.run(dataset, model, technique, _make_fault(fault_type, rate))
+        results.append(result)
+        if progress is not None:
+            progress(result)
     return results
 
 

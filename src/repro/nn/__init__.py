@@ -63,6 +63,7 @@ from .optim import (
 from .serialization import load_into, load_state, save_model, save_state
 from .tensor import Tensor, is_grad_enabled, no_grad
 from .trainer import (
+    DivergenceError,
     EarlyStopping,
     EpochRecord,
     Trainer,
@@ -136,6 +137,7 @@ __all__ = [
     "TrainHistory",
     "EpochRecord",
     "EarlyStopping",
+    "DivergenceError",
     "predict_logits",
     "predict_proba",
     "predict_labels",

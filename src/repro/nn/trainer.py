@@ -8,6 +8,7 @@ two trainers, and ensembles run one trainer per member.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -24,11 +25,29 @@ __all__ = [
     "EpochRecord",
     "Trainer",
     "EarlyStopping",
+    "DivergenceError",
     "predict_logits",
     "predict_proba",
     "predict_labels",
     "evaluate_accuracy",
 ]
+
+
+class DivergenceError(RuntimeError):
+    """Training produced a non-finite loss (NaN/Inf).
+
+    Carries where the loss exploded so a retry layer (see
+    :mod:`repro.experiments.resilience`) can log it and re-run the cell with
+    a reduced learning rate and/or a fresh seed.
+    """
+
+    def __init__(self, epoch: int, batch: int, loss: float) -> None:
+        super().__init__(
+            f"training diverged at epoch {epoch}, batch {batch}: loss={loss!r}"
+        )
+        self.epoch = epoch
+        self.batch = batch
+        self.loss = loss
 
 
 @dataclass
@@ -82,8 +101,16 @@ class EarlyStopping:
         self.min_delta = min_delta
         self.best = float("inf")
         self.stale_epochs = 0
+        self.saw_nan = False
 
     def should_stop(self, value: float) -> bool:
+        # A NaN monitored loss compares False against any threshold, so it
+        # must be treated as an explicit non-improving epoch — otherwise a
+        # diverged run silently burns through patience with no signal.
+        if math.isnan(value):
+            self.saw_nan = True
+            self.stale_epochs += 1
+            return self.stale_epochs >= self.patience
         if value < self.best - self.min_delta:
             self.best = value
             self.stale_epochs = 0
@@ -121,6 +148,10 @@ class Trainer:
         Optional :class:`EarlyStopping` policy.
     epoch_callback:
         ``f(record) -> None`` called after each epoch (logging, tests).
+    raise_on_divergence:
+        When True (default) a non-finite batch loss raises
+        :class:`DivergenceError` immediately instead of poisoning the rest
+        of the run with NaN weights.
     """
 
     def __init__(
@@ -138,6 +169,7 @@ class Trainer:
         batch_hook: Callable[[Module, np.ndarray, np.ndarray], None] | None = None,
         early_stopping: EarlyStopping | None = None,
         epoch_callback: Callable[[EpochRecord], None] | None = None,
+        raise_on_divergence: bool = True,
     ) -> None:
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
@@ -156,6 +188,7 @@ class Trainer:
         self.batch_hook = batch_hook
         self.early_stopping = early_stopping
         self.epoch_callback = epoch_callback
+        self.raise_on_divergence = raise_on_divergence
 
     def fit(
         self,
@@ -190,12 +223,17 @@ class Trainer:
                 effective_targets = self.target_transform(yb) if self.target_transform else yb
                 logits = self.model(Tensor(xb))
                 loss_value = self.loss(logits, effective_targets)
+                batch_loss = float(loss_value.item())
+                if self.raise_on_divergence and not math.isfinite(batch_loss):
+                    raise DivergenceError(
+                        epoch=epoch, batch=lo // self.batch_size, loss=batch_loss
+                    )
                 self.optimizer.zero_grad()
                 loss_value.backward()
                 if self.clip_norm is not None:
                     self.optimizer.clip_grad_norm(self.clip_norm)
                 self.optimizer.step()
-                epoch_loss += float(loss_value.item()) * len(idx)
+                epoch_loss += batch_loss * len(idx)
                 epoch_correct += int(
                     (logits.data.argmax(axis=1) == yb.argmax(axis=1)).sum()
                 )

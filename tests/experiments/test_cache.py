@@ -41,6 +41,61 @@ class TestCellCache:
             path.write_bytes(b"garbage")
         assert cache.get("k") is None
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cache.put("k", np.zeros(2), RuntimeCost(1.0, 1.0))
+        [entry] = list(cache.directory.glob("*.npz"))
+        entry.write_bytes(b"garbage")
+        assert cache.get("k") is None
+        assert cache.quarantined == 1
+        assert not entry.exists()  # moved aside, no longer shadowing the key
+        assert (cache.directory / "corrupt" / entry.name).exists()
+        # The slot is reusable: a fresh put works and reads back.
+        cache.put("k", np.ones(2), RuntimeCost(2.0, 0.5))
+        hit = cache.get("k")
+        assert hit is not None
+        np.testing.assert_array_equal(hit[0], np.ones(2))
+
+    def test_put_is_atomic_under_simulated_crash(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        cache = CellCache(tmp_path)
+        cache.put("k", np.zeros(3), RuntimeCost(1.0, 1.0))
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated kill between write and rename")
+
+        monkeypatch.setattr(os_module, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            cache.put("k", np.ones(3), RuntimeCost(9.0, 9.0))
+        monkeypatch.undo()
+        # The old entry is untouched and no temp file is left behind.
+        hit = cache.get("k")
+        assert hit is not None
+        np.testing.assert_array_equal(hit[0], np.zeros(3))
+        assert not list(cache.directory.glob("*.tmp"))
+
+    def test_leftover_tmp_file_is_invisible(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cache.put("k", np.zeros(2), RuntimeCost(1.0, 1.0))
+        (cache.directory / "deadbeef.npz.tmp").write_bytes(b"half-written")
+        assert len(cache) == 1  # tmp files are not entries
+        assert cache.get("k") is not None
+        cache.clear()
+        assert not list(cache.directory.glob("*.npz.tmp"))  # clear sweeps them too
+
+    def test_quarantine_does_not_count_toward_len(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cache.put("a", np.zeros(2), RuntimeCost(1.0, 1.0))
+        cache.put("b", np.zeros(2), RuntimeCost(1.0, 1.0))
+        [first, _] = sorted(cache.directory.glob("*.npz"))
+        first.write_bytes(b"garbage")
+        # Trigger quarantine by reading whichever key hashes to the bad file.
+        cache.get("a")
+        cache.get("b")
+        assert cache.quarantined == 1
+        assert len(cache) == 1
+
 
 def _micro_scale():
     return ScaleSettings(

@@ -8,6 +8,7 @@ import pytest
 
 from repro.experiments import (
     ExperimentConfig,
+    append_results,
     load_results,
     result_from_dict,
     result_to_dict,
@@ -77,3 +78,37 @@ class TestRoundtrip:
         path.write_text(json.dumps({"format": "repro-results", "version": 99, "results": []}))
         with pytest.raises(ValueError, match="unsupported archive version"):
             load_results(path)
+
+
+class TestCrashSafety:
+    def test_save_is_atomic_under_simulated_crash(self, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "study.json"
+        save_results([_result("baseline")], path)
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated kill between write and rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_results([_result("ensemble")], path)
+        monkeypatch.undo()
+        # Old archive untouched, no temp file left behind.
+        loaded = load_results(path)
+        assert loaded[0].config.technique == "baseline"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_append_creates_then_extends(self, tmp_path):
+        path = tmp_path / "incremental.json"
+        append_results(_result("baseline"), path)
+        assert len(load_results(path)) == 1
+        append_results([_result("ensemble", ads=(0.1,))], path)
+        loaded = load_results(path)
+        assert [r.config.technique for r in loaded] == ["baseline", "ensemble"]
+
+    def test_append_tolerates_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.touch()
+        append_results(_result(), path)
+        assert len(load_results(path)) == 1

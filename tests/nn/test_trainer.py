@@ -10,6 +10,7 @@ from repro.nn import (
     Adam,
     CrossEntropy,
     Dense,
+    DivergenceError,
     EarlyStopping,
     ReLU,
     Sequential,
@@ -20,6 +21,22 @@ from repro.nn import (
     predict_logits,
     predict_proba,
 )
+
+
+class _NaNAfterLoss(CrossEntropy):
+    """A loss that turns NaN after a fixed number of batches (fault injection)."""
+
+    def __init__(self, nan_after: int = 0) -> None:
+        super().__init__()
+        self.calls = 0
+        self.nan_after = nan_after
+
+    def __call__(self, logits, targets):
+        value = super().__call__(logits, targets)
+        if self.calls >= self.nan_after:
+            value.data = np.asarray(np.nan, dtype=value.data.dtype)
+        self.calls += 1
+        return value
 
 
 def _toy_problem(rng, n=64, dim=6, k=3):
@@ -136,6 +153,36 @@ class TestFit:
             Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.1), batch_size=0)
 
 
+class TestDivergenceGuard:
+    def test_nan_loss_raises_divergence_error(self, rng):
+        x, y, _ = _toy_problem(rng, n=32)
+        model = _model(rng)
+        trainer = Trainer(model, _NaNAfterLoss(nan_after=2), SGD(model.parameters(), lr=0.01),
+                          epochs=3, batch_size=8, rng=rng)
+        with pytest.raises(DivergenceError) as excinfo:
+            trainer.fit(x, y)
+        # Batch 2 of epoch 0 (8-sample batches) is where the NaN appears.
+        assert excinfo.value.epoch == 0
+        assert excinfo.value.batch == 2
+        assert np.isnan(excinfo.value.loss)
+
+    def test_guard_can_be_disabled(self, rng):
+        x, y, _ = _toy_problem(rng, n=16)
+        model = _model(rng)
+        trainer = Trainer(model, _NaNAfterLoss(), SGD(model.parameters(), lr=0.01),
+                          epochs=1, batch_size=8, rng=rng, raise_on_divergence=False)
+        history = trainer.fit(x, y)  # must not raise
+        assert np.isnan(history.epochs[0].train_loss)
+
+    def test_finite_training_unaffected(self, rng):
+        x, y, _ = _toy_problem(rng, n=16)
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.01),
+                          epochs=2, batch_size=8, rng=rng)
+        history = trainer.fit(x, y)
+        assert len(history.epochs) == 2
+
+
 class TestEarlyStopping:
     def test_stops_on_plateau(self):
         stopper = EarlyStopping(patience=2, min_delta=0.0)
@@ -164,6 +211,20 @@ class TestEarlyStopping:
     def test_patience_validation(self):
         with pytest.raises(ValueError):
             EarlyStopping(patience=0)
+
+    def test_nan_counts_as_stale_and_sets_flag(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.0)
+        assert not stopper.should_stop(float("nan"))  # stale 1
+        assert stopper.saw_nan
+        assert stopper.should_stop(float("nan"))  # stale 2 -> stop
+
+    def test_nan_does_not_corrupt_best(self):
+        stopper = EarlyStopping(patience=3, min_delta=0.0)
+        assert not stopper.should_stop(1.0)
+        assert not stopper.should_stop(float("nan"))
+        assert not stopper.should_stop(0.5)  # recovery still registers as improvement
+        assert stopper.best == 0.5
+        assert stopper.stale_epochs == 0
 
 
 class TestInferenceHelpers:

@@ -37,6 +37,21 @@ class TestParser:
         )
         assert args.fault == "removal"
 
+    def test_study_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.command == "study"
+        assert args.checkpoint is None
+        assert not args.resume
+        assert args.max_attempts == 2
+
+    def test_study_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["study", "--checkpoint", "out/study.jsonl", "--resume", "--max-attempts", "3"]
+        )
+        assert args.checkpoint == "out/study.jsonl"
+        assert args.resume
+        assert args.max_attempts == 3
+
 
 class TestMain:
     def test_table1_prints_catalog(self, capsys):
@@ -71,3 +86,41 @@ class TestMain:
         out = capsys.readouterr().out
         assert "pneumonia, convnet, mislabelling" in out
         assert "30%" in out
+
+    def test_study_resume_requires_checkpoint(self, capsys):
+        assert main(["study", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_study_refuses_existing_checkpoint_without_resume(self, tmp_path, capsys):
+        path = tmp_path / "study.jsonl"
+        path.write_text('{"kind": "header"}\n')
+        code = main(["study", "--checkpoint", str(path)])
+        assert code == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_study_checkpoint_and_resume_smoke(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EPOCHS", "2")
+        path = tmp_path / "study.jsonl"
+        out = tmp_path / "results.json"
+        argv = [
+            "study",
+            "--models", "convnet",
+            "--datasets", "pneumonia",
+            "--faults", "mislabelling",
+            "--rates", "0.3",
+            "--techniques", "baseline",
+            "--checkpoint", str(path),
+            "--out", str(out),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "1 cells ok" in first.out
+        assert "1 executed" in first.out
+        assert path.exists()
+        assert out.exists()
+
+        # Resuming replays the journaled cell without retraining.
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr()
+        assert "1 replayed" in second.out
+        assert "0 executed" in second.out
