@@ -1,0 +1,105 @@
+"""Bench: plan/executor scaling — sweep wall-clock at jobs ∈ {1, 2, 4}.
+
+The study grid is embarrassingly parallel (every cell trains its own models
+from unit-derived seeds), so sweep wall-clock should drop as ``--jobs``
+rises on a multi-core host.  This bench times one tiny grid under the
+:class:`~repro.experiments.executors.SerialExecutor` and under
+:class:`~repro.experiments.executors.ParallelExecutor` at 2 and 4 workers,
+checks the three runs produce identical result payloads, and writes a
+``BENCH_study_scaling.json`` trajectory point under ``benchmarks/results/``.
+
+Speedup is hardware-dependent (a single-core container shows ~1×; the
+acceptance target is ≥1.5× at 4 jobs on a multi-core host), so the bench
+asserts correctness, not speedup, and records both for the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ExperimentRunner,
+    ParallelExecutor,
+    ScaleSettings,
+    SerialExecutor,
+    plan_study,
+    results_equivalent,
+    run_study_plan,
+)
+from repro.faults import FaultType
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Small enough for a bench, big enough (8 cells, 2 datasets) to schedule.
+TINY = ScaleSettings(
+    name="bench-tiny",
+    dataset_sizes={"pneumonia": (60, 40), "gtsrb": (86, 43)},
+    epochs=4,
+    batch_size=16,
+    repeats=1,
+    seed=7,
+)
+
+GRID = dict(
+    models=("convnet",),
+    datasets=("pneumonia", "gtsrb"),
+    fault_types=(FaultType.MISLABELLING, FaultType.REMOVAL),
+    rates=(0.1, 0.3),
+    techniques=["baseline"],
+)
+
+
+def _run_at(jobs: int) -> tuple[float, list]:
+    """Cold-run the tiny grid at ``jobs`` workers; returns (seconds, results)."""
+    plan = plan_study(scale=TINY, **GRID)
+    if jobs == 1:
+        executor = SerialExecutor(runner=ExperimentRunner(TINY))
+    else:
+        executor = ParallelExecutor(jobs=jobs)
+    start = time.perf_counter()
+    report = run_study_plan(plan, executor=executor)
+    elapsed = time.perf_counter() - start
+    assert report.ok and len(report.results) == len(plan)
+    return elapsed, report.results
+
+
+def test_study_scaling_trajectory():
+    # Disk caching would let later job counts replay earlier training and
+    # fake the scaling curve; force cold runs.
+    os.environ.pop("REPRO_CACHE_DIR", None)
+
+    points = []
+    baseline_results = None
+    for jobs in (1, 2, 4):
+        seconds, results = _run_at(jobs)
+        if baseline_results is None:
+            baseline_results = results
+        else:
+            # Scheduling must never change the science.
+            assert results_equivalent(baseline_results, results)
+        points.append({"jobs": jobs, "seconds": round(seconds, 3)})
+
+    serial_s = points[0]["seconds"]
+    for point in points:
+        point["speedup"] = round(serial_s / point["seconds"], 3) if point["seconds"] else None
+
+    payload = {
+        "bench": "study_scaling",
+        "scale": TINY.name,
+        "grid_cells": len(plan_study(scale=TINY, **GRID)),
+        "cpu_count": multiprocessing.cpu_count(),
+        "points": points,
+        "speedup_at_4_jobs": points[-1]["speedup"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_study_scaling.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n{json.dumps(payload, indent=2)}\n[saved to {out}]")
+
+
+if __name__ == "__main__":
+    test_study_scaling_trajectory()

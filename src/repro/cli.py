@@ -10,7 +10,7 @@ Usage::
     repro-study overhead [--dataset gtsrb] [--model convnet]
     repro-study combined [--rate 0.3]
     repro-study panel --dataset gtsrb --model convnet --fault mislabelling
-    repro-study study [--checkpoint out/study.jsonl] [--resume] [--out results.json]
+    repro-study study [--jobs 4] [--checkpoint out/study.jsonl] [--resume] [--out results.json]
 
 Scale comes from ``--scale`` or the ``REPRO_SCALE`` environment variable
 (default ``smoke``).  Each command prints the paper-shaped text rendering.
@@ -25,6 +25,7 @@ from typing import Sequence
 from .experiments import (
     CheckpointError,
     ExperimentRunner,
+    ParallelExecutor,
     RetryPolicy,
     StudyCheckpoint,
     ad_panel,
@@ -135,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="per-cell attempts before a cell is recorded as failed (default 2)",
     )
+    study.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default 1 = serial; results "
+        "are identical either way, modulo wall-clock timings)",
+    )
     study.add_argument("--out", default=None, help="write a JSON results archive here")
 
     return parser
@@ -207,6 +215,14 @@ def _run_study_command(runner: ExperimentRunner, args: argparse.Namespace) -> in
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
 
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    executor = None
+    if args.jobs > 1:
+        executor = ParallelExecutor(jobs=args.jobs)
+        print(f"[parallel: {args.jobs} worker processes]", file=sys.stderr)
+
     report = run_resilient_study(
         runner,
         models=args.models,
@@ -216,6 +232,7 @@ def _run_study_command(runner: ExperimentRunner, args: argparse.Namespace) -> in
         techniques=list(args.techniques) if args.techniques else None,
         checkpoint=checkpoint,
         retry=RetryPolicy(max_attempts=args.max_attempts),
+        executor=executor,
         progress=lambda result: print(f"  {result}", file=sys.stderr),
         on_failure=lambda failure: print(f"  FAILED {failure.describe()}", file=sys.stderr),
     )

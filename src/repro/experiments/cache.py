@@ -11,11 +11,18 @@ atomically renames it into place, so a killed process can never leave a
 truncated ``.npz`` behind; :meth:`CellCache.get` quarantines unreadable
 entries into a ``corrupt/`` subdirectory (counted in
 :attr:`CellCache.quarantined`) instead of silently missing forever.
+
+Concurrent writers (parallel sweeps): temp names embed the writer's PID plus
+a per-process counter, so two processes storing the same key never collide on
+the temp file — each completes its own atomic rename, and since cells are
+deterministic functions of their key, whichever rename lands last installs
+identical content.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import zipfile
 from pathlib import Path
@@ -25,6 +32,10 @@ import numpy as np
 from ..metrics.overhead import RuntimeCost
 
 __all__ = ["CellCache"]
+
+#: Monotonic suffix so one process's successive temp files never collide
+#: either (e.g. retry after a failed rename).
+_TMP_COUNTER = itertools.count()
 
 
 class CellCache:
@@ -72,9 +83,14 @@ class CellCache:
         self.quarantined += 1
 
     def put(self, key: str, predictions: np.ndarray, cost: RuntimeCost) -> None:
-        """Store a cell's predictions and measured runtime (atomically)."""
+        """Store a cell's predictions and measured runtime (atomically).
+
+        Safe under concurrent writers: the temp name is unique per process
+        and call, and the final ``os.replace`` is atomic, so parallel workers
+        racing on the same key each install a complete entry.
+        """
         path = self._path(key)
-        tmp = path.with_name(path.name + ".tmp")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}-{next(_TMP_COUNTER)}.tmp")
         try:
             # np.savez appends ".npz" to bare names, so hand it a file object.
             with open(tmp, "wb") as fh:
@@ -95,8 +111,12 @@ class CellCache:
         return sum(1 for _ in self.directory.glob("*.npz"))
 
     def clear(self) -> None:
-        """Delete every cached cell (leftover temp files included)."""
+        """Delete every cached cell (leftover temp files included).
+
+        Tolerates concurrent clears/writers: entries that vanish between the
+        directory listing and the unlink are simply skipped.
+        """
         for path in self.directory.glob("*.npz"):
-            path.unlink()
-        for path in self.directory.glob("*.npz.tmp"):
-            path.unlink()
+            path.unlink(missing_ok=True)
+        for path in self.directory.glob("*.npz.*tmp"):
+            path.unlink(missing_ok=True)

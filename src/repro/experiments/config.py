@@ -15,11 +15,19 @@ from __future__ import annotations
 
 import os
 import typing
+import zlib
 from dataclasses import dataclass, field, replace
 
 from ..mitigation.base import TrainingBudget
 
-__all__ = ["ScaleSettings", "SCALES", "resolve_scale", "ExperimentConfig"]
+__all__ = [
+    "ScaleSettings",
+    "SCALES",
+    "resolve_scale",
+    "ExperimentConfig",
+    "scale_fingerprint",
+    "derive_repetition_seed",
+]
 
 
 @dataclass(frozen=True)
@@ -109,6 +117,35 @@ def resolve_scale(name: str | None = None) -> ScaleSettings:
     if "REPRO_SEED" in os.environ:
         overrides["seed"] = int(os.environ["REPRO_SEED"])
     return replace(scale, **overrides) if overrides else scale
+
+
+def scale_fingerprint(scale: ScaleSettings) -> str:
+    """A string identifying everything about a scale that affects a cell's
+    outcome.
+
+    A pure function of the scale (no runner state), so the planner
+    (:class:`~repro.experiments.plan.WorkUnit`), the in-process runner, and
+    parallel worker processes all derive the identical fingerprint — it keys
+    disk-cache entries and guards checkpoint journals against cross-scale
+    replay.
+    """
+    sizes = sorted(scale.dataset_sizes.items())
+    return (
+        f"{scale.name}|{scale.seed}|{scale.epochs}|"
+        f"{scale.batch_size}|{scale.learning_rate}|"
+        f"{scale.optimizer}|{scale.image_size}|{sizes}"
+    )
+
+
+def derive_repetition_seed(scale_seed: int, dataset: str, model: str, repetition: int) -> int:
+    """The stable per-repetition seed for one (dataset, model, repetition).
+
+    Uses CRC32 rather than ``hash()`` so seeds are identical across processes
+    (Python string hashing is salted per process); a cell trained in a worker
+    process therefore yields bitwise-identical results to the serial path.
+    """
+    key = f"{dataset}|{model}|{repetition}|{scale_seed}".encode()
+    return zlib.crc32(key) & 0x7FFFFFFF
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,272 @@
+"""Study execution — schedule WorkUnits serially or across processes.
+
+The *schedule/execute/collect* stages of the experiments pipeline
+(:mod:`repro.experiments.plan` is the *plan* stage):
+
+- :class:`Executor` — the scheduling protocol: ``map(units, settings)``
+  yields ``(index, CellOutcome)`` pairs as cells finish.  Every future scale
+  direction (sharding, distributed workers, async collection) is a new
+  Executor, not a rewrite of the drivers.
+- :class:`SerialExecutor` — in-process, in-order execution (the default);
+  reuses a caller-supplied :class:`~repro.experiments.runner.ExperimentRunner`
+  so golden models and datasets stay memoized exactly as before.
+- :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out (``--jobs N``).  Each worker process keeps one runner per
+  (scale fingerprint, cache dir), so golden models are trained at most once
+  per worker and shared across that worker's cells.
+- :func:`run_study_plan` — the collector: skips journaled cells, streams the
+  rest through the executor, and appends results to the checkpoint from the
+  parent process only (a single writer, so worker results never interleave
+  journal records).
+
+Resilience (PR 1's checkpoint/retry/quarantine machinery) composes as
+middleware around any executor: each unit runs under
+:func:`~repro.experiments.resilience.run_cell_with_retry` *inside* its worker
+(so learning-rate halving and reseeding happen next to the training loop),
+and the collector records successes/failures exactly as the serial driver
+always did.  Grid results are deterministic per unit — not per schedule — so
+serial and parallel sweeps produce identical payloads (wall-clock timings
+aside) and a resumed sweep re-runs nothing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
+
+from .config import scale_fingerprint
+from .plan import WorkUnit
+from .resilience import (
+    CellFailure,
+    CellOutcome,
+    RetryPolicy,
+    StudyCheckpoint,
+    StudyReport,
+    run_cell_with_retry,
+)
+from .runner import ExperimentResult, ExperimentRunner
+
+__all__ = [
+    "ExecutionSettings",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "execute_unit",
+    "run_study_plan",
+]
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """Per-sweep knobs shipped to every worker alongside its units."""
+
+    retry: "RetryPolicy | None" = None
+    #: Disk cache directory for trained cells; ``None`` defers to the
+    #: ``REPRO_CACHE_DIR`` environment variable (inherited by workers).
+    cache_dir: "str | None" = None
+
+
+def execute_unit(
+    runner: ExperimentRunner, unit: WorkUnit, retry: "RetryPolicy | None" = None
+) -> CellOutcome:
+    """Run one unit on ``runner`` under the retry middleware; never raises
+    (interrupts excepted) — failures degrade to a recorded
+    :class:`~repro.experiments.resilience.CellFailure`."""
+    return run_cell_with_retry(
+        runner,
+        unit.dataset,
+        unit.model,
+        unit.technique,
+        unit.fault,
+        policy=retry,
+        key=unit.key,
+        repeats=unit.repeats,
+        technique_kwargs=dict(unit.technique_kwargs) or None,
+        clean_fraction=unit.clean_fraction,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+
+#: One runner per (scale fingerprint, cache dir) per worker process, so a
+#: worker trains each golden model at most once across all its units.
+_WORKER_RUNNERS: dict[tuple[str, "str | None"], ExperimentRunner] = {}
+
+
+def _worker_runner(unit: WorkUnit, settings: ExecutionSettings) -> ExperimentRunner:
+    key = (scale_fingerprint(unit.scale), settings.cache_dir)
+    runner = _WORKER_RUNNERS.get(key)
+    if runner is None:
+        runner = ExperimentRunner(unit.scale, cache_dir=settings.cache_dir)
+        _WORKER_RUNNERS[key] = runner
+    return runner
+
+
+def _execute_unit_in_worker(unit: WorkUnit, settings: ExecutionSettings) -> CellOutcome:
+    """Top-level (hence picklable) entry point run inside pool workers."""
+    return execute_unit(_worker_runner(unit, settings), unit, settings.retry)
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+@runtime_checkable
+class Executor(Protocol):
+    """Schedules WorkUnits and streams their outcomes back.
+
+    ``map`` yields ``(index, outcome)`` pairs — ``index`` into the submitted
+    unit list — in *completion* order; the collector reorders into plan
+    order, so executors are free to schedule however they like.
+    """
+
+    jobs: int
+
+    def map(
+        self, units: "list[WorkUnit]", settings: ExecutionSettings
+    ) -> Iterator[tuple[int, CellOutcome]]: ...
+
+
+class SerialExecutor:
+    """In-process, in-order execution — the default and PR-1-equivalent path.
+
+    Pass ``runner`` to reuse an existing runner's in-memory caches (golden
+    models, datasets, ensemble fits); otherwise one is built from the first
+    unit's scale.
+    """
+
+    jobs = 1
+
+    def __init__(self, runner: "ExperimentRunner | None" = None) -> None:
+        self.runner = runner
+
+    def map(
+        self, units: "list[WorkUnit]", settings: ExecutionSettings
+    ) -> Iterator[tuple[int, CellOutcome]]:
+        units = list(units)
+        if not units:
+            return
+        runner = self.runner
+        if runner is None:
+            runner = ExperimentRunner(units[0].scale, cache_dir=settings.cache_dir)
+        for index, unit in enumerate(units):
+            yield index, execute_unit(runner, unit, settings.retry)
+
+
+class ParallelExecutor:
+    """Process-pool execution: ``jobs`` worker processes, one cell per task.
+
+    Grid cells are embarrassingly parallel (each trains its own models from
+    a unit-derived seed), so workers need no coordination; outcomes stream
+    back in completion order and the collector reassembles plan order.
+    ``mp_context`` picks the multiprocessing start method (``"fork"``,
+    ``"spawn"``, ``"forkserver"``; ``None`` = platform default).
+    """
+
+    def __init__(self, jobs: int, mp_context: "str | None" = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1; got {jobs}")
+        self.jobs = jobs
+        self.mp_context = mp_context
+
+    def map(
+        self, units: "list[WorkUnit]", settings: ExecutionSettings
+    ) -> Iterator[tuple[int, CellOutcome]]:
+        units = list(units)
+        if not units:
+            return
+        ctx = multiprocessing.get_context(self.mp_context) if self.mp_context else None
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(units)), mp_context=ctx)
+        try:
+            futures = {
+                pool.submit(_execute_unit_in_worker, unit, settings): index
+                for index, unit in enumerate(units)
+            }
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+        finally:
+            # Cancel not-yet-started cells on early exit (e.g. Ctrl-C) so the
+            # sweep stops after in-flight cells instead of draining the queue.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# The collector
+# ----------------------------------------------------------------------
+
+def run_study_plan(
+    plan: Iterable[WorkUnit],
+    executor: "Executor | None" = None,
+    checkpoint: "StudyCheckpoint | str | os.PathLike | None" = None,
+    retry: "RetryPolicy | None" = None,
+    progress: "Callable[[ExperimentResult], None] | None" = None,
+    on_failure: "Callable[[CellFailure], None] | None" = None,
+    cache_dir: "str | None" = None,
+) -> StudyReport:
+    """Execute a plan and collect a :class:`StudyReport` in plan order.
+
+    The resilience middleware stack, composed with *any* executor:
+
+    1. **skip-completed** — units whose key is already journaled replay from
+       the checkpoint without retraining (``progress`` fires immediately);
+    2. **retry** — pending units run under ``retry`` inside their worker
+       (reseed + learning-rate halving on divergence);
+    3. **record** — the parent process is the checkpoint's single writer:
+       worker outcomes are journaled here, serially, as they arrive.
+
+    ``report.results`` is ordered by plan position regardless of completion
+    order; ``progress``/``on_failure`` fire in completion order.
+    """
+    plan = list(plan)
+    executor = executor or SerialExecutor()
+    settings = ExecutionSettings(retry=retry, cache_dir=cache_dir)
+
+    ckpt = checkpoint
+    if ckpt is not None and not isinstance(ckpt, StudyCheckpoint):
+        fingerprint = scale_fingerprint(plan[0].scale) if plan else None
+        ckpt = StudyCheckpoint(ckpt, fingerprint=fingerprint)
+
+    outcomes: dict[int, CellOutcome] = {}
+    pending: list[tuple[int, WorkUnit]] = []
+    for index, unit in enumerate(plan):
+        if ckpt is not None and unit.key in ckpt:
+            outcome = CellOutcome(result=ckpt.completed[unit.key], from_checkpoint=True)
+            outcomes[index] = outcome
+            if progress is not None:
+                progress(outcome.result)
+        else:
+            pending.append((index, unit))
+
+    if pending:
+        plan_indices = [index for index, _ in pending]
+        for local_index, outcome in executor.map([unit for _, unit in pending], settings):
+            index = plan_indices[local_index]
+            outcomes[index] = outcome
+            if outcome.ok:
+                if ckpt is not None:
+                    ckpt.record_success(plan[index].key, outcome.result)
+                if progress is not None:
+                    progress(outcome.result)
+            else:
+                if ckpt is not None:
+                    ckpt.record_failure(outcome.failure)
+                if on_failure is not None:
+                    on_failure(outcome.failure)
+
+    report = StudyReport()
+    for index in range(len(plan)):
+        outcome = outcomes[index]
+        if outcome.ok:
+            report.results.append(outcome.result)
+            if outcome.from_checkpoint:
+                report.replayed += 1
+            else:
+                report.executed += 1
+        else:
+            report.failures.append(outcome.failure)
+    return report

@@ -20,6 +20,7 @@ from .runner import ExperimentResult
 __all__ = [
     "result_to_dict",
     "result_from_dict",
+    "results_equivalent",
     "save_results",
     "append_results",
     "load_results",
@@ -28,9 +29,15 @@ __all__ = [
 _FORMAT_VERSION = 1
 
 
-def result_to_dict(result: ExperimentResult) -> dict:
-    """A JSON-serialisable representation of one experiment result."""
-    return {
+def result_to_dict(result: ExperimentResult, include_costs: bool = True) -> dict:
+    """A JSON-serialisable representation of one experiment result.
+
+    ``include_costs=False`` drops the wall-clock runtime records — the only
+    non-deterministic part of a result — leaving exactly the payload that is
+    guaranteed identical between serial and parallel execution of the same
+    cell (see :func:`results_equivalent`).
+    """
+    payload = {
         "config": {
             "dataset": result.config.dataset,
             "model": result.config.model,
@@ -49,10 +56,12 @@ def result_to_dict(result: ExperimentResult) -> dict:
             }
             for r in result.repetitions
         ],
-        "costs": [
-            {"training_s": c.training_s, "inference_s": c.inference_s} for c in result.costs
-        ],
     }
+    if include_costs:
+        payload["costs"] = [
+            {"training_s": c.training_s, "inference_s": c.inference_s} for c in result.costs
+        ]
+    return payload
 
 
 def result_from_dict(payload: dict) -> ExperimentResult:
@@ -60,8 +69,28 @@ def result_from_dict(payload: dict) -> ExperimentResult:
     config = ExperimentConfig(**payload["config"])
     result = ExperimentResult(config=config)
     result.repetitions = [ReliabilityResult(**rep) for rep in payload["repetitions"]]
-    result.costs = [RuntimeCost(**cost) for cost in payload["costs"]]
+    result.costs = [RuntimeCost(**cost) for cost in payload.get("costs", [])]
     return result
+
+
+def results_equivalent(
+    a: list[ExperimentResult],
+    b: list[ExperimentResult],
+    include_costs: bool = False,
+) -> bool:
+    """True when two result collections carry identical payloads, in order.
+
+    By default wall-clock costs are excluded: two runs of the same plan —
+    serial or parallel, fresh or resumed — must satisfy this; only their
+    timings may differ.
+    """
+    if len(a) != len(b):
+        return False
+    return all(
+        result_to_dict(x, include_costs=include_costs)
+        == result_to_dict(y, include_costs=include_costs)
+        for x, y in zip(a, b)
+    )
 
 
 def save_results(results: list[ExperimentResult], path: str | os.PathLike) -> None:

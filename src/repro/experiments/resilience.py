@@ -25,6 +25,7 @@ import json
 import os
 import time
 import traceback
+import typing
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -34,10 +35,16 @@ from ..nn.trainer import DivergenceError
 from .persistence import result_from_dict, result_to_dict
 from .runner import ExperimentResult, ExperimentRunner
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 __all__ = [
     "CellFailure",
     "CellOutcome",
     "CheckpointError",
+    "CheckpointLockError",
     "RetryPolicy",
     "StudyCheckpoint",
     "StudyReport",
@@ -49,6 +56,17 @@ __all__ = [
 
 class CheckpointError(RuntimeError):
     """A checkpoint journal cannot be used (wrong format or wrong run)."""
+
+
+class CheckpointLockError(CheckpointError):
+    """Another process holds this checkpoint journal open for writing.
+
+    Two concurrent writers would silently interleave JSONL records, so
+    :class:`StudyCheckpoint` takes an advisory lock on open and raises this
+    typed error instead.  (Parallel sweeps don't hit it: worker processes
+    never touch the journal — the collector in the parent process is the
+    single writer.)
+    """
 
 
 def cell_key(runner: ExperimentRunner, dataset: str, model: str, technique: str,
@@ -169,10 +187,22 @@ class StudyCheckpoint:
     A journal opened with a ``fingerprint`` refuses to resume a journal
     recorded under a different fingerprint (different scale/seed/geometry),
     because replaying those cells would silently mix incompatible runs.
+
+    Opening also takes an advisory lock on a ``*.lock`` sibling (where the
+    platform supports ``flock``): a second *process* opening the same journal
+    gets a :class:`CheckpointLockError` instead of interleaving records.
+    Re-opening within the owning process (reload, resume-in-place) is allowed;
+    :meth:`close` — or process exit — releases the lock.  Instances also work
+    as context managers.
     """
 
     FORMAT = "repro-study-checkpoint"
     VERSION = 1
+
+    #: Advisory-lock file descriptors held by THIS process, keyed by resolved
+    #: journal path.  Lets the owning process re-open its own journal while
+    #: still conflicting with every other process via ``flock``.
+    _PROCESS_LOCKS: typing.ClassVar[dict] = {}
 
     def __init__(
         self,
@@ -186,23 +216,75 @@ class StudyCheckpoint:
         self.failures: dict[str, CellFailure] = {}
         self.corrupt_lines = 0
         self._lines: list[str] = []
-        if self.path.exists() and self.path.stat().st_size > 0:
-            if not resume:
-                raise CheckpointError(
-                    f"checkpoint {self.path} already exists; pass resume=True "
-                    "(CLI: --resume) to continue it, or remove the file"
-                )
-            self._load()
-        else:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            header = {
-                "kind": "header",
-                "format": self.FORMAT,
-                "version": self.VERSION,
-                "fingerprint": fingerprint,
-            }
-            self._lines.append(json.dumps(header))
-            self._flush()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._owns_lock = False
+        self._acquire_lock()
+        try:
+            if self.path.exists() and self.path.stat().st_size > 0:
+                if not resume:
+                    raise CheckpointError(
+                        f"checkpoint {self.path} already exists; pass resume=True "
+                        "(CLI: --resume) to continue it, or remove the file"
+                    )
+                self._load()
+            else:
+                header = {
+                    "kind": "header",
+                    "format": self.FORMAT,
+                    "version": self.VERSION,
+                    "fingerprint": fingerprint,
+                }
+                self._lines.append(json.dumps(header))
+                self._flush()
+        except BaseException:
+            self.close()
+            raise
+
+    # -- locking -------------------------------------------------------
+    @property
+    def _lock_key(self) -> str:
+        return str(self.path.resolve())
+
+    @property
+    def lock_path(self) -> Path:
+        """The advisory-lock sibling file (left in place after close)."""
+        return self.path.with_name(self.path.name + ".lock")
+
+    def _acquire_lock(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX: no enforcement
+            return
+        if self._lock_key in self._PROCESS_LOCKS:
+            return  # this process already owns the journal; reuse its lock
+        fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise CheckpointLockError(
+                f"checkpoint {self.path} is locked by another process; "
+                "concurrent writers would interleave journal records "
+                "(close the other sweep, or point this one at its own journal)"
+            ) from None
+        self._PROCESS_LOCKS[self._lock_key] = fd
+        self._owns_lock = True
+
+    def close(self) -> None:
+        """Release the advisory lock (no-op if this instance never took it)."""
+        if not self._owns_lock:
+            return
+        self._owns_lock = False
+        fd = self._PROCESS_LOCKS.pop(self._lock_key, None)
+        if fd is not None and fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    def __enter__(self) -> "StudyCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- loading -------------------------------------------------------
     def _load(self) -> None:
@@ -335,6 +417,9 @@ def run_cell_with_retry(
     fault,
     policy: RetryPolicy | None = None,
     key: str | None = None,
+    repeats: int | None = None,
+    technique_kwargs: dict | None = None,
+    clean_fraction: float = 0.1,
 ) -> CellOutcome:
     """Run one cell under the retry policy; never raises (except interrupts).
 
@@ -342,6 +427,10 @@ def run_cell_with_retry(
     ``policy.max_attempts`` failures, a :class:`CellFailure` with the full
     exception chain.  ``KeyboardInterrupt``/``SystemExit`` pass through so
     Ctrl-C still stops the sweep (the checkpoint makes that safe).
+    ``repeats``/``technique_kwargs``/``clean_fraction`` pass through to
+    :meth:`~repro.experiments.runner.ExperimentRunner.run` so a
+    :class:`~repro.experiments.plan.WorkUnit` executes identically here and
+    in a worker process.
     """
     policy = policy or RetryPolicy()
     fault_label = fault.label if fault is not None else "none"
@@ -353,6 +442,8 @@ def run_cell_with_retry(
         try:
             result = runner.run(
                 dataset, model, technique, fault,
+                repeats=repeats, technique_kwargs=technique_kwargs,
+                clean_fraction=clean_fraction,
                 lr_scale=lr_scale, seed_offset=seed_offset,
             )
             return CellOutcome(result=result, attempts=attempt)
@@ -414,6 +505,7 @@ def run_resilient_study(
     retry: RetryPolicy | None = None,
     progress: "Callable[[ExperimentResult], None] | None" = None,
     on_failure: "Callable[[CellFailure], None] | None" = None,
+    executor: "object | None" = None,
 ) -> StudyReport:
     """Run the full study grid fault-tolerantly.
 
@@ -422,41 +514,42 @@ def run_resilient_study(
     ``retry`` (default: two attempts, reseeded, learning rate halved on
     divergence); cells that exhaust their retries are recorded and skipped
     rather than aborting the sweep.
-    """
-    from .study import _make_fault, study_grid  # late import: study imports us
 
-    policy = retry or RetryPolicy()
+    ``executor`` schedules the fresh cells: ``None`` (the default) runs them
+    in-process on ``runner`` in grid order; a
+    :class:`~repro.experiments.executors.ParallelExecutor` fans them out
+    across worker processes with identical per-cell results.  This function
+    is now a thin wrapper over the plan/executor pipeline
+    (:func:`~repro.experiments.plan.plan_study` +
+    :func:`~repro.experiments.executors.run_study_plan`).
+    """
+    from .executors import SerialExecutor, run_study_plan  # late: executors imports us
+    from .plan import plan_study
+
+    plan = plan_study(
+        models=models,
+        datasets=datasets,
+        fault_types=fault_types,
+        rates=rates,
+        techniques=techniques,
+        scale=runner.scale,
+    )
+    if executor is None:
+        executor = SerialExecutor(runner=runner)
+
     ckpt = checkpoint
     if ckpt is not None and not isinstance(ckpt, StudyCheckpoint):
         ckpt = StudyCheckpoint(ckpt, fingerprint=runner._scale_fingerprint())
 
-    report = StudyReport()
-    for dataset, model, technique, fault_type, rate in study_grid(
-        models, datasets, fault_types, rates, techniques
-    ):
-        fault = _make_fault(fault_type, rate)
-        key = cell_key(runner, dataset, model, technique, fault.label)
-        if ckpt is not None and key in ckpt:
-            result = ckpt.completed[key]
-            report.results.append(result)
-            report.replayed += 1
-            if progress is not None:
-                progress(result)
-            continue
-        outcome = run_cell_with_retry(
-            runner, dataset, model, technique, fault, policy, key=key
-        )
-        if outcome.ok:
-            report.results.append(outcome.result)
-            report.executed += 1
-            if ckpt is not None:
-                ckpt.record_success(key, outcome.result)
-            if progress is not None:
-                progress(outcome.result)
-        else:
-            report.failures.append(outcome.failure)
-            if ckpt is not None:
-                ckpt.record_failure(outcome.failure)
-            if on_failure is not None:
-                on_failure(outcome.failure)
-    return report
+    cache_dir = (
+        str(runner.cell_cache.directory) if getattr(runner, "cell_cache", None) else None
+    )
+    return run_study_plan(
+        plan,
+        executor=executor,
+        checkpoint=ckpt,
+        retry=retry or RetryPolicy(),
+        progress=progress,
+        on_failure=on_failure,
+        cache_dir=cache_dir,
+    )

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import os
 import time
-import zlib
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -33,7 +32,13 @@ from ..metrics.stats import MeanWithCI, mean_confidence_interval
 from ..mitigation.base import FittedModel, TrainingBudget
 from ..mitigation.registry import build_technique
 from .cache import CellCache
-from .config import ExperimentConfig, ScaleSettings, resolve_scale
+from .config import (
+    ExperimentConfig,
+    ScaleSettings,
+    derive_repetition_seed,
+    resolve_scale,
+    scale_fingerprint,
+)
 
 __all__ = ["ExperimentResult", "ExperimentRunner"]
 
@@ -122,22 +127,22 @@ class ExperimentRunner:
         return self.scale.budget(dataset)
 
     def _scale_fingerprint(self) -> str:
-        """A string identifying everything that affects a cell's outcome."""
-        sizes = sorted(self.scale.dataset_sizes.items())
-        return (
-            f"{self.scale.name}|{self.scale.seed}|{self.scale.epochs}|"
-            f"{self.scale.batch_size}|{self.scale.learning_rate}|"
-            f"{self.scale.optimizer}|{self.scale.image_size}|{sizes}"
-        )
+        """A string identifying everything that affects a cell's outcome.
+
+        Delegates to the pure :func:`~repro.experiments.config.scale_fingerprint`
+        so planner, runner, and worker processes agree byte-for-byte.
+        """
+        return scale_fingerprint(self.scale)
 
     def _repetition_seed(self, dataset: str, model: str, repetition: int) -> int:
         """A stable derived seed for one (dataset, model, repetition).
 
-        Uses CRC32 rather than ``hash()`` so seeds are identical across
-        processes (Python string hashing is salted per process).
+        Delegates to :func:`~repro.experiments.config.derive_repetition_seed`
+        — a pure function of (scale seed, cell identity), never of in-process
+        state, so a cell trained in a worker process seeds identically to the
+        serial path.
         """
-        key = f"{dataset}|{model}|{repetition}|{self.scale.seed}".encode()
-        return zlib.crc32(key) & 0x7FFFFFFF
+        return derive_repetition_seed(self.scale.seed, dataset, model, repetition)
 
     def golden_predictions(self, dataset: str, model: str, repetition: int) -> np.ndarray:
         """Test predictions of the golden (fault-free baseline) model, cached."""

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..faults.spec import FaultSpec, FaultType, mislabelling, removal, repetition
+from ..faults.spec import FaultSpec, FaultType, mislabelling, removal, repetition, single_fault
 from ..metrics.overhead import OverheadResult, RuntimeCost, relative_overhead
 from ..metrics.stats import MeanWithCI, statistically_similar
 from ..mitigation.registry import technique_names
+from .plan import iter_grid, techniques_for
 from .runner import ExperimentResult, ExperimentRunner
 
 __all__ = [
@@ -76,21 +77,11 @@ class ADPanel:
         return min(self.series, key=lambda t: self.series[t].at(rate).mean)
 
 
-def _make_fault(fault_type: FaultType, rate: float) -> FaultSpec:
-    return {
-        FaultType.MISLABELLING: mislabelling,
-        FaultType.REPETITION: repetition,
-        FaultType.REMOVAL: removal,
-    }[fault_type](rate)
-
-
-def _techniques_for(fault_type: FaultType | None, techniques: list[str] | None) -> list[str]:
-    """Default technique list; label correction is skipped for fault types it
-    cannot influence (paper §IV-C runs LC only for mislabelling)."""
-    names = techniques or technique_names()
-    if fault_type is not None and fault_type is not FaultType.MISLABELLING:
-        names = [n for n in names if n != "label_correction"]
-    return names
+# Compatibility aliases: the canonical implementations moved to leaf modules
+# (faults.spec / experiments.plan) so the planner and worker processes can
+# share them without importing this driver layer.
+_make_fault = single_fault
+_techniques_for = techniques_for
 
 
 # ----------------------------------------------------------------------
@@ -298,16 +289,11 @@ def study_grid(
     """Yield the study grid cells as ``(dataset, model, technique, fault_type,
     rate)`` tuples, in the canonical sweep order.
 
-    Shared by :func:`full_study` and the fault-tolerant driver
-    (:func:`repro.experiments.resilience.run_resilient_study`) so both walk
-    the identical grid.
+    Delegates to :func:`repro.experiments.plan.iter_grid` — the single source
+    of the sweep order shared with :func:`repro.experiments.plan.plan_study`
+    — so plain, resilient, and parallel drivers all walk the identical grid.
     """
-    for dataset in datasets:
-        for model in models:
-            for fault_type in fault_types:
-                for technique in _techniques_for(fault_type, techniques):
-                    for rate in rates:
-                        yield dataset, model, technique, fault_type, rate
+    yield from iter_grid(models, datasets, fault_types, rates, techniques)
 
 
 def full_study(
@@ -324,6 +310,8 @@ def full_study(
     progress: "callable | None" = None,
     checkpoint: "object | None" = None,
     retry: "object | None" = None,
+    executor: "object | None" = None,
+    jobs: "int | None" = None,
 ) -> list[ExperimentResult]:
     """Run the study grid (paper §IV) and return every cell's result.
 
@@ -342,8 +330,20 @@ def full_study(
     :func:`~repro.experiments.resilience.run_resilient_study` directly for
     the full :class:`~repro.experiments.resilience.StudyReport` (including
     failures).
+
+    ``executor`` (an :class:`~repro.experiments.executors.Executor`) or
+    ``jobs`` (> 1, shorthand for
+    :class:`~repro.experiments.executors.ParallelExecutor`) fans the grid out
+    across worker processes.  Cell results are deterministic per
+    :class:`~repro.experiments.plan.WorkUnit`, so a parallel sweep returns
+    payloads identical to the serial run (wall-clock timings aside), in the
+    same canonical grid order.
     """
-    if checkpoint is not None or retry is not None:
+    if executor is None and jobs is not None and jobs > 1:
+        from .executors import ParallelExecutor
+
+        executor = ParallelExecutor(jobs=jobs)
+    if checkpoint is not None or retry is not None or executor is not None:
         from .resilience import run_resilient_study
 
         report = run_resilient_study(
@@ -356,6 +356,7 @@ def full_study(
             checkpoint=checkpoint,
             retry=retry,
             progress=progress,
+            executor=executor,
         )
         return report.results
 

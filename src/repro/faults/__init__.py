@@ -15,6 +15,7 @@ from .spec import (
     mislabelling,
     removal,
     repetition,
+    single_fault,
 )
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "mislabelling",
     "repetition",
     "removal",
+    "single_fault",
     "FaultReport",
     "inject",
     "inject_mislabelling",

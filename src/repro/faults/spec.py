@@ -78,6 +78,16 @@ class CombinedFaultSpec:
         return CombinedFaultSpec((*self.faults, other))
 
 
+def single_fault(fault_type: FaultType | str, rate: float) -> FaultSpec:
+    """Build one :class:`FaultSpec` from a fault type (enum or its value).
+
+    The planner's bridge from plain picklable fields (``fault_type``/``rate``
+    in a :class:`~repro.experiments.plan.WorkUnit`) back to a spec — worker
+    processes reconstruct the identical fault from the unit alone.
+    """
+    return FaultSpec(FaultType(fault_type), rate)
+
+
 def mislabelling(rate: float) -> FaultSpec:
     """Shorthand constructor."""
     return FaultSpec(FaultType.MISLABELLING, rate)
@@ -93,4 +103,4 @@ def removal(rate: float) -> FaultSpec:
     return FaultSpec(FaultType.REMOVAL, rate)
 
 
-__all__ += ["mislabelling", "repetition", "removal"]
+__all__ += ["single_fault", "mislabelling", "repetition", "removal"]

@@ -13,6 +13,7 @@ from .registry import (
     TECHNIQUES,
     build_technique,
     technique_names,
+    validate_techniques,
 )
 from .robust_loss import RobustLossTechnique
 
@@ -37,4 +38,5 @@ __all__ = [
     "TECHNIQUE_ABBREVIATIONS",
     "technique_names",
     "build_technique",
+    "validate_techniques",
 ]

@@ -16,6 +16,7 @@ __all__ = [
     "EXTENSION_TECHNIQUES",
     "build_technique",
     "technique_names",
+    "validate_techniques",
     "TECHNIQUE_ABBREVIATIONS",
 ]
 
@@ -55,8 +56,27 @@ def technique_names(include_baseline: bool = True, include_extensions: bool = Fa
     return names
 
 
+def validate_techniques(names: "list[str] | tuple[str, ...]") -> None:
+    """Fail fast on unknown technique names (paper set or extensions).
+
+    Called at *plan* time (:func:`repro.experiments.plan.plan_study`) so a
+    typo aborts before any worker process is spawned or any cell is trained,
+    rather than mid-sweep inside a subprocess.
+    """
+    unknown = [n for n in names if n not in TECHNIQUES and n not in EXTENSION_TECHNIQUES]
+    if unknown:
+        choices = sorted(TECHNIQUES) + sorted(EXTENSION_TECHNIQUES)
+        raise KeyError(f"unknown technique(s) {unknown}; choices: {choices}")
+
+
 def build_technique(name: str, **kwargs: object) -> MitigationTechnique:
-    """Build a technique (paper set or extension) by registry name."""
+    """Build a technique (paper set or extension) by registry name.
+
+    Every registered class lives at module top level with plain-value
+    constructor arguments, so built instances pickle across process
+    boundaries — parallel executors rebuild them inside worker processes
+    from (name, kwargs) carried by a ``WorkUnit``.
+    """
     cls = TECHNIQUES.get(name) or EXTENSION_TECHNIQUES.get(name)
     if cls is None:
         choices = sorted(TECHNIQUES) + sorted(EXTENSION_TECHNIQUES)

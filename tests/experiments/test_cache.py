@@ -97,6 +97,57 @@ class TestCellCache:
         assert len(cache) == 1
 
 
+def _hammer_one_key(directory: str, writes: int) -> bool:
+    """Worker for the concurrent-writer test (module level: picklable)."""
+    cache = CellCache(directory)
+    for i in range(writes):
+        cache.put("shared|key", np.full(8, i), RuntimeCost(1.0, 0.1))
+    return True
+
+
+class TestCellCacheConcurrency:
+    def test_concurrent_writers_on_same_key(self, tmp_path):
+        # Parallel workers store deterministic content under the same key;
+        # racing puts must each complete (unique temp names + atomic rename)
+        # and leave a readable entry with no stray temp files.
+        from concurrent.futures import ProcessPoolExecutor
+
+        directory = str(tmp_path / "cells")
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(_hammer_one_key, directory, 20) for _ in range(2)]
+            assert all(f.result() for f in futures)
+
+        cache = CellCache(directory)
+        hit = cache.get("shared|key")
+        assert hit is not None
+        assert not list(cache.directory.glob("*.tmp"))
+        assert len(cache) == 1
+
+    def test_tmp_names_are_unique_per_call(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        cache = CellCache(tmp_path)
+        seen = []
+        real_replace = os_module.replace
+
+        def recording_replace(src, dst):
+            seen.append(str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os_module, "replace", recording_replace)
+        cache.put("k", np.zeros(2), RuntimeCost(1.0, 1.0))
+        cache.put("k", np.zeros(2), RuntimeCost(1.0, 1.0))
+        assert len(set(seen)) == 2  # same key, distinct temp files
+
+    def test_clear_tolerates_missing_files(self, tmp_path):
+        cache_a = CellCache(tmp_path)
+        cache_b = CellCache(tmp_path)
+        cache_a.put("k", np.zeros(2), RuntimeCost(1.0, 1.0))
+        cache_a.clear()
+        cache_b.clear()  # second clear sees nothing to delete; must not raise
+        assert len(cache_b) == 0
+
+
 def _micro_scale():
     return ScaleSettings(
         name="micro",

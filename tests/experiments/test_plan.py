@@ -1,0 +1,164 @@
+"""Tests for the plan stage: WorkUnit expansion, keys, seeds, pickling."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ScaleSettings,
+    WorkUnit,
+    cell_key,
+    derive_repetition_seed,
+    plan_study,
+    scale_fingerprint,
+    study_grid,
+)
+from repro.faults import FaultType
+from repro.mitigation import build_technique, technique_names, validate_techniques
+
+MICRO = ScaleSettings(
+    name="micro",
+    dataset_sizes={"cifar10": (40, 20), "gtsrb": (86, 43), "pneumonia": (30, 16)},
+    epochs=2,
+    batch_size=16,
+    repeats=1,
+    seed=5,
+)
+
+GRID = dict(
+    models=("convnet", "mlp"),
+    datasets=("pneumonia", "gtsrb"),
+    fault_types=(FaultType.MISLABELLING, FaultType.REMOVAL),
+    rates=(0.1, 0.3),
+)
+
+
+class TestPlanStudy:
+    def test_expansion_matches_study_grid_order(self):
+        plan = plan_study(scale=MICRO, techniques=["baseline", "label_smoothing"], **GRID)
+        grid = list(study_grid(techniques=["baseline", "label_smoothing"], **GRID))
+        assert len(plan) == len(grid)
+        assert [
+            (u.dataset, u.model, u.technique, u.fault_type, u.rate) for u in plan
+        ] == grid
+
+    def test_label_correction_skipped_for_non_mislabelling(self):
+        plan = plan_study(
+            scale=MICRO, techniques=["baseline", "label_correction"], **GRID
+        )
+        lc_units = [u for u in plan if u.technique == "label_correction"]
+        assert lc_units  # present for mislabelling...
+        assert all(u.fault_type is FaultType.MISLABELLING for u in lc_units)
+
+    def test_unknown_technique_fails_at_plan_time(self):
+        with pytest.raises(KeyError, match="unknown technique"):
+            plan_study(scale=MICRO, techniques=["baseline", "tyop"], **GRID)
+        with pytest.raises(KeyError):
+            validate_techniques(["no_such_technique"])
+
+    def test_scale_resolves_from_name(self):
+        plan = plan_study(
+            models=("convnet",), datasets=("pneumonia",), rates=(0.1,),
+            techniques=["baseline"], scale="smoke",
+        )
+        assert plan[0].scale.name == "smoke"
+
+    def test_default_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        plan = plan_study(
+            models=("convnet",), datasets=("pneumonia",), rates=(0.1,),
+            techniques=["baseline"],
+        )
+        assert plan[0].scale.name == "small"
+
+
+class TestWorkUnit:
+    def unit(self, **overrides):
+        fields = dict(
+            dataset="pneumonia", model="convnet", technique="baseline",
+            fault_type=FaultType.MISLABELLING, rate=0.3, scale=MICRO,
+        )
+        fields.update(overrides)
+        return WorkUnit(**fields)
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        unit = self.unit()
+        clone = pickle.loads(pickle.dumps(unit))
+        assert clone == unit
+        assert hash(clone) == hash(unit)
+        assert clone.key == unit.key
+        assert clone.fingerprint == unit.fingerprint
+
+    def test_key_matches_serial_cell_key(self):
+        unit = self.unit()
+        runner = ExperimentRunner(MICRO)
+        assert unit.key == cell_key(
+            runner, unit.dataset, unit.model, unit.technique, unit.fault_label
+        )
+
+    def test_fault_reconstruction(self):
+        unit = self.unit()
+        assert unit.fault.label == "mislabelling@30%"
+        assert unit.fault_label == "mislabelling@30%"
+        clean = self.unit(fault_type=None, rate=0.0)
+        assert clean.fault is None
+        assert clean.fault_label == "none"
+
+    def test_repeats_default_to_scale(self):
+        assert self.unit().effective_repeats == MICRO.repeats
+        assert self.unit(repeats=7).effective_repeats == 7
+        assert "x7" in self.unit(repeats=7).key
+
+    def test_repetition_seed_matches_runner(self):
+        unit = self.unit()
+        runner = ExperimentRunner(MICRO)
+        for repetition in range(3):
+            assert unit.repetition_seed(repetition) == runner._repetition_seed(
+                unit.dataset, unit.model, repetition
+            )
+
+    def test_seed_and_fingerprint_stable_across_processes(self):
+        # Python string hashing is per-process salted; the seed derivation
+        # must not be.  Recompute in a fresh interpreter and compare.
+        unit = self.unit()
+        script = (
+            "from repro.experiments import derive_repetition_seed\n"
+            "print(derive_repetition_seed(5, 'pneumonia', 'convnet', 0))"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=__file__.rsplit("/tests/", 1)[0],
+        ).stdout.strip()
+        assert int(output) == unit.repetition_seed(0)
+        assert int(output) == derive_repetition_seed(5, "pneumonia", "convnet", 0)
+
+    def test_fingerprint_covers_scale_and_cell(self):
+        unit = self.unit()
+        assert scale_fingerprint(MICRO) in unit.fingerprint
+        assert unit.key in unit.fingerprint
+        other_scale = ScaleSettings(
+            name="micro", dataset_sizes=dict(MICRO.dataset_sizes), epochs=3,
+            batch_size=16, repeats=1, seed=5,
+        )
+        assert self.unit(scale=other_scale).fingerprint != unit.fingerprint
+
+    def test_runner_fingerprint_matches_pure_function(self):
+        assert ExperimentRunner(MICRO)._scale_fingerprint() == scale_fingerprint(MICRO)
+
+
+class TestTechniquePickling:
+    def test_all_registered_techniques_pickle(self):
+        # Parallel workers rebuild techniques from (name, kwargs); instances
+        # must also survive pickling for executors that ship them directly.
+        for name in technique_names(include_extensions=True):
+            technique = build_technique(name)
+            clone = pickle.loads(pickle.dumps(technique))
+            assert type(clone) is type(technique)

@@ -47,6 +47,14 @@ def _make_result(dataset, model, technique, fault_label, scale="stub"):
 class _StubScale:
     name = "stub"
     repeats = 1
+    # Fingerprint inputs (scale_fingerprint works on any duck-typed scale).
+    seed = 0
+    epochs = 1
+    batch_size = 1
+    learning_rate = 1.0
+    optimizer = "adam"
+    image_size = 1
+    dataset_sizes: dict = {}
 
 
 class StubRunner:
@@ -180,6 +188,72 @@ class TestStudyCheckpoint:
         monkeypatch.undo()
         assert path.read_text() == before  # old journal intact, no torn state
         assert not path.with_name(path.name + ".tmp").exists()
+
+
+# ----------------------------------------------------------------------
+# Advisory locking: one writer per journal
+# ----------------------------------------------------------------------
+
+fcntl = pytest.importorskip("fcntl")
+
+
+class TestCheckpointLock:
+    def test_foreign_lock_holder_is_refused(self, tmp_path):
+        from repro.experiments import CheckpointLockError
+
+        path = tmp_path / "study.jsonl"
+        ckpt = StudyCheckpoint(path)
+        ckpt.record_success("k", _make_result("d", "m", "t", "f"))
+        ckpt.close()
+
+        # Simulate another process: an independent fd's flock conflicts with
+        # any later open, even within this process.
+        fd = os.open(ckpt.lock_path, os.O_RDWR)
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        try:
+            with pytest.raises(CheckpointLockError, match="locked by another process"):
+                StudyCheckpoint(path)
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+        # Lock released by the "other process": open works again, data intact.
+        reopened = StudyCheckpoint(path)
+        assert set(reopened.completed) == {"k"}
+        reopened.close()
+
+    def test_lock_error_is_a_checkpoint_error(self):
+        from repro.experiments import CheckpointLockError
+
+        assert issubclass(CheckpointLockError, CheckpointError)
+
+    def test_same_process_may_reopen_its_journal(self, tmp_path):
+        # Reload/resume within the owning process (the historical pattern)
+        # must keep working; only *other* processes are locked out.
+        path = tmp_path / "study.jsonl"
+        first = StudyCheckpoint(path)
+        first.record_success("k", _make_result("d", "m", "t", "f"))
+        second = StudyCheckpoint(path)  # no close() in between
+        assert set(second.completed) == {"k"}
+        first.close()
+        second.close()
+
+    def test_context_manager_releases_lock(self, tmp_path):
+        path = tmp_path / "study.jsonl"
+        with StudyCheckpoint(path) as ckpt:
+            ckpt.record_success("k", _make_result("d", "m", "t", "f"))
+        # After close, a foreign flock succeeds — proof the lock was dropped.
+        fd = os.open(ckpt.lock_path, os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def test_close_is_idempotent(self, tmp_path):
+        ckpt = StudyCheckpoint(tmp_path / "study.jsonl")
+        ckpt.close()
+        ckpt.close()
 
 
 # ----------------------------------------------------------------------
