@@ -16,9 +16,21 @@ Public surface:
 - :mod:`repro.experiments` -- the study harness and per-table/figure drivers
 - :mod:`repro.survey` -- the Table I technique catalog and selection
 - :mod:`repro.analysis` -- mechanism analyses (memorization, diversity, per-class AD)
+- :mod:`repro.telemetry` -- structured trace events, span timers, live sweep progress
 """
 
-from . import analysis, data, experiments, faults, metrics, mitigation, models, nn, survey
+from . import (
+    analysis,
+    data,
+    experiments,
+    faults,
+    metrics,
+    mitigation,
+    models,
+    nn,
+    survey,
+    telemetry,
+)
 
 __version__ = "1.0.0"
 
@@ -32,5 +44,6 @@ __all__ = [
     "metrics",
     "experiments",
     "survey",
+    "telemetry",
     "__version__",
 ]

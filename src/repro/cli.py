@@ -11,9 +11,13 @@ Usage::
     repro-study combined [--rate 0.3]
     repro-study panel --dataset gtsrb --model convnet --fault mislabelling
     repro-study study [--jobs 4] [--checkpoint out/study.jsonl] [--resume] [--out results.json]
+    repro-study study --trace out/trace.jsonl --progress ...
+    repro-study trace out/trace.jsonl
 
 Scale comes from ``--scale`` or the ``REPRO_SCALE`` environment variable
-(default ``smoke``).  Each command prints the paper-shaped text rendering.
+(default ``smoke``).  Each command prints the paper-shaped text rendering to
+stdout; diagnostics go to stderr through the ``repro`` logger hierarchy
+(``--verbose`` for debug detail, ``--quiet`` for warnings only).
 """
 
 from __future__ import annotations
@@ -22,6 +26,13 @@ import argparse
 import sys
 from typing import Sequence
 
+from .log import get_logger, setup_cli_logging
+from .telemetry import (
+    ProgressReporter,
+    TraceError,
+    render_trace_summary,
+    summarize_trace,
+)
 from .experiments import (
     CheckpointError,
     ExperimentRunner,
@@ -41,6 +52,7 @@ from .experiments import (
     render_panel,
     render_panels,
     render_table4,
+    plan_study,
     run_resilient_study,
     save_results,
 )
@@ -49,6 +61,8 @@ from .mitigation import technique_names
 from .survey import render_table1, select_representatives
 
 __all__ = ["main", "build_parser"]
+
+logger = get_logger("cli")
 
 
 def _csv(value: str) -> tuple[str, ...]:
@@ -70,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("smoke", "small", "paper"),
         default=None,
         help="experiment scale (default: REPRO_SCALE env var or 'smoke')",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level diagnostics on stderr (repro logger hierarchy)",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress informational diagnostics (warnings and errors only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -144,6 +167,26 @@ def build_parser() -> argparse.ArgumentParser:
         "are identical either way, modulo wall-clock timings)",
     )
     study.add_argument("--out", default=None, help="write a JSON results archive here")
+    study.add_argument(
+        "--trace",
+        default=None,
+        help="write a structured JSONL telemetry trace here (span timers, "
+        "retry/cache/divergence events; summarize with 'repro-study trace')",
+    )
+    study.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress reporter (done/total, ETA, retries, per-worker "
+        "activity) instead of one line per completed cell",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="summarize a study telemetry trace (JSONL) file"
+    )
+    trace.add_argument("file", help="trace file written by 'study --trace'")
+    trace.add_argument(
+        "--top", type=int, default=5, help="slowest cells to list (default 5)"
+    )
 
     return parser
 
@@ -151,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    setup_cli_logging(verbose=args.verbose, quiet=args.quiet)
 
     if args.command == "table1":  # needs no runner
         print(render_table1())
@@ -159,8 +203,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"  {result}")
         return 0
 
+    if args.command == "trace":  # needs no runner either
+        return _run_trace_command(args)
+
     runner = ExperimentRunner(args.scale)
-    print(f"[scale={runner.scale.name}, repeats={runner.scale.repeats}]", file=sys.stderr)
+    logger.info("[scale=%s, repeats=%d]", runner.scale.name, runner.scale.repeats)
 
     if args.command == "motivating":
         result = motivating_example(runner, model=args.model, rate=args.rate)
@@ -204,24 +251,41 @@ def _run_study_command(runner: ExperimentRunner, args: argparse.Namespace) -> in
                 resume=args.resume,
             )
         except CheckpointError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            logger.error("error: %s", exc)
             return 2
         if len(checkpoint):
-            print(
-                f"[resuming: {len(checkpoint)} cells already journaled]",
-                file=sys.stderr,
-            )
+            logger.info("[resuming: %d cells already journaled]", len(checkpoint))
     elif args.resume:
-        print("error: --resume requires --checkpoint", file=sys.stderr)
+        logger.error("error: --resume requires --checkpoint")
         return 2
 
     if args.jobs < 1:
-        print("error: --jobs must be >= 1", file=sys.stderr)
+        logger.error("error: --jobs must be >= 1")
         return 2
     executor = None
     if args.jobs > 1:
         executor = ParallelExecutor(jobs=args.jobs)
-        print(f"[parallel: {args.jobs} worker processes]", file=sys.stderr)
+        logger.info("[parallel: %d worker processes]", args.jobs)
+    if args.trace:
+        logger.info("[tracing to %s]", args.trace)
+
+    # With --progress the live reporter owns the stderr status line;
+    # otherwise keep the historical one-line-per-cell diagnostics.
+    reporter = None
+    progress = lambda result: logger.info("  %s", result)  # noqa: E731
+    on_failure = lambda failure: logger.info("  FAILED %s", failure.describe())  # noqa: E731
+    if args.progress:
+        total = len(plan_study(
+            models=args.models,
+            datasets=args.datasets,
+            fault_types=tuple(FaultType(f) for f in args.faults),
+            rates=args.rates,
+            techniques=list(args.techniques) if args.techniques else None,
+            scale=runner.scale,
+        ))
+        reporter = ProgressReporter(total)
+        progress = None
+        on_failure = None
 
     report = run_resilient_study(
         runner,
@@ -233,14 +297,32 @@ def _run_study_command(runner: ExperimentRunner, args: argparse.Namespace) -> in
         checkpoint=checkpoint,
         retry=RetryPolicy(max_attempts=args.max_attempts),
         executor=executor,
-        progress=lambda result: print(f"  {result}", file=sys.stderr),
-        on_failure=lambda failure: print(f"  FAILED {failure.describe()}", file=sys.stderr),
+        progress=progress,
+        on_failure=on_failure,
+        trace=args.trace,
+        on_outcome=reporter,
     )
+    if reporter is not None:
+        reporter.finish()
     print(report.summary())
     if args.out is not None:
         save_results(report.results, args.out)
-        print(f"[archived {len(report.results)} results to {args.out}]", file=sys.stderr)
+        logger.info("[archived %d results to %s]", len(report.results), args.out)
     return 0 if report.ok else 1
+
+
+def _run_trace_command(args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand: summarize a JSONL study trace."""
+    try:
+        summary = summarize_trace(args.file, top=args.top)
+    except FileNotFoundError:
+        logger.error("error: no such trace file: %s", args.file)
+        return 2
+    except TraceError as exc:
+        logger.error("error: %s", exc)
+        return 2
+    print(render_trace_summary(summary))
+    return 0
 
 
 if __name__ == "__main__":

@@ -37,6 +37,15 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
 
+from ..log import get_logger
+from ..telemetry import (
+    FileTelemetry,
+    NULL,
+    NullTelemetry,
+    RecordingTelemetry,
+    Telemetry,
+    telemetry_scope,
+)
 from .config import scale_fingerprint
 from .plan import WorkUnit
 from .resilience import (
@@ -48,6 +57,8 @@ from .resilience import (
     run_cell_with_retry,
 )
 from .runner import ExperimentResult, ExperimentRunner
+
+logger = get_logger("experiments.executors")
 
 __all__ = [
     "ExecutionSettings",
@@ -67,26 +78,60 @@ class ExecutionSettings:
     #: Disk cache directory for trained cells; ``None`` defers to the
     #: ``REPRO_CACHE_DIR`` environment variable (inherited by workers).
     cache_dir: "str | None" = None
+    #: Record per-unit telemetry batches onto each
+    #: :class:`~repro.experiments.resilience.CellOutcome` (see
+    #: :func:`execute_unit`); the collector merges them into the trace file.
+    trace: bool = False
 
 
 def execute_unit(
-    runner: ExperimentRunner, unit: WorkUnit, retry: "RetryPolicy | None" = None
+    runner: ExperimentRunner,
+    unit: WorkUnit,
+    retry: "RetryPolicy | None" = None,
+    trace: bool = False,
 ) -> CellOutcome:
     """Run one unit on ``runner`` under the retry middleware; never raises
     (interrupts excepted) — failures degrade to a recorded
-    :class:`~repro.experiments.resilience.CellFailure`."""
-    return run_cell_with_retry(
-        runner,
-        unit.dataset,
-        unit.model,
-        unit.technique,
-        unit.fault,
-        policy=retry,
-        key=unit.key,
-        repeats=unit.repeats,
-        technique_kwargs=dict(unit.technique_kwargs) or None,
-        clean_fraction=unit.clean_fraction,
-    )
+    :class:`~repro.experiments.resilience.CellFailure`.
+
+    With ``trace=True`` the whole cell runs under a scoped
+    :class:`~repro.telemetry.RecordingTelemetry`, wrapped in a ``unit`` span;
+    the recorded batch rides back on ``outcome.events``.  Serial and worker
+    execution share this exact path, so traces are structurally identical
+    regardless of the executor (the collector re-parents each batch onto its
+    study span).
+    """
+    recorder = RecordingTelemetry() if trace else NULL
+
+    def _run() -> CellOutcome:
+        return run_cell_with_retry(
+            runner,
+            unit.dataset,
+            unit.model,
+            unit.technique,
+            unit.fault,
+            policy=retry,
+            key=unit.key,
+            repeats=unit.repeats,
+            technique_kwargs=dict(unit.technique_kwargs) or None,
+            clean_fraction=unit.clean_fraction,
+        )
+
+    if not trace:
+        outcome = _run()
+        outcome.pid = os.getpid()
+        return outcome
+    with telemetry_scope(recorder):
+        with recorder.span(
+            "unit", key=unit.key, dataset=unit.dataset, model=unit.model,
+            technique=unit.technique, fault=unit.fault_label, rate=unit.rate,
+        ) as span:
+            outcome = _run()
+            if not outcome.ok:
+                span.set(outcome="failed")
+    outcome.events = recorder.drain()
+    outcome.pid = os.getpid()
+    return outcome
 
 
 # ----------------------------------------------------------------------
@@ -109,7 +154,9 @@ def _worker_runner(unit: WorkUnit, settings: ExecutionSettings) -> ExperimentRun
 
 def _execute_unit_in_worker(unit: WorkUnit, settings: ExecutionSettings) -> CellOutcome:
     """Top-level (hence picklable) entry point run inside pool workers."""
-    return execute_unit(_worker_runner(unit, settings), unit, settings.retry)
+    return execute_unit(
+        _worker_runner(unit, settings), unit, settings.retry, trace=settings.trace
+    )
 
 
 # ----------------------------------------------------------------------
@@ -155,7 +202,7 @@ class SerialExecutor:
         if runner is None:
             runner = ExperimentRunner(units[0].scale, cache_dir=settings.cache_dir)
         for index, unit in enumerate(units):
-            yield index, execute_unit(runner, unit, settings.retry)
+            yield index, execute_unit(runner, unit, settings.retry, trace=settings.trace)
 
 
 class ParallelExecutor:
@@ -207,6 +254,8 @@ def run_study_plan(
     progress: "Callable[[ExperimentResult], None] | None" = None,
     on_failure: "Callable[[CellFailure], None] | None" = None,
     cache_dir: "str | None" = None,
+    trace: "Telemetry | str | os.PathLike | None" = None,
+    on_outcome: "Callable[[int, WorkUnit, CellOutcome], None] | None" = None,
 ) -> StudyReport:
     """Execute a plan and collect a :class:`StudyReport` in plan order.
 
@@ -220,11 +269,30 @@ def run_study_plan(
        worker outcomes are journaled here, serially, as they arrive.
 
     ``report.results`` is ordered by plan position regardless of completion
-    order; ``progress``/``on_failure`` fire in completion order.
+    order; ``progress``/``on_failure``/``on_outcome`` fire in completion
+    order (``on_outcome`` sees *every* cell — replayed, succeeded, or failed
+    — as ``(plan index, unit, outcome)``; the live
+    :class:`~repro.telemetry.ProgressReporter` plugs in here).
+
+    ``trace`` (a path, or an open :class:`~repro.telemetry.Telemetry`)
+    enables study telemetry: each unit executes under a recording handle in
+    its worker, the batch rides back on the outcome, and this function —
+    the single writer — merges batches into one ordered JSONL trace wrapped
+    in a ``study`` span, with ``checkpoint_skip`` counters for replayed
+    cells.  Serial and parallel sweeps therefore produce structurally
+    identical traces.
     """
     plan = list(plan)
     executor = executor or SerialExecutor()
-    settings = ExecutionSettings(retry=retry, cache_dir=cache_dir)
+
+    tel: "Telemetry | NullTelemetry" = NULL
+    owns_trace = False
+    if isinstance(trace, (Telemetry, NullTelemetry)):
+        tel = trace
+    elif trace is not None:
+        tel = FileTelemetry(trace)
+        owns_trace = True
+    settings = ExecutionSettings(retry=retry, cache_dir=cache_dir, trace=tel.enabled)
 
     ckpt = checkpoint
     if ckpt is not None and not isinstance(ckpt, StudyCheckpoint):
@@ -232,31 +300,52 @@ def run_study_plan(
         ckpt = StudyCheckpoint(ckpt, fingerprint=fingerprint)
 
     outcomes: dict[int, CellOutcome] = {}
-    pending: list[tuple[int, WorkUnit]] = []
-    for index, unit in enumerate(plan):
-        if ckpt is not None and unit.key in ckpt:
-            outcome = CellOutcome(result=ckpt.completed[unit.key], from_checkpoint=True)
-            outcomes[index] = outcome
-            if progress is not None:
-                progress(outcome.result)
-        else:
-            pending.append((index, unit))
+    try:
+        with tel.span("study", cells=len(plan), jobs=executor.jobs) as study_span:
+            pending: list[tuple[int, WorkUnit]] = []
+            for index, unit in enumerate(plan):
+                if ckpt is not None and unit.key in ckpt:
+                    outcome = CellOutcome(
+                        result=ckpt.completed[unit.key], from_checkpoint=True
+                    )
+                    outcomes[index] = outcome
+                    tel.counter("checkpoint_skip", key=unit.key)
+                    if on_outcome is not None:
+                        on_outcome(index, unit, outcome)
+                    if progress is not None:
+                        progress(outcome.result)
+                else:
+                    pending.append((index, unit))
 
-    if pending:
-        plan_indices = [index for index, _ in pending]
-        for local_index, outcome in executor.map([unit for _, unit in pending], settings):
-            index = plan_indices[local_index]
-            outcomes[index] = outcome
-            if outcome.ok:
-                if ckpt is not None:
-                    ckpt.record_success(plan[index].key, outcome.result)
-                if progress is not None:
-                    progress(outcome.result)
-            else:
-                if ckpt is not None:
-                    ckpt.record_failure(outcome.failure)
-                if on_failure is not None:
-                    on_failure(outcome.failure)
+            if pending:
+                logger.debug(
+                    "executing %d/%d cells (%d replayed) on %s with %d job(s)",
+                    len(pending), len(plan), len(plan) - len(pending),
+                    type(executor).__name__, executor.jobs,
+                )
+                plan_indices = [index for index, _ in pending]
+                for local_index, outcome in executor.map(
+                    [unit for _, unit in pending], settings
+                ):
+                    index = plan_indices[local_index]
+                    outcomes[index] = outcome
+                    if outcome.events:
+                        tel.write_batch(outcome.events, parent=study_span.id)
+                    if on_outcome is not None:
+                        on_outcome(index, plan[index], outcome)
+                    if outcome.ok:
+                        if ckpt is not None:
+                            ckpt.record_success(plan[index].key, outcome.result)
+                        if progress is not None:
+                            progress(outcome.result)
+                    else:
+                        if ckpt is not None:
+                            ckpt.record_failure(outcome.failure)
+                        if on_failure is not None:
+                            on_failure(outcome.failure)
+    finally:
+        if owns_trace:
+            tel.close()
 
     report = StudyReport()
     for index in range(len(plan)):

@@ -31,9 +31,13 @@ from pathlib import Path
 from typing import Callable
 
 from ..faults.spec import FaultType
+from ..log import get_logger
 from ..nn.trainer import DivergenceError
+from ..telemetry import get_telemetry
 from .persistence import result_from_dict, result_to_dict
 from .runner import ExperimentResult, ExperimentRunner
+
+logger = get_logger("experiments.resilience")
 
 try:
     import fcntl
@@ -157,12 +161,21 @@ class CellFailure:
 
 @dataclass
 class CellOutcome:
-    """What happened to one cell: a result, or a failure, never both."""
+    """What happened to one cell: a result, or a failure, never both.
+
+    When tracing is on, ``events`` carries the cell's recorded telemetry
+    batch (plain picklable dicts) back from wherever it executed — worker
+    process or in-process — to the parent collector, which is the single
+    writer of the merged trace.  ``pid`` is the executing process, feeding
+    the live reporter's per-worker activity line.
+    """
 
     result: ExperimentResult | None = None
     failure: CellFailure | None = None
     attempts: int = 1
     from_checkpoint: bool = False
+    events: list = field(default_factory=list)
+    pid: "int | None" = None
 
     @property
     def ok(self) -> bool:
@@ -433,32 +446,48 @@ def run_cell_with_retry(
     in a worker process.
     """
     policy = policy or RetryPolicy()
+    tel = get_telemetry()
     fault_label = fault.label if fault is not None else "none"
     key = key or cell_key(runner, dataset, model, technique, fault_label)
     errors: list[BaseException] = []
     lr_scale = 1.0
     for attempt in range(1, policy.max_attempts + 1):
         seed_offset = attempt - 1 if policy.reseed else 0
-        try:
-            result = runner.run(
-                dataset, model, technique, fault,
-                repeats=repeats, technique_kwargs=technique_kwargs,
-                clean_fraction=clean_fraction,
-                lr_scale=lr_scale, seed_offset=seed_offset,
-            )
-            return CellOutcome(result=result, attempts=attempt)
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except DivergenceError as exc:
-            errors.append(exc)
-            lr_scale *= policy.lr_decay_on_divergence
-        except Exception as exc:
-            errors.append(exc)
+        with tel.span("attempt", attempt=attempt, key=key) as span:
+            try:
+                result = runner.run(
+                    dataset, model, technique, fault,
+                    repeats=repeats, technique_kwargs=technique_kwargs,
+                    clean_fraction=clean_fraction,
+                    lr_scale=lr_scale, seed_offset=seed_offset,
+                )
+                return CellOutcome(result=result, attempts=attempt)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except DivergenceError as exc:
+                errors.append(exc)
+                lr_scale *= policy.lr_decay_on_divergence
+                tel.event(
+                    "divergence", key=key, attempt=attempt,
+                    epoch=exc.epoch, batch=exc.batch, loss=repr(exc.loss),
+                )
+                span.set(outcome="error", error=type(exc).__name__)
+                logger.debug(
+                    "cell %s diverged on attempt %d (epoch %d); lr scaled to %g",
+                    key, attempt, exc.epoch, lr_scale,
+                )
+            except Exception as exc:
+                errors.append(exc)
+                span.set(outcome="error", error=type(exc).__name__)
+                logger.debug("cell %s failed attempt %d: %r", key, attempt, exc)
         if attempt < policy.max_attempts:
+            tel.counter("retry", key=key, attempt=attempt)
             delay = policy.backoff_for(attempt)
             if delay > 0:
                 policy.sleep(delay)
+    tel.counter("cell_failure", key=key, attempts=len(errors))
     failure = CellFailure.from_errors(key, dataset, model, technique, fault_label, errors)
+    logger.warning("cell %s exhausted %d attempt(s): %s", key, failure.attempts, failure.message)
     return CellOutcome(failure=failure, attempts=len(errors))
 
 
@@ -506,6 +535,8 @@ def run_resilient_study(
     progress: "Callable[[ExperimentResult], None] | None" = None,
     on_failure: "Callable[[CellFailure], None] | None" = None,
     executor: "object | None" = None,
+    trace: "object | None" = None,
+    on_outcome: "Callable | None" = None,
 ) -> StudyReport:
     """Run the full study grid fault-tolerantly.
 
@@ -522,6 +553,11 @@ def run_resilient_study(
     is now a thin wrapper over the plan/executor pipeline
     (:func:`~repro.experiments.plan.plan_study` +
     :func:`~repro.experiments.executors.run_study_plan`).
+
+    ``trace`` (a path or :class:`~repro.telemetry.Telemetry`) records a
+    merged JSONL study trace; ``on_outcome`` observes every
+    ``(index, unit, outcome)`` in completion order — see
+    :func:`~repro.experiments.executors.run_study_plan` for both.
     """
     from .executors import SerialExecutor, run_study_plan  # late: executors imports us
     from .plan import plan_study
@@ -552,4 +588,6 @@ def run_resilient_study(
         progress=progress,
         on_failure=on_failure,
         cache_dir=cache_dir,
+        trace=trace,
+        on_outcome=on_outcome,
     )

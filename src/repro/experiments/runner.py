@@ -31,6 +31,7 @@ from ..metrics.reliability import ReliabilityResult, compare_models
 from ..metrics.stats import MeanWithCI, mean_confidence_interval
 from ..mitigation.base import FittedModel, TrainingBudget
 from ..mitigation.registry import build_technique
+from ..telemetry import NULL, get_telemetry, telemetry_scope
 from .cache import CellCache
 from .config import (
     ExperimentConfig,
@@ -145,25 +146,40 @@ class ExperimentRunner:
         return derive_repetition_seed(self.scale.seed, dataset, model, repetition)
 
     def golden_predictions(self, dataset: str, model: str, repetition: int) -> np.ndarray:
-        """Test predictions of the golden (fault-free baseline) model, cached."""
+        """Test predictions of the golden (fault-free baseline) model, cached.
+
+        Telemetry: a ``golden_fit`` span times an actual training run, and
+        disk lookups emit ``golden_cache_hit``/``golden_cache_miss`` counters.
+        Both are *schedule-dependent* (the in-memory memo means whether a
+        unit trains the golden model depends on what ran before it in the
+        same process), so they are named apart from the per-cell events and
+        the golden fit's internals are suppressed — cross-schedule trace
+        comparisons stay meaningful (see
+        :data:`repro.telemetry.trace.SCHEDULE_DEPENDENT_SPANS`).
+        """
         key = (dataset, model, repetition)
         if key in self._golden_predictions:
             return self._golden_predictions[key]
 
+        tel = get_telemetry()
         disk_key = f"golden|{self._scale_fingerprint()}|{dataset}|{model}|{repetition}"
         if self.cell_cache is not None:
             hit = self.cell_cache.get(disk_key)
             if hit is not None:
+                tel.counter("golden_cache_hit", dataset=dataset, model=model)
                 self._golden_predictions[key], self._golden_costs[key] = hit
                 return self._golden_predictions[key]
+            tel.counter("golden_cache_miss", dataset=dataset, model=model)
 
         train, test = self.dataset(dataset)
         seed = self._repetition_seed(dataset, model, repetition)
         technique = build_technique("baseline")
-        fitted = technique.fit(
-            train, model, self.budget(dataset), np.random.default_rng(seed)
-        )
-        self._golden_predictions[key] = fitted.predict(test.images)
+        with tel.span("golden_fit", dataset=dataset, model=model, repetition=repetition):
+            with telemetry_scope(NULL):  # suppress schedule-dependent internals
+                fitted = technique.fit(
+                    train, model, self.budget(dataset), np.random.default_rng(seed)
+                )
+                self._golden_predictions[key] = fitted.predict(test.images)
         self._golden_costs[key] = fitted.cost
         if self.cell_cache is not None:
             self.cell_cache.put(disk_key, self._golden_predictions[key], fitted.cost)
@@ -230,14 +246,21 @@ class ExperimentRunner:
         result = ExperimentResult(config=config)
         train, test = self.dataset(dataset)
 
+        tel = get_telemetry()
         for repetition in range(repeats):
-            golden_pred = self.golden_predictions(dataset, model, repetition)
-            faulty_pred, cost = self._faulty_predictions(
-                dataset, model, technique, fault, fault_label, repetition,
-                technique_kwargs, clean_fraction, lr_scale, seed_offset,
-            )
-            result.repetitions.append(compare_models(golden_pred, faulty_pred, test.labels))
-            result.costs.append(cost)
+            with tel.span(
+                "repetition", repetition=repetition,
+                dataset=dataset, model=model, technique=technique,
+            ):
+                golden_pred = self.golden_predictions(dataset, model, repetition)
+                faulty_pred, cost = self._faulty_predictions(
+                    dataset, model, technique, fault, fault_label, repetition,
+                    technique_kwargs, clean_fraction, lr_scale, seed_offset,
+                )
+                result.repetitions.append(
+                    compare_models(golden_pred, faulty_pred, test.labels)
+                )
+                result.costs.append(cost)
         return result
 
     def _faulty_predictions(
@@ -253,7 +276,16 @@ class ExperimentRunner:
         lr_scale: float = 1.0,
         seed_offset: int = 0,
     ) -> tuple[np.ndarray, RuntimeCost]:
-        """Fit one technique and predict the test set (ensemble fits cached)."""
+        """Fit one technique and predict the test set (ensemble fits cached).
+
+        Telemetry: ``cache_hit``/``cache_miss`` counters per disk lookup, and
+        ``fault_injection`` / ``faulty_fit`` / ``inference`` spans around the
+        three phases of a fresh cell.  These are deterministic per cell (one
+        disk lookup and one fit per repetition, regardless of scheduling), so
+        serial and parallel traces tally identically — unlike the golden /
+        ensemble memo paths, which are process-local and excluded.
+        """
+        tel = get_telemetry()
         train, test = self.dataset(dataset)
         is_retry = lr_scale != 1.0 or seed_offset != 0
         # Ensembles ignore the per-panel architecture, so seed and cache them
@@ -277,28 +309,36 @@ class ExperimentRunner:
         if self.cell_cache is not None:
             hit = self.cell_cache.get(disk_key)
             if hit is not None:
+                tel.counter("cache_hit", dataset=dataset, technique=technique)
                 if is_cacheable_ensemble:
                     self._ensemble_predictions[cache_key] = hit
                 return hit
+            tel.counter("cache_miss", dataset=dataset, technique=technique)
 
         seed = self._repetition_seed(dataset, seed_model, repetition)
         if seed_offset:
             # Derive a fresh-but-deterministic seed per retry attempt.
             seed = (seed + seed_offset * 0x9E3779B1) & 0x7FFFFFFF
         injection_rng = np.random.default_rng(seed + 0x5EED)
-        faulty_train = self._prepare_faulty_train(
-            train, fault, technique, clean_fraction, injection_rng
-        )
+        with tel.span("fault_injection", fault=fault_label, dataset=dataset):
+            faulty_train = self._prepare_faulty_train(
+                train, fault, technique, clean_fraction, injection_rng
+            )
         budget = self.budget(dataset)
         if lr_scale != 1.0:
             budget = replace(budget, learning_rate=budget.learning_rate * lr_scale)
         tech = build_technique(technique, **(technique_kwargs or {}))
-        fitted: FittedModel = tech.fit(
-            faulty_train, model, budget, np.random.default_rng(seed + 1)
-        )
-        start = time.perf_counter()
-        faulty_pred = fitted.predict(test.images)
-        inference_s = time.perf_counter() - start
+        with tel.span(
+            "faulty_fit", dataset=dataset, model=model, technique=technique,
+            fault=fault_label, repetition=repetition,
+        ):
+            fitted: FittedModel = tech.fit(
+                faulty_train, model, budget, np.random.default_rng(seed + 1)
+            )
+        with tel.span("inference", dataset=dataset, model=model, technique=technique):
+            start = time.perf_counter()
+            faulty_pred = fitted.predict(test.images)
+            inference_s = time.perf_counter() - start
         cost = RuntimeCost(training_s=fitted.cost.training_s, inference_s=inference_s)
         if is_cacheable_ensemble:
             self._ensemble_predictions[cache_key] = (faulty_pred, cost)

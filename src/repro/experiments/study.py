@@ -312,6 +312,7 @@ def full_study(
     retry: "object | None" = None,
     executor: "object | None" = None,
     jobs: "int | None" = None,
+    trace: "object | None" = None,
 ) -> list[ExperimentResult]:
     """Run the study grid (paper §IV) and return every cell's result.
 
@@ -338,12 +339,15 @@ def full_study(
     :class:`~repro.experiments.plan.WorkUnit`, so a parallel sweep returns
     payloads identical to the serial run (wall-clock timings aside), in the
     same canonical grid order.
+
+    ``trace`` (a JSONL path or a :class:`~repro.telemetry.Telemetry`) records
+    a merged study trace — summarize it with ``repro-study trace <file>``.
     """
     if executor is None and jobs is not None and jobs > 1:
         from .executors import ParallelExecutor
 
         executor = ParallelExecutor(jobs=jobs)
-    if checkpoint is not None or retry is not None or executor is not None:
+    if checkpoint is not None or retry is not None or executor is not None or trace is not None:
         from .resilience import run_resilient_study
 
         report = run_resilient_study(
@@ -357,6 +361,7 @@ def full_study(
             retry=retry,
             progress=progress,
             executor=executor,
+            trace=trace,
         )
         return report.results
 

@@ -15,10 +15,21 @@ __all__ = ["RuntimeCost", "OverheadResult", "relative_overhead"]
 
 @dataclass
 class RuntimeCost:
-    """Wall-clock seconds spent training and running inference."""
+    """Wall-clock seconds spent training and running inference.
+
+    The per-phase numbers this module aggregates come from the same span
+    timers the telemetry layer writes to trace files (``faulty_fit`` /
+    ``inference`` spans), so Table 5-style overhead reports and
+    ``repro-study trace`` summaries agree on where time went.
+    """
 
     training_s: float = 0.0
     inference_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Combined training + inference wall-clock."""
+        return self.training_s + self.inference_s
 
     def __add__(self, other: "RuntimeCost") -> "RuntimeCost":
         return RuntimeCost(

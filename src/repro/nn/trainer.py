@@ -15,6 +15,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..telemetry import get_telemetry
 from .losses import Loss
 from .module import Module
 from .optim import LRScheduler, Optimizer
@@ -52,7 +53,12 @@ class DivergenceError(RuntimeError):
 
 @dataclass
 class EpochRecord:
-    """Metrics for one training epoch."""
+    """Metrics for one training epoch.
+
+    ``duration_s`` covers the training loop only; validation (when run) is
+    timed separately in ``val_duration_s``, so throughput is computed over
+    optimisation time and telemetry emitters need not re-derive anything.
+    """
 
     epoch: int
     train_loss: float
@@ -61,6 +67,15 @@ class EpochRecord:
     val_accuracy: float | None = None
     learning_rate: float = 0.0
     duration_s: float = 0.0
+    val_duration_s: float = 0.0
+    examples: int = 0
+
+    @property
+    def throughput_examples_per_s(self) -> float:
+        """Training examples processed per second this epoch (0.0 if untimed)."""
+        if self.duration_s <= 0.0:
+            return 0.0
+        return self.examples / self.duration_s
 
 
 @dataclass
@@ -82,6 +97,19 @@ class TrainHistory:
         if not self.epochs:
             raise ValueError("history is empty")
         return self.epochs[-1].val_accuracy
+
+    @property
+    def throughput_examples_per_s(self) -> float:
+        """Aggregate training throughput across all epochs (0.0 if untimed)."""
+        train_time = sum(e.duration_s for e in self.epochs)
+        if train_time <= 0.0:
+            return 0.0
+        return sum(e.examples for e in self.epochs) / train_time
+
+    @property
+    def validation_time_s(self) -> float:
+        """Total wall-clock spent in validation passes."""
+        return sum(e.val_duration_s for e in self.epochs)
 
     def loss_curve(self) -> list[float]:
         return [e.train_loss for e in self.epochs]
@@ -148,6 +176,12 @@ class Trainer:
         Optional :class:`EarlyStopping` policy.
     epoch_callback:
         ``f(record) -> None`` called after each epoch (logging, tests).
+    batch_callback:
+        ``f(epoch, batch, loss) -> None`` called after each optimisation
+        step — the per-batch emit hook (telemetry, live loss displays).
+        Unlike the always-on per-epoch telemetry span, per-batch emission
+        only happens when a callback is installed, keeping the inner loop
+        free of overhead by default.
     raise_on_divergence:
         When True (default) a non-finite batch loss raises
         :class:`DivergenceError` immediately instead of poisoning the rest
@@ -169,6 +203,7 @@ class Trainer:
         batch_hook: Callable[[Module, np.ndarray, np.ndarray], None] | None = None,
         early_stopping: EarlyStopping | None = None,
         epoch_callback: Callable[[EpochRecord], None] | None = None,
+        batch_callback: Callable[[int, int, float], None] | None = None,
         raise_on_divergence: bool = True,
     ) -> None:
         if epochs < 1:
@@ -188,6 +223,7 @@ class Trainer:
         self.batch_hook = batch_hook
         self.early_stopping = early_stopping
         self.epoch_callback = epoch_callback
+        self.batch_callback = batch_callback
         self.raise_on_divergence = raise_on_divergence
 
     def fit(
@@ -207,47 +243,60 @@ class Trainer:
         history = TrainHistory()
         start = time.perf_counter()
         n = len(inputs)
+        tel = get_telemetry()
         for epoch in range(self.epochs):
-            epoch_start = time.perf_counter()
-            self.model.train()
-            order = self.rng.permutation(n)
-            epoch_loss = 0.0
-            epoch_correct = 0
-            for lo in range(0, n, self.batch_size):
-                idx = order[lo : lo + self.batch_size]
-                xb, yb = inputs[idx], targets[idx]
-                if self.input_transform is not None:
-                    xb = self.input_transform(xb)
-                if self.batch_hook is not None:
-                    self.batch_hook(self.model, xb, yb)
-                effective_targets = self.target_transform(yb) if self.target_transform else yb
-                logits = self.model(Tensor(xb))
-                loss_value = self.loss(logits, effective_targets)
-                batch_loss = float(loss_value.item())
-                if self.raise_on_divergence and not math.isfinite(batch_loss):
-                    raise DivergenceError(
-                        epoch=epoch, batch=lo // self.batch_size, loss=batch_loss
+            with tel.span("epoch", epoch=epoch) as span:
+                epoch_start = time.perf_counter()
+                self.model.train()
+                order = self.rng.permutation(n)
+                epoch_loss = 0.0
+                epoch_correct = 0
+                for lo in range(0, n, self.batch_size):
+                    idx = order[lo : lo + self.batch_size]
+                    xb, yb = inputs[idx], targets[idx]
+                    if self.input_transform is not None:
+                        xb = self.input_transform(xb)
+                    if self.batch_hook is not None:
+                        self.batch_hook(self.model, xb, yb)
+                    effective_targets = self.target_transform(yb) if self.target_transform else yb
+                    logits = self.model(Tensor(xb))
+                    loss_value = self.loss(logits, effective_targets)
+                    batch_loss = float(loss_value.item())
+                    if self.raise_on_divergence and not math.isfinite(batch_loss):
+                        raise DivergenceError(
+                            epoch=epoch, batch=lo // self.batch_size, loss=batch_loss
+                        )
+                    self.optimizer.zero_grad()
+                    loss_value.backward()
+                    if self.clip_norm is not None:
+                        self.optimizer.clip_grad_norm(self.clip_norm)
+                    self.optimizer.step()
+                    epoch_loss += batch_loss * len(idx)
+                    epoch_correct += int(
+                        (logits.data.argmax(axis=1) == yb.argmax(axis=1)).sum()
                     )
-                self.optimizer.zero_grad()
-                loss_value.backward()
-                if self.clip_norm is not None:
-                    self.optimizer.clip_grad_norm(self.clip_norm)
-                self.optimizer.step()
-                epoch_loss += batch_loss * len(idx)
-                epoch_correct += int(
-                    (logits.data.argmax(axis=1) == yb.argmax(axis=1)).sum()
-                )
+                    if self.batch_callback is not None:
+                        self.batch_callback(epoch, lo // self.batch_size, batch_loss)
 
-            record = EpochRecord(
-                epoch=epoch,
-                train_loss=epoch_loss / n,
-                train_accuracy=epoch_correct / n,
-                learning_rate=self.optimizer.lr,
-                duration_s=time.perf_counter() - epoch_start,
-            )
-            if validation is not None:
-                val_x, val_y = validation
-                record.val_loss, record.val_accuracy = self._evaluate(val_x, val_y)
+                record = EpochRecord(
+                    epoch=epoch,
+                    train_loss=epoch_loss / n,
+                    train_accuracy=epoch_correct / n,
+                    learning_rate=self.optimizer.lr,
+                    duration_s=time.perf_counter() - epoch_start,
+                    examples=n,
+                )
+                if validation is not None:
+                    val_start = time.perf_counter()
+                    val_x, val_y = validation
+                    record.val_loss, record.val_accuracy = self._evaluate(val_x, val_y)
+                    record.val_duration_s = time.perf_counter() - val_start
+                span.set(
+                    train_loss=record.train_loss,
+                    train_accuracy=record.train_accuracy,
+                    val_loss=record.val_loss,
+                    examples_per_s=record.throughput_examples_per_s,
+                )
             history.epochs.append(record)
             if self.epoch_callback is not None:
                 self.epoch_callback(record)

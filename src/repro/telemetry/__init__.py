@@ -1,0 +1,53 @@
+"""``repro.telemetry`` — structured study observability.
+
+A cross-cutting layer over the whole pipeline: :mod:`repro.nn` training
+loops, the :mod:`repro.experiments` runner/resilience/executor stack, and the
+CLI all emit structured JSONL trace events through a process-global
+:class:`Telemetry` handle (span timers, counters, gauges), disabled by
+default at zero cost.  Consumers: :func:`summarize_trace` /
+``repro-study trace`` for post-hoc analysis and :class:`ProgressReporter`
+for live sweep status.
+"""
+
+from .events import (
+    NULL,
+    FileTelemetry,
+    NullTelemetry,
+    RecordingTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_scope,
+)
+from .progress import ProgressReporter, format_eta
+from .summary import TraceSummary, render_trace_summary, summarize_trace
+from .trace import (
+    SpanNode,
+    TraceError,
+    hierarchy_signature,
+    read_trace,
+    span_tree,
+    validate_trace,
+)
+
+__all__ = [
+    "Telemetry",
+    "FileTelemetry",
+    "RecordingTelemetry",
+    "NullTelemetry",
+    "NULL",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_scope",
+    "TraceError",
+    "SpanNode",
+    "read_trace",
+    "validate_trace",
+    "span_tree",
+    "hierarchy_signature",
+    "TraceSummary",
+    "summarize_trace",
+    "render_trace_summary",
+    "ProgressReporter",
+    "format_eta",
+]

@@ -1,0 +1,331 @@
+"""Structured trace events — the core of the study telemetry layer.
+
+A :class:`Telemetry` handle emits structured events as plain dicts to a sink:
+
+- ``span_start`` / ``span_end`` pairs — monotonic-clocked, nested via a
+  per-handle span stack, covering the study hierarchy
+  study → unit → attempt → repetition → epoch (plus the runner phases
+  ``golden_fit`` / ``fault_injection`` / ``faulty_fit`` / ``inference``);
+- ``counter`` events — monotonically accumulated tallies
+  (``retry``, ``cache_hit``, ``checkpoint_skip``, …);
+- ``gauge`` events — instantaneous measurements (``examples_per_s``);
+- ``event`` events — point-in-time markers (``divergence``).
+
+Two concrete sinks: :class:`FileTelemetry` appends JSONL to a trace file
+(one event per line, flushed per event so a killed sweep leaves a readable
+prefix), and :class:`RecordingTelemetry` buffers events in memory — the
+funnel that carries a worker process's events back to the parent collector
+inside a :class:`~repro.experiments.resilience.CellOutcome`.
+
+The process-global handle defaults to :data:`NULL` (a no-op
+:class:`NullTelemetry`), so instrumented code costs almost nothing when
+telemetry is disabled: ``get_telemetry()`` returns the singleton and every
+emit call is an empty method.  Instrumentation must always go through
+:func:`get_telemetry` — never cache the handle across calls — so scoped
+swaps (:func:`telemetry_scope`) and fork safety work.
+
+Timestamps: ``t`` is ``time.perf_counter()`` — meaningful only *within* one
+process, which is all durations need (``span_end`` carries ``dur_s`` computed
+locally).  ``wall`` on ``span_start`` is ``time.time()`` for human-readable
+cross-process context.  Merged traces are ordered by write order (the
+collector is a single writer), not by clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+__all__ = [
+    "Telemetry",
+    "FileTelemetry",
+    "RecordingTelemetry",
+    "NullTelemetry",
+    "NULL",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_scope",
+]
+
+#: Process-wide span-id counter: unique across every Telemetry instance in
+#: this process (successive per-unit recorders must not reuse ids).  Combined
+#: with the pid, ids are unique across a whole parallel sweep.
+_SPAN_IDS = itertools.count()
+
+
+def _next_span_id() -> str:
+    return f"{os.getpid():x}.{next(_SPAN_IDS)}"
+
+
+class _Span:
+    """Context manager for one ``span_start``/``span_end`` pair.
+
+    Always emits a balanced pair (the end event is written from ``__exit__``
+    even when the body raises, tagged ``outcome: "error"``).  :meth:`set`
+    attaches attributes to the *end* event — for measurements only known
+    once the span body ran (losses, throughput).
+    """
+
+    __slots__ = ("_telemetry", "name", "attrs", "id", "_t0", "_end_attrs")
+
+    def __init__(self, telemetry: "Telemetry", name: str, attrs: dict) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.attrs = attrs
+        self.id = ""
+        self._t0 = 0.0
+        self._end_attrs: dict = {}
+
+    def set(self, **attrs: object) -> "_Span":
+        """Attach attributes to this span's ``span_end`` event."""
+        self._end_attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        tel = self._telemetry
+        self.id = _next_span_id()
+        parent = tel._stack[-1] if tel._stack else None
+        self._t0 = time.perf_counter()
+        tel._emit({
+            "ev": "span_start",
+            "name": self.name,
+            "span": self.id,
+            "parent": parent,
+            "t": self._t0,
+            "wall": time.time(),
+            **self.attrs,
+        })
+        tel._stack.append(self.id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter()
+        tel = self._telemetry
+        if tel._stack and tel._stack[-1] == self.id:
+            tel._stack.pop()
+        end = {
+            "ev": "span_end",
+            "name": self.name,
+            "span": self.id,
+            "t": t1,
+            "dur_s": t1 - self._t0,
+            **self._end_attrs,
+        }
+        if exc_type is not None:
+            end.setdefault("outcome", "error")
+            end.setdefault("error", exc_type.__name__)
+        tel._emit(end)
+        return False
+
+
+class _NullSpan:
+    """The reusable do-nothing span returned by :class:`NullTelemetry`."""
+
+    __slots__ = ()
+    id = ""
+    name = ""
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Base emitter: spans, counters, gauges, and point events over ``_emit``.
+
+    Subclasses supply the sink by overriding :meth:`_write`.  Every event is
+    stamped with the emitting process id, so merged traces stay attributable
+    per worker.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._stack: list[str] = []
+        self._pid = os.getpid()
+
+    # -- sink ----------------------------------------------------------
+    def _write(self, event: dict) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _emit(self, event: dict) -> None:
+        event.setdefault("pid", self._pid)
+        self._write(event)
+
+    # -- emitters ------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> _Span:
+        """A ``span_start``/``span_end`` context manager named ``name``."""
+        return _Span(self, name, attrs)
+
+    def counter(self, name: str, value: int = 1, **attrs: object) -> None:
+        """Emit an accumulating tally increment (``retry``, ``cache_hit``…)."""
+        self._emit({"ev": "counter", "name": name, "value": value,
+                    "t": time.perf_counter(), **attrs})
+
+    def gauge(self, name: str, value: float, **attrs: object) -> None:
+        """Emit an instantaneous measurement (``examples_per_s``…)."""
+        self._emit({"ev": "gauge", "name": name, "value": value,
+                    "t": time.perf_counter(), **attrs})
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit a point-in-time marker (``divergence``…)."""
+        self._emit({"ev": "event", "name": name, "t": time.perf_counter(), **attrs})
+
+    def write_batch(self, events: list[dict], parent: str | None = None) -> None:
+        """Append pre-stamped events verbatim (a funneled worker batch).
+
+        Root spans of the batch (``parent: None``) are re-parented onto
+        ``parent`` — the collector's study span — so merged traces carry the
+        full study → unit hierarchy even when units ran in worker processes.
+        """
+        for event in events:
+            if parent is not None and event.get("ev") == "span_start" \
+                    and event.get("parent") is None:
+                event = {**event, "parent": parent}
+            self._write(event)
+
+    def close(self) -> None:
+        """Release the sink (no-op by default)."""
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class FileTelemetry(Telemetry):
+    """Telemetry appending JSONL to a trace file, one event per line.
+
+    Each line is flushed as written, so an interrupted sweep leaves a valid
+    JSONL prefix (at worst one torn final line, which readers skip).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = open(self.path, "a")
+
+    def _write(self, event: dict) -> None:
+        if self._fh is None:
+            raise ValueError(f"telemetry trace {self.path} is closed")
+        self._fh.write(json.dumps(event, default=str) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class RecordingTelemetry(Telemetry):
+    """Telemetry buffering events in memory — the worker-side funnel.
+
+    Events are plain dicts (picklable), so a worker's batch travels back to
+    the parent collector on its ``CellOutcome`` and is merged into the trace
+    file by the single writer there.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: list[dict] = []
+
+    def _write(self, event: dict) -> None:
+        self.events.append(event)
+
+    def drain(self) -> list[dict]:
+        """Return the buffered events and reset the buffer."""
+        events, self.events = self.events, []
+        return events
+
+
+class NullTelemetry:
+    """The disabled handle: every emitter is a no-op, spans are a singleton.
+
+    This is the process default — instrumented code pays one attribute access
+    and an empty call per emit point, keeping telemetry zero-cost when off.
+    """
+
+    enabled = False
+    _pid = None
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str, value: int = 1, **attrs: object) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **attrs: object) -> None:
+        pass
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def write_batch(self, events: list[dict], parent: str | None = None) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTelemetry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+#: The shared disabled handle (safe to compare with ``is``).
+NULL = NullTelemetry()
+
+_ACTIVE: Telemetry | NullTelemetry = NULL
+
+
+def get_telemetry() -> Telemetry | NullTelemetry:
+    """The active telemetry handle for *this* process.
+
+    Returns :data:`NULL` when none is installed — and also after a fork, if
+    the installed handle belongs to the parent process (a forked worker must
+    never write to the parent's trace file; it gets its own recorder from the
+    executor instead).
+    """
+    active = _ACTIVE
+    if active is NULL or active._pid == os.getpid():
+        return active
+    return NULL
+
+
+def set_telemetry(telemetry: Telemetry | NullTelemetry | None) -> None:
+    """Install (or with ``None``, clear) the process-global handle."""
+    global _ACTIVE
+    _ACTIVE = telemetry if telemetry is not None else NULL
+
+
+@contextmanager
+def telemetry_scope(telemetry: Telemetry | NullTelemetry) -> Iterator[Telemetry | NullTelemetry]:
+    """Temporarily install ``telemetry`` as the process-global handle.
+
+    The executors use this to route all instrumentation emitted while one
+    unit executes into that unit's recorder, restoring the previous handle
+    afterwards.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE = previous

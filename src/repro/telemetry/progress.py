@@ -1,0 +1,154 @@
+"""Live sweep progress — the terminal consumer of study telemetry.
+
+A :class:`ProgressReporter` plugs into the collector's ``on_outcome`` hook
+(:func:`~repro.experiments.executors.run_study_plan`) and keeps a running
+picture of the sweep: cells done/total, a rolling cells/sec rate with an ETA,
+retry and failure tallies, and a per-worker activity line built from each
+outcome's originating pid.
+
+On a TTY it repaints one status line in place; on a pipe (CI logs) it prints
+one plain line per completed cell, so logs stay grep-able either way.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import IO, TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..experiments.plan import WorkUnit
+    from ..experiments.resilience import CellOutcome
+
+__all__ = ["ProgressReporter", "format_eta"]
+
+
+def format_eta(seconds: "float | None") -> str:
+    """``?`` until a rate exists, then ``41s`` / ``3m12s`` / ``2h05m``."""
+    if seconds is None:
+        return "?"
+    seconds = max(0, int(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{seconds % 3600 // 60:02d}m"
+
+
+class ProgressReporter:
+    """Renders live sweep progress from collector outcomes.
+
+    Parameters
+    ----------
+    total:
+        Number of cells in the plan (done/total and ETA denominator).
+    stream:
+        Where to render (default ``sys.stderr``).
+    clock:
+        Monotonic time source (injectable for tests).
+    window:
+        Completions kept for the rolling cells/sec rate — a rolling window
+        tracks the *current* pace, so the ETA recovers quickly after a slow
+        cold-start cell or a burst of cheap checkpoint replays.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        stream: "IO[str] | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+        window: int = 20,
+    ) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.done = 0
+        self.failures = 0
+        self.retries = 0
+        self.replayed = 0
+        self._completions: deque[float] = deque(maxlen=max(2, window))
+        #: pid -> description of that worker's most recent cell.
+        self.worker_activity: dict[int, str] = {}
+        self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    # -- statistics ----------------------------------------------------
+    def rate_cells_per_s(self) -> "float | None":
+        """Rolling completion rate; ``None`` before two completions."""
+        if len(self._completions) < 2:
+            return None
+        elapsed = self._completions[-1] - self._completions[0]
+        if elapsed <= 0:
+            return None
+        return (len(self._completions) - 1) / elapsed
+
+    def eta_s(self) -> "float | None":
+        rate = self.rate_cells_per_s()
+        if rate is None:
+            return None
+        return (self.total - self.done) / rate
+
+    # -- collector hook ------------------------------------------------
+    def on_outcome(self, index: int, unit: "WorkUnit", outcome: "CellOutcome") -> None:
+        """Record one finished cell (success, failure, or checkpoint replay)."""
+        self.done += 1
+        self._completions.append(self.clock())
+        if outcome.ok:
+            self.retries += max(0, outcome.attempts - 1)
+        else:
+            self.failures += 1
+            self.retries += max(0, outcome.attempts - 1)
+        if outcome.from_checkpoint:
+            self.replayed += 1
+        if outcome.pid is not None:
+            self.worker_activity[outcome.pid] = unit.describe()
+        self._render(unit, outcome)
+
+    def __call__(self, index: int, unit: "WorkUnit", outcome: "CellOutcome") -> None:
+        self.on_outcome(index, unit, outcome)
+
+    # -- rendering -----------------------------------------------------
+    def status_line(self) -> str:
+        pct = 100 * self.done // self.total if self.total else 100
+        parts = [
+            f"[{self.done}/{self.total}] {pct}%",
+            f"eta {format_eta(self.eta_s())}",
+        ]
+        rate = self.rate_cells_per_s()
+        if rate is not None:
+            parts.append(f"{60 * rate:.1f} cells/min")
+        if self.replayed:
+            parts.append(f"{self.replayed} replayed")
+        parts.append(f"retries {self.retries}")
+        parts.append(f"failures {self.failures}")
+        return " | ".join(parts)
+
+    def workers_line(self) -> str:
+        if not self.worker_activity:
+            return ""
+        newest = sorted(self.worker_activity.items())
+        return "workers: " + "  ".join(f"{pid}:{desc}" for pid, desc in newest)
+
+    def _render(self, unit: "WorkUnit", outcome: "CellOutcome") -> None:
+        if self._isatty:
+            line = self.status_line()
+            workers = self.workers_line()
+            if workers:
+                line = f"{line} | {workers}"
+            self.stream.write("\r\x1b[2K" + line[:200])
+            self.stream.flush()
+            return
+        verdict = "replayed" if outcome.from_checkpoint else ("ok" if outcome.ok else "FAILED")
+        self.stream.write(
+            f"[{self.done}/{self.total}] {unit.describe()} {verdict}"
+            f" | eta {format_eta(self.eta_s())}"
+            f" | retries {self.retries} failures {self.failures}\n"
+        )
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Print the closing summary (and drop the TTY status line)."""
+        if self._isatty:
+            self.stream.write("\r\x1b[2K")
+        self.stream.write(self.status_line() + "\n")
+        self.stream.flush()

@@ -1,0 +1,136 @@
+"""Trace summarization — the analysis behind ``repro-study trace <file>``.
+
+Reduces a (possibly multi-hour) trace to the questions an operator actually
+asks: where did the wall-clock go per phase, which cells were slowest, how
+many retries/divergences/failures happened, how cache-effective was the run,
+and how time splits across the technique × dataset grid.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from .trace import read_trace, span_tree, validate_trace
+
+__all__ = ["TraceSummary", "summarize_trace", "render_trace_summary"]
+
+#: Counter names surfaced in the summary's tally section, in display order.
+TALLY_COUNTERS = (
+    "retry",
+    "cell_failure",
+    "checkpoint_skip",
+    "cache_hit",
+    "cache_miss",
+    "golden_cache_hit",
+    "golden_cache_miss",
+)
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of one study trace."""
+
+    events: int = 0
+    spans: int = 0
+    pids: int = 0
+    #: span name -> (count, total seconds)
+    phase_totals: dict = field(default_factory=dict)
+    #: (unit key, seconds) sorted slowest-first
+    slowest_units: list = field(default_factory=list)
+    #: counter name -> accumulated value
+    counters: dict = field(default_factory=dict)
+    #: event name -> occurrences (e.g. divergence)
+    point_events: dict = field(default_factory=dict)
+    #: (technique, dataset) -> total unit seconds
+    technique_dataset_s: dict = field(default_factory=dict)
+    #: total study wall-clock (sum of root span durations)
+    total_s: float = 0.0
+
+
+def summarize_trace(source: "str | os.PathLike | list[dict]", top: int = 5) -> TraceSummary:
+    """Summarize a trace file (or pre-read event list) into a :class:`TraceSummary`.
+
+    The trace is validated first — a summary of an unbalanced or corrupt
+    trace would silently lie about where time went.
+    """
+    events = source if isinstance(source, list) else read_trace(source)
+    stats = validate_trace(events)
+    summary = TraceSummary(events=stats["events"], spans=stats["spans"], pids=stats["pids"])
+
+    phase_counts: Counter = Counter()
+    phase_seconds: defaultdict = defaultdict(float)
+    counters: Counter = Counter()
+    points: Counter = Counter()
+    for event in events:
+        kind = event.get("ev")
+        name = event.get("name", "")
+        if kind == "span_end":
+            phase_counts[name] += 1
+            phase_seconds[name] += float(event.get("dur_s", 0.0))
+        elif kind == "counter":
+            counters[name] += int(event.get("value", 1))
+        elif kind == "event":
+            points[name] += 1
+    summary.phase_totals = {
+        name: (phase_counts[name], phase_seconds[name]) for name in phase_counts
+    }
+    summary.counters = dict(counters)
+    summary.point_events = dict(points)
+
+    units: list[tuple[str, float]] = []
+    tech_dataset: defaultdict = defaultdict(float)
+    for root in span_tree(events):
+        summary.total_s += root.dur_s
+        for node in root.walk():
+            if node.name != "unit":
+                continue
+            units.append((str(node.attrs.get("key", "?")), node.dur_s))
+            cell = (str(node.attrs.get("technique", "?")), str(node.attrs.get("dataset", "?")))
+            tech_dataset[cell] += node.dur_s
+    summary.slowest_units = sorted(units, key=lambda kv: kv[1], reverse=True)[:top]
+    summary.technique_dataset_s = dict(tech_dataset)
+    return summary
+
+
+def render_trace_summary(summary: TraceSummary) -> str:
+    """Render a :class:`TraceSummary` as the ``repro-study trace`` report."""
+    lines = [
+        f"trace: {summary.events} events, {summary.spans} spans, "
+        f"{summary.pids} process(es), {summary.total_s:.2f}s total",
+        "",
+        "per-phase wall-clock:",
+    ]
+    for name, (count, seconds) in sorted(
+        summary.phase_totals.items(), key=lambda kv: kv[1][1], reverse=True
+    ):
+        lines.append(f"  {name:<16} {count:>5} spans  {seconds:>9.2f}s")
+
+    tallies = [
+        (name, summary.counters[name]) for name in TALLY_COUNTERS if name in summary.counters
+    ]
+    tallies += sorted(
+        (name, count) for name, count in summary.counters.items() if name not in TALLY_COUNTERS
+    )
+    tallies += sorted(summary.point_events.items())
+    if tallies:
+        lines.append("")
+        lines.append("tallies:")
+        for name, count in tallies:
+            lines.append(f"  {name:<18} {count:>6}")
+
+    if summary.slowest_units:
+        lines.append("")
+        lines.append("slowest cells:")
+        for key, seconds in summary.slowest_units:
+            lines.append(f"  {seconds:>8.2f}s  {key}")
+
+    if summary.technique_dataset_s:
+        lines.append("")
+        lines.append("technique x dataset wall-clock:")
+        for (technique, dataset), seconds in sorted(
+            summary.technique_dataset_s.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            lines.append(f"  {technique:<22} {dataset:<12} {seconds:>9.2f}s")
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""End-to-end telemetry: traced sweeps, serial/parallel equivalence, hooks."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ParallelExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    plan_study,
+    results_equivalent,
+    run_resilient_study,
+    run_study_plan,
+)
+from repro.nn import DivergenceError
+from repro.telemetry import (
+    NULL,
+    RecordingTelemetry,
+    get_telemetry,
+    hierarchy_signature,
+    read_trace,
+    span_tree,
+    summarize_trace,
+    validate_trace,
+)
+
+from .test_executors import MICRO, MICRO_GRID
+from .test_resilience import GRID, StubRunner
+
+
+def _counter_tally(events):
+    tally: Counter = Counter()
+    for event in events:
+        if event["ev"] == "counter":
+            tally[event["name"]] += int(event.get("value", 1))
+    return dict(tally)
+
+
+# ----------------------------------------------------------------------
+# Stub-driven structure tests (no training)
+# ----------------------------------------------------------------------
+
+class TestTracedStubSweep:
+    def test_trace_file_records_study_hierarchy(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        run_resilient_study(StubRunner(), trace=path, **GRID)
+        events = read_trace(path)
+        validate_trace(events)
+        roots = span_tree(events)
+        assert [r.name for r in roots] == ["study"]
+        study = roots[0]
+        assert study.attrs["cells"] == 4
+        units = [n for n in study.walk() if n.name == "unit"]
+        assert sorted(u.attrs["key"] for u in units) == sorted(
+            u.key for u in plan_study(scale=StubRunner().scale, **GRID)
+        )
+        # Each unit ran exactly one attempt.
+        assert all(
+            [c.name for c in u.children] == ["attempt"] for u in units
+        )
+
+    def test_unit_spans_carry_grid_attrs(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        run_resilient_study(StubRunner(), trace=path, **GRID)
+        unit = next(
+            n for n in span_tree(read_trace(path))[0].walk() if n.name == "unit"
+        )
+        assert unit.attrs["dataset"] == "pneumonia"
+        assert unit.attrs["model"] == "convnet"
+        assert unit.attrs["technique"] == "baseline"
+        assert unit.attrs["rate"] in (0.1, 0.3)
+
+    def test_retry_and_divergence_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bad = ("pneumonia", "convnet", "baseline", "removal@10%")
+        runner = StubRunner(fail_plan={bad: [DivergenceError(0, 2, float("nan"))]})
+        run_resilient_study(
+            runner, trace=path, retry=RetryPolicy(max_attempts=2), **GRID
+        )
+        events = read_trace(path)
+        assert _counter_tally(events) == {"retry": 1}
+        divergences = [e for e in events if e["ev"] == "event" and e["name"] == "divergence"]
+        assert len(divergences) == 1
+        assert divergences[0]["epoch"] == 0 and divergences[0]["batch"] == 2
+        # The failed attempt's span is tagged, the retry attempt is clean.
+        attempts = [
+            n for n in span_tree(events)[0].walk()
+            if n.name == "attempt" and bad[3] in n.attrs["key"]
+        ]
+        assert [a.attrs.get("outcome") for a in attempts] == ["error", None]
+
+    def test_exhausted_cell_emits_cell_failure(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bad = ("pneumonia", "convnet", "baseline", "mislabelling@30%")
+        runner = StubRunner(fail_plan={bad: [ValueError("a"), ValueError("b")]})
+        run_resilient_study(
+            runner, trace=path, retry=RetryPolicy(max_attempts=2), **GRID
+        )
+        events = read_trace(path)
+        assert _counter_tally(events) == {"retry": 1, "cell_failure": 1}
+        failed_unit = next(
+            n for n in span_tree(events)[0].walk()
+            if n.name == "unit" and "mislabelling@30%" in n.attrs["key"]
+        )
+        assert failed_unit.attrs["outcome"] == "failed"
+
+    def test_checkpoint_replay_emits_skip_counters(self, tmp_path):
+        ckpt = tmp_path / "study.jsonl"
+        run_resilient_study(StubRunner(), checkpoint=ckpt, **GRID)
+        path = tmp_path / "trace.jsonl"
+        run_resilient_study(StubRunner(), checkpoint=ckpt, trace=path, **GRID)
+        events = read_trace(path)
+        assert _counter_tally(events) == {"checkpoint_skip": 4}
+        # Replayed cells execute nothing, so no unit spans appear.
+        assert not [n for n in span_tree(events)[0].walk() if n.name == "unit"]
+
+    def test_on_outcome_fires_for_every_cell(self, tmp_path):
+        ckpt = tmp_path / "study.jsonl"
+        seen = []
+        run_resilient_study(
+            StubRunner(), checkpoint=ckpt,
+            on_outcome=lambda i, unit, outcome: seen.append((i, unit.key, outcome.ok)),
+            **GRID,
+        )
+        assert len(seen) == 4 and all(ok for _, _, ok in seen)
+        # Replays fire the hook too (outcome.from_checkpoint set).
+        replays = []
+        run_resilient_study(
+            StubRunner(), checkpoint=ckpt,
+            on_outcome=lambda i, unit, outcome: replays.append(outcome.from_checkpoint),
+            **GRID,
+        )
+        assert replays == [True] * 4
+
+    def test_existing_handle_can_collect_a_sweep(self):
+        tel = RecordingTelemetry()
+        plan = plan_study(scale=StubRunner().scale, **GRID)
+        run_study_plan(plan, executor=SerialExecutor(runner=StubRunner()), trace=tel)
+        validate_trace(tel.events)
+        assert tel.events  # caller-owned handle is not closed by the collector
+        tel.counter("still-open")
+
+    def test_tracing_off_leaves_no_events_and_null_handle(self):
+        report = run_resilient_study(StubRunner(), **GRID)
+        assert report.ok
+        assert get_telemetry() is NULL
+
+    def test_outcomes_do_not_carry_events_when_disabled(self):
+        from repro.experiments.executors import ExecutionSettings, execute_unit
+
+        unit = plan_study(scale=StubRunner().scale, **GRID)[0]
+        outcome = execute_unit(StubRunner(), unit)
+        assert outcome.events == []
+        assert outcome.pid is not None
+
+
+# ----------------------------------------------------------------------
+# Real training: serial vs parallel traces agree
+# ----------------------------------------------------------------------
+
+class TestSerialParallelTraceEquivalence:
+    @pytest.fixture(scope="class")
+    def traces(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("traces")
+        serial_path = base / "serial.jsonl"
+        parallel_path = base / "parallel.jsonl"
+        serial = run_resilient_study(
+            ExperimentRunner(MICRO), trace=serial_path, **MICRO_GRID
+        )
+        parallel = run_resilient_study(
+            ExperimentRunner(MICRO), trace=parallel_path,
+            executor=ParallelExecutor(jobs=2), **MICRO_GRID,
+        )
+        return {
+            "serial": (serial, read_trace(serial_path), serial_path),
+            "parallel": (parallel, read_trace(parallel_path), parallel_path),
+        }
+
+    def test_both_traces_are_valid(self, traces):
+        _, serial_events, _ = traces["serial"]
+        _, parallel_events, _ = traces["parallel"]
+        assert validate_trace(serial_events)["pids"] == 1
+        assert validate_trace(parallel_events)["pids"] >= 2
+
+    def test_span_hierarchies_identical(self, traces):
+        _, serial_events, _ = traces["serial"]
+        _, parallel_events, _ = traces["parallel"]
+        assert hierarchy_signature(serial_events) == hierarchy_signature(parallel_events)
+
+    def test_counter_tallies_agree(self, traces):
+        _, serial_events, _ = traces["serial"]
+        _, parallel_events, _ = traces["parallel"]
+        serial_tally = _counter_tally(serial_events)
+        parallel_tally = _counter_tally(parallel_events)
+        # Golden-model cache traffic is schedule-dependent by design (memoized
+        # per process) and deliberately named apart; everything else agrees.
+        for tally in (serial_tally, parallel_tally):
+            tally.pop("golden_cache_hit", None)
+            tally.pop("golden_cache_miss", None)
+        assert serial_tally == parallel_tally
+
+    def test_results_agree_and_tracing_does_not_perturb_them(self, traces):
+        serial_report, _, _ = traces["serial"]
+        parallel_report, _, _ = traces["parallel"]
+        assert results_equivalent(serial_report.results, parallel_report.results)
+        untraced = run_resilient_study(ExperimentRunner(MICRO), **MICRO_GRID)
+        assert results_equivalent(serial_report.results, untraced.results)
+
+    def test_summary_covers_either_trace(self, traces):
+        for name in ("serial", "parallel"):
+            _, events, _ = traces[name]
+            summary = summarize_trace(events)
+            assert summary.phase_totals["unit"][0] == 2
+            assert summary.phase_totals["epoch"][0] == 2 * MICRO.epochs
+            assert len(summary.slowest_units) == 2
+            assert set(summary.technique_dataset_s) == {("baseline", "pneumonia")}
+
+    def test_cli_trace_command_renders_either_trace(self, traces, capsys):
+        from repro.cli import main
+
+        for name in ("serial", "parallel"):
+            _, _, path = traces[name]
+            assert main(["trace", str(path)]) == 0
+            out = capsys.readouterr().out
+            assert "per-phase wall-clock:" in out
+            assert "slowest cells:" in out

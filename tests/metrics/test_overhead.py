@@ -13,6 +13,21 @@ class TestRuntimeCost:
         assert total.training_s == 4.0
         assert total.inference_s == 6.0
 
+    def test_total_combines_phases(self):
+        assert RuntimeCost(1.5, 0.25).total_s == pytest.approx(1.75)
+        assert RuntimeCost().total_s == 0.0
+
+    def test_defaults_are_zero(self):
+        cost = RuntimeCost()
+        assert cost.training_s == 0.0 and cost.inference_s == 0.0
+
+    def test_sum_builtin_accumulates(self):
+        costs = [RuntimeCost(1.0, 0.1), RuntimeCost(2.0, 0.2), RuntimeCost(3.0, 0.3)]
+        total = sum(costs, RuntimeCost())
+        assert total.training_s == pytest.approx(6.0)
+        assert total.inference_s == pytest.approx(0.6)
+        assert total.total_s == pytest.approx(6.6)
+
 
 class TestRelativeOverhead:
     def test_ensemble_like_ratios(self):
@@ -31,6 +46,23 @@ class TestRelativeOverhead:
     def test_rejects_zero_baseline(self):
         with pytest.raises(ValueError):
             relative_overhead("x", RuntimeCost(1.0, 1.0), RuntimeCost(0.0, 1.0))
+
+    def test_rejects_zero_baseline_inference(self):
+        with pytest.raises(ValueError, match="positive"):
+            relative_overhead("x", RuntimeCost(1.0, 1.0), RuntimeCost(1.0, 0.0))
+
+    def test_rejects_negative_baseline(self):
+        with pytest.raises(ValueError):
+            relative_overhead("x", RuntimeCost(1.0, 1.0), RuntimeCost(-1.0, 1.0))
+
+    def test_zero_cost_technique_is_zero_overhead(self):
+        # A technique with no extra inference cost (e.g. label smoothing's
+        # free inference) divides cleanly to 0x, not an error.
+        result = relative_overhead(
+            "ls", RuntimeCost(0.0, 0.0), RuntimeCost(10.0, 1.0)
+        )
+        assert result.training_overhead == 0.0
+        assert result.inference_overhead == 0.0
 
     def test_str_format(self):
         result = OverheadResult("kd", 1.5, 1.0)

@@ -153,6 +153,83 @@ class TestFit:
             Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.1), batch_size=0)
 
 
+class TestHistoryTiming:
+    def test_validation_timed_separately_from_training(self, rng):
+        x, y, _ = _toy_problem(rng, n=32)
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.05),
+                          epochs=2, batch_size=16, rng=rng)
+        history = trainer.fit(x, y, validation=(x, y))
+        assert all(e.val_duration_s > 0 for e in history.epochs)
+        assert history.validation_time_s == pytest.approx(
+            sum(e.val_duration_s for e in history.epochs)
+        )
+        # Training durations exclude the validation pass.
+        assert history.total_time_s >= sum(
+            e.duration_s + e.val_duration_s for e in history.epochs
+        )
+
+    def test_no_validation_means_zero_val_time(self, rng):
+        x, y, _ = _toy_problem(rng, n=16)
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.05),
+                          epochs=1, batch_size=8, rng=rng)
+        history = trainer.fit(x, y)
+        assert history.validation_time_s == 0.0
+        assert history.epochs[0].val_duration_s == 0.0
+
+    def test_throughput_counts_examples_over_train_time(self, rng):
+        x, y, _ = _toy_problem(rng, n=32)
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.05),
+                          epochs=3, batch_size=16, rng=rng)
+        history = trainer.fit(x, y)
+        assert all(e.examples == 32 for e in history.epochs)
+        assert history.throughput_examples_per_s > 0
+        assert history.throughput_examples_per_s == pytest.approx(
+            96 / sum(e.duration_s for e in history.epochs)
+        )
+
+    def test_untimed_records_report_zero_throughput(self):
+        from repro.nn.trainer import EpochRecord, TrainHistory
+
+        record = EpochRecord(epoch=0, train_loss=1.0, train_accuracy=0.5,
+                             examples=100, duration_s=0.0)
+        assert record.throughput_examples_per_s == 0.0
+        assert TrainHistory().throughput_examples_per_s == 0.0
+
+    def test_batch_callback_sees_every_step(self, rng):
+        x, y, _ = _toy_problem(rng, n=16)
+        model = _model(rng)
+        steps = []
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.01),
+                          epochs=2, batch_size=5, rng=rng,
+                          batch_callback=lambda e, b, loss: steps.append((e, b, loss)))
+        trainer.fit(x, y)
+        assert [(e, b) for e, b, _ in steps] == [
+            (0, 0), (0, 1), (0, 2), (0, 3), (1, 0), (1, 1), (1, 2), (1, 3)
+        ]
+        assert all(np.isfinite(loss) for _, _, loss in steps)
+
+    def test_epoch_spans_emitted_under_telemetry_scope(self, rng):
+        from repro.telemetry import RecordingTelemetry, telemetry_scope
+
+        x, y, _ = _toy_problem(rng, n=16)
+        model = _model(rng)
+        trainer = Trainer(model, CrossEntropy(), SGD(model.parameters(), lr=0.05),
+                          epochs=2, batch_size=8, rng=rng)
+        tel = RecordingTelemetry()
+        with telemetry_scope(tel):
+            trainer.fit(x, y, validation=(x, y))
+        starts = [e for e in tel.events if e["ev"] == "span_start"]
+        ends = [e for e in tel.events if e["ev"] == "span_end"]
+        assert [e["epoch"] for e in starts] == [0, 1]
+        assert all(e["name"] == "epoch" for e in starts)
+        # Measurements ride on the end event.
+        assert all("train_loss" in e and "examples_per_s" in e for e in ends)
+        assert all(e["val_loss"] is not None for e in ends)
+
+
 class TestDivergenceGuard:
     def test_nan_loss_raises_divergence_error(self, rng):
         x, y, _ = _toy_problem(rng, n=32)

@@ -1,0 +1,233 @@
+"""Tests for the telemetry core: spans, counters, sinks, and scoping."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry import (
+    NULL,
+    FileTelemetry,
+    NullTelemetry,
+    RecordingTelemetry,
+    get_telemetry,
+    read_trace,
+    set_telemetry,
+    telemetry_scope,
+    validate_trace,
+)
+
+
+class TestSpans:
+    def test_span_emits_balanced_pair_with_duration(self):
+        tel = RecordingTelemetry()
+        with tel.span("work", key="k"):
+            pass
+        start, end = tel.events
+        assert start["ev"] == "span_start" and start["name"] == "work"
+        assert start["key"] == "k"
+        assert start["parent"] is None
+        assert end["ev"] == "span_end" and end["span"] == start["span"]
+        assert end["dur_s"] >= 0.0
+        assert start["pid"] == end["pid"] == os.getpid()
+
+    def test_nested_spans_record_parentage(self):
+        tel = RecordingTelemetry()
+        with tel.span("outer") as outer:
+            with tel.span("inner") as inner:
+                pass
+        starts = {e["name"]: e for e in tel.events if e["ev"] == "span_start"}
+        assert starts["inner"]["parent"] == outer.id
+        assert starts["outer"]["parent"] is None
+        assert outer.id != inner.id
+
+    def test_span_ids_unique_across_instances(self):
+        # Successive per-unit recorders in one process must never collide.
+        first = RecordingTelemetry()
+        with first.span("unit"):
+            pass
+        second = RecordingTelemetry()
+        with second.span("unit"):
+            pass
+        assert first.events[0]["span"] != second.events[0]["span"]
+
+    def test_exception_still_closes_span_and_tags_error(self):
+        tel = RecordingTelemetry()
+        with pytest.raises(ValueError):
+            with tel.span("work"):
+                raise ValueError("boom")
+        end = tel.events[-1]
+        assert end["ev"] == "span_end"
+        assert end["outcome"] == "error"
+        assert end["error"] == "ValueError"
+        validate_trace(tel.events)  # still balanced
+
+    def test_set_attaches_attrs_to_end_event(self):
+        tel = RecordingTelemetry()
+        with tel.span("epoch", epoch=0) as span:
+            span.set(train_loss=0.5)
+        start, end = tel.events
+        assert "train_loss" not in start
+        assert end["train_loss"] == 0.5
+
+    def test_point_emitters(self):
+        tel = RecordingTelemetry()
+        tel.counter("retry", key="k")
+        tel.counter("cache_hit", value=3)
+        tel.gauge("examples_per_s", 120.5)
+        tel.event("divergence", epoch=2)
+        kinds = [(e["ev"], e["name"]) for e in tel.events]
+        assert kinds == [
+            ("counter", "retry"),
+            ("counter", "cache_hit"),
+            ("gauge", "examples_per_s"),
+            ("event", "divergence"),
+        ]
+        assert tel.events[0]["value"] == 1  # counter default increment
+        assert tel.events[1]["value"] == 3
+        assert tel.events[2]["value"] == 120.5
+
+
+class TestRecordingTelemetry:
+    def test_drain_returns_and_resets(self):
+        tel = RecordingTelemetry()
+        tel.counter("x")
+        batch = tel.drain()
+        assert len(batch) == 1
+        assert tel.events == []
+        assert tel.drain() == []
+
+    def test_events_are_picklable_plain_dicts(self):
+        import pickle
+
+        tel = RecordingTelemetry()
+        with tel.span("unit", key="k"):
+            tel.counter("retry")
+        assert pickle.loads(pickle.dumps(tel.drain()))
+
+
+class TestWriteBatch:
+    def test_batch_roots_reparented_onto_collector_span(self):
+        worker = RecordingTelemetry()
+        with worker.span("unit", key="k"):
+            worker.counter("retry")
+        batch = worker.drain()
+
+        collector = RecordingTelemetry()
+        with collector.span("study") as study:
+            collector.write_batch(batch, parent=study.id)
+        starts = {e["name"]: e for e in collector.events if e["ev"] == "span_start"}
+        assert starts["unit"]["parent"] == study.id
+        validate_trace(collector.events)
+
+    def test_batch_without_parent_kept_verbatim(self):
+        worker = RecordingTelemetry()
+        with worker.span("unit"):
+            pass
+        batch = worker.drain()
+        collector = RecordingTelemetry()
+        collector.write_batch(batch)
+        assert collector.events[0]["parent"] is None
+
+
+class TestFileTelemetry:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with FileTelemetry(path) as tel:
+            with tel.span("study", cells=2):
+                tel.counter("checkpoint_skip", key="k")
+        events = read_trace(path)
+        assert validate_trace(events) == {"events": 3, "spans": 1, "pids": 1}
+        # Flushed per line: every line is standalone JSON.
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["ev"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "out" / "deep" / "trace.jsonl"
+        with FileTelemetry(path) as tel:
+            tel.counter("x")
+        assert path.exists()
+
+    def test_write_after_close_raises(self, tmp_path):
+        tel = FileTelemetry(tmp_path / "trace.jsonl")
+        tel.close()
+        with pytest.raises(ValueError, match="closed"):
+            tel.counter("x")
+        tel.close()  # idempotent
+
+    def test_unserializable_attrs_are_stringified(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with FileTelemetry(path) as tel:
+            tel.event("divergence", loss=complex(1, 2))
+        assert read_trace(path)[0]["loss"] == "(1+2j)"
+
+
+class TestNullTelemetry:
+    def test_all_emitters_are_noops(self):
+        tel = NullTelemetry()
+        with tel.span("work") as span:
+            assert span.set(x=1) is span
+        tel.counter("x")
+        tel.gauge("y", 1.0)
+        tel.event("z")
+        tel.write_batch([{"ev": "counter"}])
+        tel.close()
+        assert not tel.enabled
+
+    def test_null_span_is_a_shared_singleton(self):
+        tel = NullTelemetry()
+        assert tel.span("a") is tel.span("b") is NULL.span("c")
+
+
+class TestGlobalHandle:
+    def test_default_is_null(self):
+        assert get_telemetry() is NULL
+
+    def test_set_and_clear(self):
+        tel = RecordingTelemetry()
+        set_telemetry(tel)
+        try:
+            assert get_telemetry() is tel
+        finally:
+            set_telemetry(None)
+        assert get_telemetry() is NULL
+
+    def test_scope_restores_previous_handle(self):
+        outer = RecordingTelemetry()
+        inner = RecordingTelemetry()
+        set_telemetry(outer)
+        try:
+            with telemetry_scope(inner) as scoped:
+                assert scoped is inner
+                assert get_telemetry() is inner
+            assert get_telemetry() is outer
+        finally:
+            set_telemetry(None)
+
+    def test_scope_restores_on_exception(self):
+        inner = RecordingTelemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry_scope(inner):
+                raise RuntimeError
+        assert get_telemetry() is NULL
+
+    def test_scope_null_suppresses_emission(self):
+        outer = RecordingTelemetry()
+        with telemetry_scope(outer):
+            with telemetry_scope(NULL):
+                get_telemetry().counter("hidden")
+            get_telemetry().counter("visible")
+        assert [e["name"] for e in outer.events] == ["visible"]
+
+    def test_foreign_pid_handle_is_ignored(self):
+        # A forked worker inheriting the parent's handle must not write to
+        # the parent's trace file; simulate the fork by faking the pid.
+        tel = RecordingTelemetry()
+        tel._pid = os.getpid() + 1
+        set_telemetry(tel)
+        try:
+            assert get_telemetry() is NULL
+        finally:
+            set_telemetry(None)

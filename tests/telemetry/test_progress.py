@@ -1,0 +1,110 @@
+"""Tests for the live sweep progress reporter."""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.resilience import CellOutcome
+from repro.telemetry import ProgressReporter, format_eta
+
+
+class _Unit:
+    def __init__(self, label="gtsrb/convnet/baseline"):
+        self.label = label
+
+    def describe(self):
+        return self.label
+
+
+class _Clock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _ok(pid=None, attempts=1, from_checkpoint=False):
+    return CellOutcome(
+        result=object(), attempts=attempts, from_checkpoint=from_checkpoint, pid=pid
+    )
+
+
+def _failed(attempts=2):
+    return CellOutcome(failure=object(), attempts=attempts)
+
+
+class TestFormatEta:
+    def test_bands(self):
+        assert format_eta(None) == "?"
+        assert format_eta(-3) == "0s"
+        assert format_eta(41) == "41s"
+        assert format_eta(192) == "3m12s"
+        assert format_eta(7500) == "2h05m"
+
+
+class TestProgressReporter:
+    def test_counts_and_rolling_rate(self):
+        clock = _Clock()
+        reporter = ProgressReporter(total=4, stream=io.StringIO(), clock=clock)
+        assert reporter.rate_cells_per_s() is None
+        assert reporter.eta_s() is None
+
+        for index in range(3):
+            clock.now = float(index)  # one cell per second
+            reporter.on_outcome(index, _Unit(), _ok())
+        assert reporter.done == 3
+        assert reporter.rate_cells_per_s() == 1.0
+        assert reporter.eta_s() == 1.0
+
+    def test_retries_failures_and_replays_tallied(self):
+        reporter = ProgressReporter(total=3, stream=io.StringIO(), clock=_Clock())
+        reporter.on_outcome(0, _Unit(), _ok(attempts=3))
+        reporter.on_outcome(1, _Unit(), _failed(attempts=2))
+        reporter.on_outcome(2, _Unit(), _ok(from_checkpoint=True))
+        assert reporter.retries == 3  # (3-1) + (2-1)
+        assert reporter.failures == 1
+        assert reporter.replayed == 1
+
+    def test_worker_activity_tracks_latest_cell_per_pid(self):
+        reporter = ProgressReporter(total=3, stream=io.StringIO(), clock=_Clock())
+        reporter.on_outcome(0, _Unit("cell-a"), _ok(pid=100))
+        reporter.on_outcome(1, _Unit("cell-b"), _ok(pid=200))
+        reporter.on_outcome(2, _Unit("cell-c"), _ok(pid=100))
+        assert reporter.worker_activity == {100: "cell-c", 200: "cell-b"}
+        assert "100:cell-c" in reporter.workers_line()
+
+    def test_non_tty_prints_one_line_per_cell(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=2, stream=stream, clock=_Clock())
+        reporter(0, _Unit("cell-a"), _ok())
+        reporter(1, _Unit("cell-b"), _failed())
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "[1/2] cell-a ok" in lines[0]
+        assert "[2/2] cell-b FAILED" in lines[1]
+
+    def test_tty_repaints_status_line_in_place(self):
+        class _Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = _Tty()
+        reporter = ProgressReporter(total=2, stream=stream, clock=_Clock())
+        reporter.on_outcome(0, _Unit(), _ok(pid=7))
+        assert stream.getvalue().startswith("\r\x1b[2K")
+        assert "\n" not in stream.getvalue()
+
+    def test_finish_emits_closing_summary(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, stream=stream, clock=_Clock())
+        reporter.on_outcome(0, _Unit(), _ok())
+        reporter.finish()
+        assert stream.getvalue().endswith(reporter.status_line() + "\n")
+        assert "[1/1] 100%" in reporter.status_line()
+
+    def test_status_line_with_zero_total(self):
+        reporter = ProgressReporter(total=0, stream=io.StringIO(), clock=_Clock())
+        assert "100%" in reporter.status_line()

@@ -1,0 +1,85 @@
+"""Tests for trace summarization (the ``repro-study trace`` analysis)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    RecordingTelemetry,
+    TraceError,
+    render_trace_summary,
+    summarize_trace,
+)
+
+
+def _study_trace():
+    """Synthetic two-unit study with retries, a divergence, and cache events."""
+    tel = RecordingTelemetry()
+    with tel.span("study", cells=2):
+        with tel.span("unit", key="slow", technique="ensembles", dataset="gtsrb"):
+            with tel.span("attempt", attempt=1, key="slow"):
+                tel.event("divergence", epoch=1)
+            tel.counter("retry", key="slow")
+            with tel.span("attempt", attempt=2, key="slow"):
+                with tel.span("faulty_fit"):
+                    pass
+        with tel.span("unit", key="fast", technique="baseline", dataset="gtsrb"):
+            tel.counter("cache_hit", key="fast")
+        tel.counter("checkpoint_skip", key="other")
+    events = tel.drain()
+    # Deterministic durations for assertions.
+    for event in events:
+        if event["ev"] == "span_end":
+            event["dur_s"] = {"study": 10.0, "unit": 4.0, "attempt": 1.5,
+                              "faulty_fit": 1.0}[event["name"]]
+    return events
+
+
+class TestSummarizeTrace:
+    def test_phase_totals_and_tallies(self):
+        summary = summarize_trace(_study_trace())
+        count, seconds = summary.phase_totals["unit"]
+        assert (count, seconds) == (2, 8.0)
+        assert summary.phase_totals["attempt"] == (2, 3.0)
+        assert summary.counters == {"retry": 1, "cache_hit": 1, "checkpoint_skip": 1}
+        assert summary.point_events == {"divergence": 1}
+        assert summary.total_s == 10.0
+        assert summary.pids == 1
+
+    def test_slowest_units_ranked_and_capped(self):
+        summary = summarize_trace(_study_trace(), top=1)
+        assert summary.slowest_units == [("slow", 4.0)]
+
+    def test_technique_dataset_breakdown(self):
+        summary = summarize_trace(_study_trace())
+        assert summary.technique_dataset_s == {
+            ("ensembles", "gtsrb"): 4.0,
+            ("baseline", "gtsrb"): 4.0,
+        }
+
+    def test_reads_from_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("".join(json.dumps(e) + "\n" for e in _study_trace()))
+        assert summarize_trace(path).counters["retry"] == 1
+
+    def test_invalid_trace_is_refused(self):
+        events = _study_trace()[:-1]  # unclosed study span
+        with pytest.raises(TraceError):
+            summarize_trace(events)
+
+
+class TestRenderTraceSummary:
+    def test_report_sections(self):
+        text = render_trace_summary(summarize_trace(_study_trace()))
+        assert "per-phase wall-clock:" in text
+        assert "tallies:" in text
+        assert "slowest cells:" in text
+        assert "technique x dataset wall-clock:" in text
+        assert "retry" in text and "divergence" in text
+        assert "ensembles" in text
+
+    def test_empty_trace_renders(self):
+        text = render_trace_summary(summarize_trace([]))
+        assert text.startswith("trace: 0 events")

@@ -1,0 +1,135 @@
+"""Tests for trace reading, validation, tree rebuilding, and signatures."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    RecordingTelemetry,
+    TraceError,
+    hierarchy_signature,
+    read_trace,
+    span_tree,
+    validate_trace,
+)
+
+
+def _study_events(unit_order=("a", "b")):
+    """A well-formed two-unit study trace, units in the given order."""
+    tel = RecordingTelemetry()
+    with tel.span("study", cells=len(unit_order)):
+        for key in unit_order:
+            with tel.span("unit", key=key, technique="baseline", dataset="gtsrb"):
+                with tel.span("attempt", attempt=1, key=key):
+                    with tel.span("repetition", repetition=0):
+                        with tel.span("epoch", epoch=0):
+                            pass
+    return tel.drain()
+
+
+class TestReadTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _study_events()
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert read_trace(path) == events
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _study_events()
+        payload = "".join(json.dumps(e) + "\n" for e in events)
+        path.write_text(payload + '{"ev": "span_start", "na')
+        assert len(read_trace(path)) == len(events)
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('not json\n{"ev": "counter", "name": "x"}\n')
+        with pytest.raises(TraceError, match="malformed"):
+            read_trace(path)
+
+    def test_non_event_json_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "header"}\n{"ev": "counter"}\n')
+        with pytest.raises(TraceError, match="not a trace event"):
+            read_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('\n{"ev": "counter", "name": "x"}\n\n')
+        assert len(read_trace(path)) == 1
+
+
+class TestValidateTrace:
+    def test_stats_on_valid_trace(self):
+        events = _study_events()
+        stats = validate_trace(events)
+        assert stats == {"events": len(events), "spans": 9, "pids": 1}
+
+    def test_unclosed_span_raises(self):
+        events = _study_events()[:-1]  # drop the study span_end
+        with pytest.raises(TraceError, match="left open"):
+            validate_trace(events)
+
+    def test_stray_end_raises(self):
+        with pytest.raises(TraceError, match="without open span"):
+            validate_trace([{"ev": "span_end", "span": "x", "name": "unit"}])
+
+    def test_misnested_end_raises(self):
+        events = _study_events()
+        ends = [i for i, e in enumerate(events) if e["ev"] == "span_end"]
+        events[ends[0]], events[ends[1]] = events[ends[1]], events[ends[0]]
+        with pytest.raises(TraceError, match="innermost open span"):
+            validate_trace(events)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(TraceError, match="unknown event kind"):
+            validate_trace([{"ev": "mystery", "name": "x"}])
+
+
+class TestSpanTree:
+    def test_rebuilds_hierarchy(self):
+        roots = span_tree(_study_events())
+        assert len(roots) == 1
+        study = roots[0]
+        assert study.name == "study"
+        assert [c.name for c in study.children] == ["unit", "unit"]
+        names = [n.name for n in study.walk()]
+        assert names.count("epoch") == 2
+
+    def test_end_attrs_merged_into_node(self):
+        tel = RecordingTelemetry()
+        with tel.span("epoch", epoch=0) as span:
+            span.set(train_loss=0.25)
+        node = span_tree(tel.drain())[0]
+        assert node.attrs == {"epoch": 0, "train_loss": 0.25}
+        assert node.dur_s >= 0.0
+
+
+class TestHierarchySignature:
+    def test_identical_for_reordered_units(self):
+        # A parallel sweep completes units in arbitrary order; the signature
+        # must not care.
+        assert hierarchy_signature(_study_events(("a", "b"))) == \
+            hierarchy_signature(_study_events(("b", "a")))
+
+    def test_differs_for_different_plans(self):
+        assert hierarchy_signature(_study_events(("a", "b"))) != \
+            hierarchy_signature(_study_events(("a", "c")))
+
+    def test_schedule_dependent_spans_excluded(self):
+        def trace(with_golden):
+            tel = RecordingTelemetry()
+            with tel.span("study"):
+                with tel.span("unit", key="a"):
+                    if with_golden:
+                        with tel.span("golden_fit", dataset="gtsrb"):
+                            pass
+            return tel.drain()
+
+        # Serial memoizes golden training; a second worker repeats it.  The
+        # signature treats both shapes as the same sweep.
+        assert hierarchy_signature(trace(True)) == hierarchy_signature(trace(False))
+        assert hierarchy_signature(trace(True), exclude=()) != \
+            hierarchy_signature(trace(False), exclude=())

@@ -52,6 +52,30 @@ class TestParser:
         assert args.resume
         assert args.max_attempts == 3
 
+    def test_verbosity_flags(self):
+        assert not build_parser().parse_args(["table1"]).verbose
+        assert build_parser().parse_args(["-v", "table1"]).verbose
+        assert build_parser().parse_args(["--quiet", "table1"]).quiet
+        # Mutually exclusive.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["-v", "-q", "table1"])
+
+    def test_study_telemetry_flags(self):
+        args = build_parser().parse_args(["study"])
+        assert args.trace is None and not args.progress
+        args = build_parser().parse_args(
+            ["study", "--trace", "out/trace.jsonl", "--progress"]
+        )
+        assert args.trace == "out/trace.jsonl"
+        assert args.progress
+
+    def test_trace_subcommand(self):
+        args = build_parser().parse_args(["trace", "out/trace.jsonl"])
+        assert args.command == "trace"
+        assert args.file == "out/trace.jsonl"
+        assert args.top == 5
+        assert build_parser().parse_args(["trace", "t.jsonl", "--top", "3"]).top == 3
+
 
 class TestMain:
     def test_table1_prints_catalog(self, capsys):
@@ -124,3 +148,66 @@ class TestMain:
         second = capsys.readouterr()
         assert "1 replayed" in second.out
         assert "0 executed" in second.out
+
+    def test_quiet_suppresses_diagnostics(self, capsys):
+        assert main(["--quiet", "study", "--resume"]) == 2  # errors still show
+        assert "requires --checkpoint" in capsys.readouterr().err
+
+    def test_verbose_prefixes_logger_names(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EPOCHS", "2")
+        argv = [
+            "--verbose", "study",
+            "--models", "convnet", "--datasets", "pneumonia",
+            "--faults", "mislabelling", "--rates", "0.3",
+            "--techniques", "baseline",
+        ]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "repro.cli: [scale=" in err
+        assert "repro.experiments" in err  # debug lines from the executors
+
+    def test_study_trace_and_summarize_roundtrip(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EPOCHS", "2")
+        trace = tmp_path / "trace.jsonl"
+        argv = [
+            "study",
+            "--models", "convnet", "--datasets", "pneumonia",
+            "--faults", "mislabelling", "--rates", "0.3",
+            "--techniques", "baseline",
+            "--trace", str(trace),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "tracing to" in first.err
+        assert trace.exists()
+
+        assert main(["trace", str(trace)]) == 0
+        report = capsys.readouterr().out
+        assert "per-phase wall-clock:" in report
+        assert "unit" in report and "epoch" in report
+        assert "slowest cells:" in report
+
+    def test_trace_command_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_trace_command_rejects_corrupt_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ev": "span_start", "name": "study", "span": "1", "parent": null}\n')
+        assert main(["trace", str(path)]) == 2
+        assert "left open" in capsys.readouterr().err
+
+    def test_study_progress_smoke(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EPOCHS", "2")
+        argv = [
+            "study",
+            "--models", "convnet", "--datasets", "pneumonia",
+            "--faults", "mislabelling", "--rates", "0.3",
+            "--techniques", "baseline",
+            "--progress",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "[1/1]" in captured.err
+        assert "retries 0" in captured.err
+        assert "1 cells ok" in captured.out

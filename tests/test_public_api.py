@@ -8,7 +8,10 @@ import pytest
 
 import repro
 
-SUBPACKAGES = ["nn", "data", "faults", "models", "mitigation", "metrics", "experiments", "survey"]
+SUBPACKAGES = [
+    "nn", "data", "faults", "models", "mitigation", "metrics", "experiments",
+    "survey", "telemetry",
+]
 
 
 def test_version_string():
