@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.dataset import ArrayDataset
-from ..nn import EarlyStopping, Module, softmax
+from ..nn import EarlyStopping, Module, softmax_np
 from ..nn.losses import CrossEntropy, DistillationLoss
 from ..nn.tensor import Tensor, no_grad
 from .base import FittedModel, MitigationTechnique, SingleModelFitted, TrainingBudget
@@ -82,7 +82,9 @@ class SelfDistillationTechnique(MitigationTechnique):
         def refresh_teacher_probs(_model: Module, x_batch: np.ndarray, _y: np.ndarray) -> None:
             with no_grad():
                 logits = teacher(Tensor(x_batch))
-                loss.set_teacher_probs(softmax(logits, axis=1, temperature=self.temperature).data)
+                loss.set_teacher_probs(
+                    softmax_np(logits.data, axis=1, temperature=self.temperature)
+                )
 
         student_budget = budget.scaled_epochs(self.student_epoch_factor)
         history, student_seconds = self._train(

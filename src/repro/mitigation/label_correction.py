@@ -33,7 +33,7 @@ import numpy as np
 
 from ..data.dataset import ArrayDataset
 from ..data.transforms import one_hot
-from ..nn import Adam, Dense, Module, ReLU, Sequential, Trainer, softmax
+from ..nn import Adam, Dense, Module, ReLU, Sequential, Trainer, softmax_np
 from ..nn.losses import CrossEntropy, SoftTargetCrossEntropy
 from ..nn.tensor import Tensor, no_grad
 from ..nn.trainer import predict_proba
@@ -66,7 +66,7 @@ class LabelCorrector(Module):
         features = np.concatenate([primary_probs, observed_one_hot], axis=1).astype(np.float32)
         with no_grad():
             logits = self(Tensor(features))
-            return softmax(logits, axis=1).data
+            return softmax_np(logits.data, axis=1)
 
 
 class MetaLabelCorrectionTechnique(MitigationTechnique):

@@ -10,9 +10,14 @@ from .functional import (
     conv2d,
     depthwise_conv2d,
     global_avg_pool2d,
+    kernel_mode,
     log_softmax,
     max_pool2d,
+    set_kernel_mode,
     softmax,
+    softmax_cross_entropy,
+    softmax_np,
+    use_kernel_mode,
 )
 from .layers import (
     AvgPool2D,
@@ -62,6 +67,7 @@ from .optim import (
 )
 from .serialization import load_into, load_state, save_model, save_state
 from .tensor import Tensor, is_grad_enabled, no_grad
+from .workspace import Workspace, get_workspace
 from .trainer import (
     DivergenceError,
     EarlyStopping,
@@ -102,11 +108,19 @@ __all__ = [
     # functional
     "softmax",
     "log_softmax",
+    "softmax_np",
+    "softmax_cross_entropy",
     "conv2d",
     "depthwise_conv2d",
     "max_pool2d",
     "avg_pool2d",
     "global_avg_pool2d",
+    "kernel_mode",
+    "set_kernel_mode",
+    "use_kernel_mode",
+    # workspace
+    "Workspace",
+    "get_workspace",
     # losses
     "Loss",
     "CrossEntropy",

@@ -4,17 +4,56 @@ All image ops use NCHW layout (batch, channels, height, width).  Convolutions
 are implemented with im2col/col2im so that the heavy lifting happens inside a
 single BLAS matmul — the standard trick for fast CPU convolutions and the one
 that keeps the reproduction's training loops tractable on a laptop.
+
+Kernel modes
+------------
+The hot-path kernels come in three selectable implementations (see
+:func:`set_kernel_mode`):
+
+``fast`` (default)
+    Vectorised patch extraction via ``numpy.lib.stride_tricks.sliding_window_view``,
+    the fused :func:`softmax_cross_entropy` tape node, and scratch-buffer reuse
+    through :mod:`repro.nn.workspace`.
+``reference``
+    The loop-based patch extraction and the composed (unfused) loss, with no
+    buffer reuse.  ``reference`` and ``fast`` share every GEMM shape and every
+    floating-point operation order, so they produce **bitwise-identical**
+    forward values and gradients — this is what lets the study harness swap
+    kernels without perturbing a single result (``results_equivalent`` does
+    exact float comparison).
+``legacy``
+    The original seed implementations (flat ``(N*OH*OW, C*KH*KW)`` patch
+    layout), kept verbatim for honest old-vs-new benchmarking in
+    ``benchmarks/bench_kernels.py``.  Numerically equal to ``fast`` up to
+    GEMM reduction-order rounding (~1e-6 relative on weight gradients).
+
+All three modes use the same optimiser/trainer code; only the kernel bodies
+differ.
+
+Patch layout
+------------
+``im2col`` produces ``(N, C*KH*KW, OH*OW)`` — channels-first patches kept
+per-image.  Compared with the seed's flat ``(N*OH*OW, C*KH*KW)`` layout this
+removes the big stage-B transpose copy on the forward path and makes the conv
+output a contiguous NCHW reshape instead of a strided transpose, which is
+where most of the measured speedup comes from.  The seed layout survives as
+:func:`im2col_reference`/:func:`col2im_reference`.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
+from .workspace import Workspace, get_workspace
 
 __all__ = [
     "softmax",
     "log_softmax",
+    "softmax_np",
+    "softmax_cross_entropy",
     "conv2d",
     "depthwise_conv2d",
     "max_pool2d",
@@ -22,10 +61,81 @@ __all__ = [
     "global_avg_pool2d",
     "im2col",
     "col2im",
+    "im2col_reference",
+    "col2im_reference",
     "conv_output_size",
+    "KERNEL_MODES",
+    "kernel_mode",
+    "set_kernel_mode",
+    "use_kernel_mode",
 ]
 
 
+# ----------------------------------------------------------------------
+# Kernel-mode dispatch
+# ----------------------------------------------------------------------
+KERNEL_MODES = ("fast", "reference", "legacy")
+
+_KERNEL_MODE = os.environ.get("REPRO_KERNELS", "fast").strip().lower() or "fast"
+if _KERNEL_MODE not in KERNEL_MODES:
+    raise ValueError(
+        f"REPRO_KERNELS={_KERNEL_MODE!r} is not a valid kernel mode; choices: {KERNEL_MODES}"
+    )
+
+
+def kernel_mode() -> str:
+    """Return the active kernel mode (``fast``, ``reference``, or ``legacy``)."""
+    return _KERNEL_MODE
+
+
+def set_kernel_mode(mode: str) -> str:
+    """Select the kernel implementation; returns the previous mode.
+
+    Also honours the ``REPRO_KERNELS`` environment variable at import time.
+    ``fast`` and ``reference`` are bitwise-equivalent; ``legacy`` is the seed
+    implementation retained for benchmarking.
+    """
+    global _KERNEL_MODE
+    if mode not in KERNEL_MODES:
+        raise ValueError(f"unknown kernel mode {mode!r}; choices: {KERNEL_MODES}")
+    previous = _KERNEL_MODE
+    _KERNEL_MODE = mode
+    if mode != "fast":
+        # Non-fast modes do not pool buffers; drop whatever the fast path cached.
+        get_workspace().clear()
+    return previous
+
+
+class use_kernel_mode:
+    """Context manager that temporarily switches the kernel mode.
+
+    >>> with use_kernel_mode("reference"):
+    ...     loss = model_loss(...)
+    """
+
+    def __init__(self, mode: str) -> None:
+        if mode not in KERNEL_MODES:
+            raise ValueError(f"unknown kernel mode {mode!r}; choices: {KERNEL_MODES}")
+        self.mode = mode
+        self._previous: str | None = None
+
+    def __enter__(self) -> "use_kernel_mode":
+        self._previous = set_kernel_mode(self.mode)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._previous is not None:
+            set_kernel_mode(self._previous)
+
+
+def _pool() -> Workspace | None:
+    """The scratch-buffer arena, or None when buffer reuse is disabled."""
+    return get_workspace() if _KERNEL_MODE == "fast" else None
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
 def softmax(logits: Tensor, axis: int = -1, temperature: float = 1.0) -> Tensor:
     """Numerically stable softmax.
 
@@ -46,15 +156,183 @@ def log_softmax(logits: Tensor, axis: int = -1, temperature: float = 1.0) -> Ten
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
+def softmax_np(logits: np.ndarray, axis: int = -1, temperature: float = 1.0) -> np.ndarray:
+    """Stable softmax on a plain NumPy array (no tape).
+
+    The single softmax used by every inference path — ``predict_proba``, the
+    distillation teacher, label correction — so that temperature and
+    stability handling cannot drift between them.  Performs exactly the same
+    float32 operation sequence as :func:`softmax`, so switching a ``no_grad``
+    call site from the Tensor version to this one does not change a bit.
+    """
+    x = np.asarray(logits)
+    if temperature != 1.0:
+        x = x * np.asarray(1.0 / temperature, dtype=np.float32)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def softmax_cross_entropy(logits: Tensor, targets: np.ndarray, temperature: float = 1.0) -> Tensor:
+    """Fused softmax + cross-entropy: mean of ``-sum(targets * log_softmax(logits))``.
+
+    A single tape node replacing the composed sub/exp/sum/log/mul/sum/mean/neg
+    chain (forward via log-sum-exp, backward in closed form), with the
+    distillation temperature folded in.  ``targets`` may be one-hot or soft
+    distributions of shape ``(N, K)``.
+
+    In ``fast`` kernel mode this runs fused; in other modes it falls back to
+    the composed Tensor expression.  Both replicate the composed chain's
+    float32 operation order exactly, so the loss value and the logit gradient
+    are bitwise-identical across modes.
+    """
+    t = np.asarray(targets, dtype=np.float32)
+    if logits.ndim != 2 or t.shape != tuple(logits.shape):
+        raise ValueError(
+            f"expected matching (N, K) logits and targets; got {logits.shape} and {t.shape}"
+        )
+    if _KERNEL_MODE != "fast":
+        return -(log_softmax(logits, axis=1, temperature=temperature) * Tensor(t)).sum(
+            axis=1
+        ).mean()
+
+    x = logits.data
+    if temperature != 1.0:
+        inv_t = np.asarray(1.0 / temperature, dtype=np.float32)
+        scaled = x * inv_t
+    else:
+        inv_t = None
+        scaled = x
+    # Forward replicates the composed chain step for step:
+    #   shifted = scaled - max; lp = shifted - log(sum(exp(shifted)))
+    #   loss = -((lp * t).sum(axis=1).sum() * (1/N))
+    shifted = scaled - scaled.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    sums = exps.sum(axis=1, keepdims=True)
+    log_probs = shifted - np.log(sums)
+    rowsum = (log_probs * t).sum(axis=1)
+    inv_n = np.asarray(1.0 / rowsum.shape[0], dtype=np.float32)
+    out_data = -(rowsum.sum() * inv_n)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        # Closed-form gradient, in the exact operation order of the composed
+        # tape (down to the order the two shifted-gradient terms are added).
+        g_lp = ((-grad) * inv_n) * t
+        g_logsum = (-g_lp).sum(axis=1, keepdims=True)
+        gx = g_lp + (g_logsum / sums) * exps
+        if inv_t is not None:
+            gx *= inv_t
+        logits._accumulate(gx)
+
+    return Tensor._make(out_data, (logits,), backward_fn, "softmax_ce")
+
+
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     """Spatial output size of a convolution/pooling window."""
     return (size + 2 * padding - kernel) // stride + 1
 
 
+# ----------------------------------------------------------------------
+# Patch extraction (im2col / col2im)
+# ----------------------------------------------------------------------
 def im2col(
+    images: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Unfold NCHW image patches into matrices of shape ``(N, C*KH*KW, OH*OW)``.
+
+    In ``fast`` mode stride-1 gathers are a single strided-view transpose copy
+    via ``sliding_window_view``; strided gathers and the other modes use a
+    per-kernel-offset copy loop that writes the same elements.  All paths
+    perform pure copies, so their outputs are bitwise-identical.
+
+    ``out``, when given, must be a ``(N, C*KH*KW, OH*OW)`` C-contiguous buffer
+    of the image dtype (e.g. from the :mod:`repro.nn.workspace` arena); it is
+    fully overwritten and returned.
+    """
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    if padding > 0:
+        padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=images.dtype)
+        padded[:, :, padding:-padding, padding:-padding] = images
+        images = padded
+
+    if out is None:
+        out = np.empty((n, c * kernel_h * kernel_w, out_h * out_w), dtype=images.dtype)
+    cols = out.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
+    if _KERNEL_MODE == "fast" and stride == 1:
+        # The six-axis window-view copy wins for dense (stride-1) convolution
+        # gathers but loses to the offset loop once the windows are strided
+        # (pooling geometries), so strided gathers fall through to the loop.
+        windows = np.lib.stride_tricks.sliding_window_view(
+            images, (kernel_h, kernel_w), axis=(2, 3)
+        )
+        cols[...] = windows.transpose(0, 1, 4, 5, 2, 3)
+    else:
+        for ky in range(kernel_h):
+            y_max = ky + stride * out_h
+            for kx in range(kernel_w):
+                x_max = kx + stride * out_w
+                cols[:, :, ky, kx, :, :] = images[:, :, ky:y_max:stride, kx:x_max:stride]
+    return out
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+    workspace: Workspace | None = None,
+) -> np.ndarray:
+    """Fold ``(N, C*KH*KW, OH*OW)`` patch matrices back to NCHW, accumulating overlaps.
+
+    This is the adjoint of :func:`im2col` and therefore exactly the gradient
+    routing a convolution backward pass needs.  The scatter-accumulate stays a
+    per-kernel-offset loop in every mode: each iteration is a fully vectorised
+    strided add over ``(N, C, OH, OW)``, and the windowed alternative measures
+    ~4× slower on disjoint (pooling) windows because of its extra indexing.
+
+    When ``workspace`` is given, the padded accumulator is drawn from it; the
+    caller owns releasing the returned array's base buffer after consuming the
+    values.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    cols6 = cols.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
+
+    padded_shape = (n, c, h + 2 * padding, w + 2 * padding)
+    if workspace is not None:
+        padded = workspace.acquire_zeros(padded_shape, cols.dtype)
+    else:
+        padded = np.zeros(padded_shape, dtype=cols.dtype)
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols6[:, :, ky, kx, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def im2col_reference(
     images: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
 ) -> np.ndarray:
-    """Unfold NCHW image patches into a matrix of shape (N*OH*OW, C*KH*KW)."""
+    """Seed im2col: unfold NCHW patches into a flat ``(N*OH*OW, C*KH*KW)`` matrix.
+
+    Retained verbatim as the reference/legacy implementation for equivalence
+    tests and old-vs-new benchmarking; the hot path uses :func:`im2col`.
+    """
     n, c, h, w = images.shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)
@@ -70,7 +348,7 @@ def im2col(
     return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
 
 
-def col2im(
+def col2im_reference(
     cols: np.ndarray,
     input_shape: tuple[int, int, int, int],
     kernel_h: int,
@@ -78,10 +356,10 @@ def col2im(
     stride: int,
     padding: int,
 ) -> np.ndarray:
-    """Fold a patch matrix back to NCHW, accumulating overlapping regions.
+    """Seed col2im: fold a flat ``(N*OH*OW, C*KH*KW)`` matrix back to NCHW.
 
-    This is the adjoint of :func:`im2col` and therefore exactly the gradient
-    routing a convolution backward pass needs.
+    The adjoint of :func:`im2col_reference`; retained verbatim for equivalence
+    tests and the legacy kernel mode.
     """
     n, c, h, w = input_shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
@@ -99,6 +377,19 @@ def col2im(
     return padded
 
 
+def _release_folded(workspace: Workspace | None, folded: np.ndarray) -> None:
+    """Return a col2im result's backing buffer to the workspace.
+
+    ``col2im`` returns the unpadded interior view when padding > 0; the pooled
+    buffer is then its base.
+    """
+    if workspace is not None:
+        workspace.release(folded if folded.base is None else folded.base)
+
+
+# ----------------------------------------------------------------------
+# Convolutions
+# ----------------------------------------------------------------------
 def conv2d(
     images: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0
 ) -> Tensor:
@@ -113,6 +404,262 @@ def conv2d(
     bias:
         Optional per-output-channel bias of shape ``(C_out,)``.
     """
+    if _KERNEL_MODE == "legacy":
+        return _conv2d_legacy(images, weight, bias, stride, padding)
+    n, c_in, h, w = images.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"conv2d channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    ohw = out_h * out_w
+    ckk = c_in * kh * kw
+
+    x = images.data
+    ws = _pool()
+    cols = ws.acquire((n, ckk, ohw), x.dtype) if ws is not None else None
+    cols = im2col(x, kh, kw, stride, padding, out=cols)  # (N, C*KH*KW, OH*OW)
+    flat_weight = weight.data.reshape(c_out, -1)  # (C_out, C*KH*KW)
+    out3 = np.matmul(flat_weight, cols)  # (N, C_out, OH*OW)
+    if bias is not None:
+        out3 += bias.data[:, None]
+    out_data = out3.reshape(n, c_out, out_h, out_w)
+
+    recording = is_grad_enabled() and (
+        images.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    if not recording:
+        if ws is not None:
+            ws.release(cols)
+        return Tensor(out_data)
+
+    parents = (images, weight) if bias is None else (images, weight, bias)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad3 = grad.reshape(n, c_out, ohw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad3.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            if c_out > 4 * ohw:
+                # Deep layers (many channels, few positions): contract batch
+                # and position axes in one GEMM; the batched alternative would
+                # materialise an (N, C_out, C*KH*KW) intermediate.
+                grad_w = np.tensordot(grad3, cols, axes=([0, 2], [0, 2]))  # (C_out, C*KH*KW)
+            else:
+                # Wide-spatial layers: per-sample GEMMs are large enough that
+                # the batched product beats tensordot's internal transposes.
+                grad_w = np.matmul(grad3, cols.transpose(0, 2, 1)).sum(axis=0)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if images.requires_grad:
+            gcols = (
+                ws.acquire((n, ckk, ohw), x.dtype)
+                if ws is not None
+                else np.empty((n, ckk, ohw), dtype=x.dtype)
+            )
+            np.matmul(flat_weight.T, grad3, out=gcols)  # (N, C*KH*KW, OH*OW)
+            grad_img = col2im(gcols, images.shape, kh, kw, stride, padding, workspace=ws)
+            images._accumulate(grad_img)
+            if ws is not None:
+                ws.release(gcols)
+            _release_folded(ws, grad_img)
+        if ws is not None:
+            ws.release(cols)
+
+    return Tensor._make(out_data, parents, backward_fn, "conv2d")
+
+
+def depthwise_conv2d(
+    images: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0
+) -> Tensor:
+    """Depthwise 2-D convolution (one filter per input channel).
+
+    The building block of MobileNet's depthwise-separable convolutions
+    (paper Table III).  ``weight`` has shape ``(C, 1, KH, KW)``.
+    """
+    if _KERNEL_MODE == "legacy":
+        return _depthwise_conv2d_legacy(images, weight, bias, stride, padding)
+    n, c, h, w = images.shape
+    c_w, one, kh, kw = weight.shape
+    if c_w != c or one != 1:
+        raise ValueError(f"depthwise weight must be (C, 1, KH, KW); got {weight.shape}")
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    ohw = out_h * out_w
+    kk = kh * kw
+
+    x = images.data
+    ws = _pool()
+    cols = ws.acquire((n, c * kk, ohw), x.dtype) if ws is not None else None
+    cols = im2col(x, kh, kw, stride, padding, out=cols)
+    cols4 = cols.reshape(n, c, kk, ohw)
+    flat_weight = weight.data.reshape(c, kk)  # (C, KH*KW)
+    out = np.einsum("nckp,ck->ncp", cols4, flat_weight)  # (N, C, OH*OW)
+    if bias is not None:
+        out += bias.data[:, None]
+    out_data = out.reshape(n, c, out_h, out_w)
+
+    recording = is_grad_enabled() and (
+        images.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    if not recording:
+        if ws is not None:
+            ws.release(cols)
+        return Tensor(out_data)
+
+    parents = (images, weight) if bias is None else (images, weight, bias)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad3 = grad.reshape(n, c, ohw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad3.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            grad_w = np.einsum("ncp,nckp->ck", grad3, cols4)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if images.requires_grad:
+            gcols = (
+                ws.acquire((n, c * kk, ohw), x.dtype)
+                if ws is not None
+                else np.empty((n, c * kk, ohw), dtype=x.dtype)
+            )
+            np.einsum("ncp,ck->nckp", grad3, flat_weight, out=gcols.reshape(n, c, kk, ohw))
+            grad_img = col2im(gcols, images.shape, kh, kw, stride, padding, workspace=ws)
+            images._accumulate(grad_img)
+            if ws is not None:
+                ws.release(gcols)
+            _release_folded(ws, grad_img)
+        if ws is not None:
+            ws.release(cols)
+
+    return Tensor._make(out_data, parents, backward_fn, "depthwise_conv2d")
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def max_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    if _KERNEL_MODE == "legacy":
+        return _max_pool2d_legacy(images, kernel, stride)
+    stride = stride or kernel
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+    ohw = out_h * out_w
+    kk = kernel * kernel
+
+    x = images.data
+    ws = _pool()
+    cols = ws.acquire((n, c * kk, ohw), x.dtype) if ws is not None else None
+    cols4 = im2col(x, kernel, kernel, stride, 0, out=cols).reshape(n, c, kk, ohw)
+    argmax = cols4.argmax(axis=2)  # (N, C, OH*OW)
+    out = np.take_along_axis(cols4, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+    out_data = out.reshape(n, c, out_h, out_w)
+    if ws is not None:
+        # The backward pass only needs the argmax, not the patches.
+        ws.release(cols)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not images.requires_grad:
+            return
+        grad3 = grad.reshape(n, c, ohw)
+        if ws is not None and stride >= kernel:
+            # Disjoint windows: route each gradient straight to its argmax
+            # pixel instead of materialising patch columns plus col2im.  Every
+            # destination is written at most once, so the scatter is bitwise
+            # identical to the column route the reference mode takes.
+            ky, kx = np.divmod(argmax, kernel)
+            flat = ky * w
+            flat += kx
+            oy, ox = np.divmod(np.arange(ohw), out_w)
+            flat += (oy * stride) * w + ox * stride
+            grad_img = np.zeros((n, c, h * w), dtype=x.dtype)
+            np.put_along_axis(grad_img, flat, grad3, axis=2)
+            images._accumulate(grad_img.reshape(n, c, h, w))
+            return
+        gcols = (
+            ws.acquire_zeros((n, c * kk, ohw), x.dtype)
+            if ws is not None
+            else np.zeros((n, c * kk, ohw), dtype=x.dtype)
+        )
+        np.put_along_axis(
+            gcols.reshape(n, c, kk, ohw), argmax[:, :, None, :], grad3[:, :, None, :], axis=2
+        )
+        grad_img = col2im(gcols, images.shape, kernel, kernel, stride, 0, workspace=ws)
+        images._accumulate(grad_img)
+        if ws is not None:
+            ws.release(gcols)
+        _release_folded(ws, grad_img)
+
+    return Tensor._make(out_data, (images,), backward_fn, "max_pool2d")
+
+
+def avg_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Average pooling over windows."""
+    if _KERNEL_MODE == "legacy":
+        return _avg_pool2d_legacy(images, kernel, stride)
+    stride = stride or kernel
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel, stride, 0)
+    out_w = conv_output_size(w, kernel, stride, 0)
+    ohw = out_h * out_w
+    kk = kernel * kernel
+
+    x = images.data
+    ws = _pool()
+    cols = ws.acquire((n, c * kk, ohw), x.dtype) if ws is not None else None
+    cols4 = im2col(x, kernel, kernel, stride, 0, out=cols).reshape(n, c, kk, ohw)
+    out_data = cols4.mean(axis=2).reshape(n, c, out_h, out_w)
+    if ws is not None:
+        # Average-pool backward is a uniform spread; the patches are not needed.
+        ws.release(cols)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not images.requires_grad:
+            return
+        grad3 = grad.reshape(n, c, ohw)
+        if ws is not None and stride >= kernel:
+            # Disjoint windows: each source pixel belongs to at most one
+            # window, so the uniform spread is k*k strided assignments of the
+            # scaled gradient — no patch-column buffer, no col2im.
+            spread = grad3.reshape(n, c, out_h, out_w) / kk
+            grad_img = np.zeros((n, c, h, w), dtype=x.dtype)
+            for ky in range(kernel):
+                for kx in range(kernel):
+                    grad_img[
+                        :, :, ky : ky + stride * out_h : stride, kx : kx + stride * out_w : stride
+                    ] = spread
+            images._accumulate(grad_img)
+            return
+        gcols = (
+            ws.acquire((n, c * kk, ohw), x.dtype)
+            if ws is not None
+            else np.empty((n, c * kk, ohw), dtype=x.dtype)
+        )
+        np.divide(grad3[:, :, None, :], kk, out=gcols.reshape(n, c, kk, ohw))
+        grad_img = col2im(gcols, images.shape, kernel, kernel, stride, 0, workspace=ws)
+        images._accumulate(grad_img)
+        if ws is not None:
+            ws.release(gcols)
+        _release_folded(ws, grad_img)
+
+    return Tensor._make(out_data, (images,), backward_fn, "avg_pool2d")
+
+
+def global_avg_pool2d(images: Tensor) -> Tensor:
+    """Average each channel over all spatial positions: (N,C,H,W) -> (N,C)."""
+    return images.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Legacy (seed) kernels — benchmark baselines, selected by kernel mode
+# ----------------------------------------------------------------------
+def _conv2d_legacy(
+    images: Tensor, weight: Tensor, bias: Tensor | None, stride: int, padding: int
+) -> Tensor:
     n, c_in, h, w = images.shape
     c_out, c_in_w, kh, kw = weight.shape
     if c_in != c_in_w:
@@ -120,7 +667,7 @@ def conv2d(
     out_h = conv_output_size(h, kh, stride, padding)
     out_w = conv_output_size(w, kw, stride, padding)
 
-    cols = im2col(images.data, kh, kw, stride, padding)  # (N*OH*OW, C*KH*KW)
+    cols = im2col_reference(images.data, kh, kw, stride, padding)  # (N*OH*OW, C*KH*KW)
     flat_weight = weight.data.reshape(c_out, -1)  # (C_out, C*KH*KW)
     out = cols @ flat_weight.T  # (N*OH*OW, C_out)
     if bias is not None:
@@ -138,19 +685,14 @@ def conv2d(
             weight._accumulate(grad_w.reshape(weight.shape))
         if images.requires_grad:
             grad_cols = grad_flat @ flat_weight  # (N*OH*OW, C*KH*KW)
-            images._accumulate(col2im(grad_cols, images.shape, kh, kw, stride, padding))
+            images._accumulate(col2im_reference(grad_cols, images.shape, kh, kw, stride, padding))
 
     return Tensor._make(out_data, parents, backward_fn, "conv2d")
 
 
-def depthwise_conv2d(
-    images: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0
+def _depthwise_conv2d_legacy(
+    images: Tensor, weight: Tensor, bias: Tensor | None, stride: int, padding: int
 ) -> Tensor:
-    """Depthwise 2-D convolution (one filter per input channel).
-
-    The building block of MobileNet's depthwise-separable convolutions
-    (paper Table III).  ``weight`` has shape ``(C, 1, KH, KW)``.
-    """
     n, c, h, w = images.shape
     c_w, one, kh, kw = weight.shape
     if c_w != c or one != 1:
@@ -158,7 +700,7 @@ def depthwise_conv2d(
     out_h = conv_output_size(h, kh, stride, padding)
     out_w = conv_output_size(w, kw, stride, padding)
 
-    cols = im2col(images.data, kh, kw, stride, padding)  # (N*OH*OW, C*KH*KW)
+    cols = im2col_reference(images.data, kh, kw, stride, padding)  # (N*OH*OW, C*KH*KW)
     cols_per_channel = cols.reshape(-1, c, kh * kw)  # (N*OH*OW, C, KH*KW)
     flat_weight = weight.data.reshape(c, kh * kw)  # (C, KH*KW)
     out = np.einsum("pck,ck->pc", cols_per_channel, flat_weight)
@@ -178,20 +720,21 @@ def depthwise_conv2d(
         if images.requires_grad:
             grad_cols = np.einsum("pc,ck->pck", grad_flat, flat_weight)
             images._accumulate(
-                col2im(grad_cols.reshape(-1, c * kh * kw), images.shape, kh, kw, stride, padding)
+                col2im_reference(
+                    grad_cols.reshape(-1, c * kh * kw), images.shape, kh, kw, stride, padding
+                )
             )
 
     return Tensor._make(out_data, parents, backward_fn, "depthwise_conv2d")
 
 
-def max_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
-    """Max pooling over non-overlapping (or strided) windows."""
+def _max_pool2d_legacy(images: Tensor, kernel: int, stride: int | None) -> Tensor:
     stride = stride or kernel
     n, c, h, w = images.shape
     out_h = conv_output_size(h, kernel, stride, 0)
     out_w = conv_output_size(w, kernel, stride, 0)
 
-    cols = im2col(images.data, kernel, kernel, stride, 0).reshape(-1, c, kernel * kernel)
+    cols = im2col_reference(images.data, kernel, kernel, stride, 0).reshape(-1, c, kernel * kernel)
     argmax = cols.argmax(axis=2)  # (N*OH*OW, C)
     out = np.take_along_axis(cols, argmax[:, :, None], axis=2)[:, :, 0]
     out_data = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
@@ -203,20 +746,21 @@ def max_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Te
         grad_cols = np.zeros_like(cols)
         np.put_along_axis(grad_cols, argmax[:, :, None], grad_flat[:, :, None], axis=2)
         images._accumulate(
-            col2im(grad_cols.reshape(-1, c * kernel * kernel), images.shape, kernel, kernel, stride, 0)
+            col2im_reference(
+                grad_cols.reshape(-1, c * kernel * kernel), images.shape, kernel, kernel, stride, 0
+            )
         )
 
     return Tensor._make(out_data, (images,), backward_fn, "max_pool2d")
 
 
-def avg_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
-    """Average pooling over windows."""
+def _avg_pool2d_legacy(images: Tensor, kernel: int, stride: int | None) -> Tensor:
     stride = stride or kernel
     n, c, h, w = images.shape
     out_h = conv_output_size(h, kernel, stride, 0)
     out_w = conv_output_size(w, kernel, stride, 0)
 
-    cols = im2col(images.data, kernel, kernel, stride, 0).reshape(-1, c, kernel * kernel)
+    cols = im2col_reference(images.data, kernel, kernel, stride, 0).reshape(-1, c, kernel * kernel)
     out_data = cols.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
 
     def backward_fn(grad: np.ndarray) -> None:
@@ -225,15 +769,12 @@ def avg_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Te
         grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c)
         grad_cols = np.repeat(grad_flat[:, :, None], kernel * kernel, axis=2) / (kernel * kernel)
         images._accumulate(
-            col2im(grad_cols.reshape(-1, c * kernel * kernel), images.shape, kernel, kernel, stride, 0)
+            col2im_reference(
+                grad_cols.reshape(-1, c * kernel * kernel), images.shape, kernel, kernel, stride, 0
+            )
         )
 
     return Tensor._make(out_data, (images,), backward_fn, "avg_pool2d")
-
-
-def global_avg_pool2d(images: Tensor) -> Tensor:
-    """Average each channel over all spatial positions: (N,C,H,W) -> (N,C)."""
-    return images.mean(axis=(2, 3))
 
 
 def batch_norm_2d(
@@ -254,6 +795,56 @@ def batch_norm_2d(
     """
     if x.ndim != 4:
         raise ValueError(f"batch_norm_2d expects NCHW input; got shape {x.shape}")
+    if _KERNEL_MODE == "legacy":
+        return _batch_norm_2d_legacy(x, gamma, beta, mean, var, eps, training)
+    c = x.shape[1]
+    shape = (1, c, 1, 1)
+    mean_b = mean.reshape(shape).astype(x.data.dtype)
+    inv_std = (1.0 / np.sqrt(var + eps)).reshape(shape).astype(x.data.dtype)
+    x_hat = (x.data - mean_b) * inv_std
+    out_data = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        # The beta/gamma sums double as the mean statistics of the
+        # training-mode input gradient (mean = sum / count, the exact op
+        # np.mean performs), so each full-size product and reduction is
+        # computed once and shared.
+        need_x = x.requires_grad
+        grad_sum = None
+        if beta.requires_grad or (need_x and training):
+            grad_sum = grad.sum(axis=(0, 2, 3), keepdims=True)
+        if beta.requires_grad:
+            beta._accumulate(grad_sum.reshape(c))
+        grad_xhat_sum = None
+        if gamma.requires_grad or (need_x and training):
+            grad_xhat = grad * x_hat
+            grad_xhat_sum = grad_xhat.sum(axis=(0, 2, 3), keepdims=True)
+        if gamma.requires_grad:
+            gamma._accumulate(grad_xhat_sum.reshape(c))
+        if not need_x:
+            return
+        scale = gamma.data.reshape(shape) * inv_std
+        if not training:
+            x._accumulate(grad * scale)
+            return
+        # Full training-mode gradient: d/dx of ((x - mu(x)) / sigma(x)).
+        count = grad.shape[0] * grad.shape[2] * grad.shape[3]
+        grad_mean = grad_sum / count
+        grad_xhat_mean = grad_xhat_sum / count
+        x._accumulate(scale * (grad - grad_mean - x_hat * grad_xhat_mean))
+
+    return Tensor._make(out_data, (x, gamma, beta), backward_fn, "batch_norm_2d")
+
+
+def _batch_norm_2d_legacy(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    mean: np.ndarray,
+    var: np.ndarray,
+    eps: float,
+    training: bool,
+) -> Tensor:
     c = x.shape[1]
     shape = (1, c, 1, 1)
     mean_b = mean.reshape(shape).astype(x.data.dtype)
@@ -272,7 +863,6 @@ def batch_norm_2d(
         if not training:
             x._accumulate(grad * scale)
             return
-        # Full training-mode gradient: d/dx of ((x - mu(x)) / sigma(x)).
         grad_mean = grad.mean(axis=(0, 2, 3), keepdims=True)
         grad_xhat_mean = (grad * x_hat).mean(axis=(0, 2, 3), keepdims=True)
         x._accumulate(scale * (grad - grad_mean - x_hat * grad_xhat_mean))

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .functional import log_softmax, softmax
+from .functional import log_softmax, softmax, softmax_cross_entropy
 from .tensor import Tensor
 
 __all__ = [
@@ -67,8 +67,9 @@ class CrossEntropy(Loss):
 
     def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
         targets = _validate(logits, targets)
-        log_probs = log_softmax(logits, axis=1)
-        return -(log_probs * Tensor(targets)).sum(axis=1).mean()
+        # Single fused tape node (bitwise-identical to the composed
+        # log_softmax/mul/sum/mean chain — see functional.softmax_cross_entropy).
+        return softmax_cross_entropy(logits, targets)
 
 
 class SoftTargetCrossEntropy(CrossEntropy):
@@ -291,8 +292,11 @@ class DistillationLoss(Loss):
                 f"teacher probs shape {self._teacher_probs.shape} does not match logits {logits.shape}"
             )
         hard_loss = self._hard(logits, targets)
-        student_log_soft = log_softmax(logits, axis=1, temperature=self.temperature)
-        soft_loss = -(student_log_soft * Tensor(self._teacher_probs)).sum(axis=1).mean()
+        # The soft term is a cross entropy against the teacher's distilled
+        # softmax, so it reuses the same fused kernel at temperature T.
+        soft_loss = softmax_cross_entropy(
+            logits, self._teacher_probs, temperature=self.temperature
+        )
         t_sq = self.temperature**2
         return hard_loss * (1.0 - self.alpha) + soft_loss * (self.alpha * t_sq)
 

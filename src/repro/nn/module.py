@@ -12,6 +12,7 @@ from typing import Iterator
 import numpy as np
 
 from .tensor import Tensor
+from .workspace import get_workspace
 
 __all__ = ["Module", "Parameter"]
 
@@ -86,15 +87,23 @@ class Module:
     # Modes
     # ------------------------------------------------------------------
     def train(self) -> "Module":
-        """Switch to training mode (enables dropout, batch-norm batch stats)."""
+        """Switch to training mode (enables dropout, batch-norm batch stats).
+
+        Mode transitions also flush the kernel scratch-buffer arena (see
+        :mod:`repro.nn.workspace`): batch geometry usually changes across
+        train/eval boundaries, so this is the natural point to drop buffers
+        of shapes that will not recur.
+        """
         for module in self.modules():
             module.training = True
+        get_workspace().clear()
         return self
 
     def eval(self) -> "Module":
-        """Switch to inference mode."""
+        """Switch to inference mode (and flush the kernel workspace)."""
         for module in self.modules():
             module.training = False
+        get_workspace().clear()
         return self
 
     def zero_grad(self) -> None:

@@ -43,11 +43,15 @@ class Optimizer:
         """Scale gradients so their global L2 norm is at most ``max_norm``.
 
         Returns the pre-clipping norm, useful for logging/divergence checks.
+        The per-parameter squared norm is a single BLAS dot on the raveled
+        gradient, accumulated across parameters in float64 — no float64 copy
+        of any gradient is ever materialised.
         """
         total = 0.0
         for p in self.params:
             if p.grad is not None:
-                total += float((p.grad.astype(np.float64) ** 2).sum())
+                flat = p.grad.ravel()
+                total += float(np.dot(flat, flat))
         norm = float(np.sqrt(total))
         if norm > max_norm and norm > 0:
             scale = max_norm / norm
@@ -75,21 +79,31 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self.nesterov = nesterov
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
+        self._scratch2 = [np.empty_like(p.data) for p in self.params] if nesterov else []
 
     def step(self) -> None:
-        for p, vel in zip(self.params, self._velocity):
+        for i, (p, vel, buf) in enumerate(zip(self.params, self._velocity, self._scratch)):
             if p.grad is None:
                 continue
-            grad = p.grad
+            # buf holds the effective gradient, then is reused for the update;
+            # every op below writes in place so the step allocates nothing.
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=buf)
+                buf += p.grad
+            else:
+                np.copyto(buf, p.grad)
             if self.momentum:
                 vel *= self.momentum
-                vel += grad
-                update = grad + self.momentum * vel if self.nesterov else vel
-            else:
-                update = grad
-            p.data -= self.lr * update
+                vel += buf
+                if self.nesterov:
+                    # update = grad_eff + momentum * velocity
+                    np.multiply(vel, self.momentum, out=self._scratch2[i])
+                    buf += self._scratch2[i]
+                else:
+                    np.copyto(buf, vel)
+            buf *= self.lr
+            p.data -= buf
 
 
 class Adam(Optimizer):
@@ -109,23 +123,39 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        self._decayed = [np.empty_like(p.data) for p in self.params] if weight_decay else []
+        self._scratch = [np.empty_like(p.data) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bc1 = 1.0 - self.beta1**self._t
         bc2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for i, (p, m, v, buf) in enumerate(zip(self.params, self._m, self._v, self._scratch)):
             if p.grad is None:
                 continue
-            grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                grad = self._decayed[i]
+                np.multiply(p.data, self.weight_decay, out=grad)
+                grad += p.grad
+            else:
+                grad = p.grad
+            # Moment updates and the final step all go through `buf` with
+            # out= ufuncs, so nothing is allocated per step.
             m *= self.beta1
-            m += (1 - self.beta1) * grad
+            np.multiply(grad, 1 - self.beta1, out=buf)
+            m += buf
             v *= self.beta2
-            v += (1 - self.beta2) * grad**2
-            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            np.multiply(grad, grad, out=buf)
+            buf *= 1 - self.beta2
+            v += buf
+            # update = lr * (m / bc1) / (sqrt(v / bc2) + eps)
+            np.divide(v, bc2, out=buf)
+            np.sqrt(buf, out=buf)
+            buf += self.eps
+            np.divide(m, buf, out=buf)
+            buf *= self.lr / bc1
+            p.data -= buf
 
 
 class AdamW(Adam):
@@ -133,8 +163,9 @@ class AdamW(Adam):
 
     def step(self) -> None:
         if self.weight_decay:
-            for p in self.params:
-                p.data -= self.lr * self.weight_decay * p.data
+            for p, buf in zip(self.params, self._scratch):
+                np.multiply(p.data, self.lr * self.weight_decay, out=buf)
+                p.data -= buf
         decay, self.weight_decay = self.weight_decay, 0.0
         try:
             super().step()
@@ -159,19 +190,27 @@ class RMSProp(Optimizer):
         self.momentum = momentum
         self._sq = [np.zeros_like(p.data) for p in self.params]
         self._vel = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
-        for p, sq, vel in zip(self.params, self._sq, self._vel):
+        for p, sq, vel, buf in zip(self.params, self._sq, self._vel, self._scratch):
             if p.grad is None:
                 continue
             sq *= self.rho
-            sq += (1 - self.rho) * p.grad**2
-            update = p.grad / (np.sqrt(sq) + self.eps)
+            np.multiply(p.grad, p.grad, out=buf)
+            buf *= 1 - self.rho
+            sq += buf
+            # update = grad / (sqrt(sq) + eps), built in place in buf
+            np.sqrt(sq, out=buf)
+            buf += self.eps
+            np.divide(p.grad, buf, out=buf)
             if self.momentum:
                 vel *= self.momentum
-                vel += update
-                update = vel
-            p.data -= self.lr * update
+                vel += buf
+                np.multiply(vel, self.lr, out=buf)
+            else:
+                buf *= self.lr
+            p.data -= buf
 
 
 class LRScheduler:

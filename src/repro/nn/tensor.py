@@ -77,8 +77,11 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float32`` unless already a float
-        NumPy array.
+        Array-like payload; converted to ``float32`` unless already a
+        ``float32``/``float64`` NumPy array (``float64`` arrays are preserved
+        for gradient checking — everything else, including Python scalars and
+        lists, becomes ``float32`` so constants cannot promote a computation
+        to double precision).
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
@@ -96,9 +99,15 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):  # defensive: wrapping a Tensor is a bug upstream
             raise TypeError("cannot wrap a Tensor inside a Tensor")
-        arr = np.asarray(data)
-        if arr.dtype not in (np.float32, np.float64):
-            arr = arr.astype(np.float32)
+        if isinstance(data, np.ndarray):
+            # Respect an explicit float64 array (gradient checking relies on
+            # it); convert every other dtype to the framework's float32.
+            arr = data if data.dtype in (np.float32, np.float64) else data.astype(np.float32)
+        else:
+            # Python scalars and sequences default to float64 under
+            # ``np.asarray``; pin them to float32 so wrapping a constant can
+            # never promote a whole downstream computation to float64.
+            arr = np.asarray(data, dtype=np.float32)
         self.data: np.ndarray = arr
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)

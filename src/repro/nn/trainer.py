@@ -16,6 +16,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..telemetry import get_telemetry
+from .functional import softmax_np
 from .losses import Loss
 from .module import Module
 from .optim import LRScheduler, Optimizer
@@ -243,6 +244,10 @@ class Trainer:
         history = TrainHistory()
         start = time.perf_counter()
         n = len(inputs)
+        # Integer labels are fixed for the whole fit; computing them once and
+        # indexing per batch avoids an argmax over the one-hot targets on
+        # every optimisation step.
+        label_idx = targets.argmax(axis=1)
         tel = get_telemetry()
         for epoch in range(self.epochs):
             with tel.span("epoch", epoch=epoch) as span:
@@ -273,7 +278,7 @@ class Trainer:
                     self.optimizer.step()
                     epoch_loss += batch_loss * len(idx)
                     epoch_correct += int(
-                        (logits.data.argmax(axis=1) == yb.argmax(axis=1)).sum()
+                        (logits.data.argmax(axis=1) == label_idx[idx]).sum()
                     )
                     if self.batch_callback is not None:
                         self.batch_callback(epoch, lo // self.batch_size, batch_loss)
@@ -321,22 +326,35 @@ class Trainer:
 
 
 def predict_logits(model: Module, inputs: np.ndarray, batch_size: int = 128) -> np.ndarray:
-    """Run the model in eval mode without the gradient tape; returns logits."""
+    """Run the model in eval mode without the gradient tape; returns logits.
+
+    The output array is allocated once (sized from the first batch) and
+    filled in place, instead of appending per-batch chunks and paying a full
+    extra copy in ``np.concatenate``.
+    """
     model.eval()
     inputs = np.asarray(inputs, dtype=np.float32)
-    chunks: list[np.ndarray] = []
+    n = len(inputs)
+    if n == 0:
+        raise ValueError("predict_logits needs at least one input")
+    out: np.ndarray | None = None
     with no_grad():
-        for lo in range(0, len(inputs), batch_size):
-            chunks.append(model(Tensor(inputs[lo : lo + batch_size])).data)
-    return np.concatenate(chunks, axis=0)
+        for lo in range(0, n, batch_size):
+            chunk = model(Tensor(inputs[lo : lo + batch_size])).data
+            if out is None:
+                out = np.empty((n,) + chunk.shape[1:], dtype=chunk.dtype)
+            out[lo : lo + len(chunk)] = chunk
+    assert out is not None
+    return out
 
 
 def predict_proba(model: Module, inputs: np.ndarray, batch_size: int = 128) -> np.ndarray:
-    """Softmax probabilities for each input."""
-    logits = predict_logits(model, inputs, batch_size=batch_size)
-    shifted = logits - logits.max(axis=1, keepdims=True)
-    exps = np.exp(shifted)
-    return exps / exps.sum(axis=1, keepdims=True)
+    """Softmax probabilities for each input.
+
+    Shares the stable-softmax helper with :func:`repro.nn.functional.softmax`
+    so the inference path cannot drift from the training-time softmax.
+    """
+    return softmax_np(predict_logits(model, inputs, batch_size=batch_size), axis=1)
 
 
 def predict_labels(model: Module, inputs: np.ndarray, batch_size: int = 128) -> np.ndarray:

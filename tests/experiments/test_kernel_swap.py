@@ -1,0 +1,68 @@
+"""Regression: study results must be invariant under the kernel swap.
+
+The archive comparator (:func:`results_equivalent`) uses exact float
+equality, so this is the strongest statement the repo can make about the
+perf pass: training an entire (micro) study grid with the vectorized
+``fast`` kernels and with the composed ``reference`` kernels produces
+bit-for-bit identical accuracies, losses, and histories.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentRunner, ScaleSettings, full_study
+from repro.experiments.persistence import results_equivalent
+from repro.faults import FaultType
+from repro.nn import use_kernel_mode
+
+
+def _micro_scale() -> ScaleSettings:
+    return ScaleSettings(
+        name="micro",
+        dataset_sizes={"cifar10": (40, 20), "gtsrb": (86, 43), "pneumonia": (30, 16)},
+        epochs=2,
+        batch_size=16,
+        repeats=1,
+        seed=9,
+    )
+
+
+def _run_study(mode: str):
+    # A fresh runner per mode: no shared in-memory or disk cache, so both
+    # grids genuinely train under their kernel mode.
+    with use_kernel_mode(mode):
+        return full_study(
+            ExperimentRunner(_micro_scale()),
+            models=("convnet",),
+            datasets=("pneumonia",),
+            fault_types=(FaultType.MISLABELLING,),
+            rates=(0.3,),
+            techniques=["baseline", "label_smoothing"],
+        )
+
+
+@pytest.fixture(scope="module")
+def fast_results():
+    return _run_study("fast")
+
+
+@pytest.fixture(scope="module")
+def reference_results():
+    return _run_study("reference")
+
+
+@pytest.mark.slow
+def test_fast_and_reference_kernels_yield_identical_results(fast_results, reference_results):
+    assert len(fast_results) == 2
+    assert results_equivalent(fast_results, reference_results)
+    # Spot-check the comparison has teeth: accuracies are real numbers.
+    assert all(0.0 <= r.faulty_accuracy.mean <= 1.0 for r in fast_results)
+
+
+@pytest.mark.slow
+def test_swap_invariance_holds_per_repetition(fast_results, reference_results):
+    """Every repetition's metrics (not just the aggregates) must match, so
+    a study resumed under the other kernel mode continues the same numbers."""
+    for fast, ref in zip(fast_results, reference_results):
+        assert fast.repetitions == ref.repetitions

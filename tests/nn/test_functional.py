@@ -55,6 +55,11 @@ class TestIm2Col:
     def test_output_shape(self, rng):
         images = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
         cols = F.im2col(images, 3, 3, 1, 1)
+        assert cols.shape == (2, 3 * 3 * 3, 8 * 8)
+
+    def test_reference_output_shape(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        cols = F.im2col_reference(images, 3, 3, 1, 1)
         assert cols.shape == (2 * 8 * 8, 3 * 3 * 3)
 
     def test_col2im_is_adjoint_of_im2col(self, rng):
@@ -65,6 +70,22 @@ class TestIm2Col:
         lhs = float((cols * y).sum())
         rhs = float((x * F.col2im(y, x.shape, 3, 3, 2, 1)).sum())
         assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_col2im_reference_is_adjoint_of_im2col_reference(self, rng):
+        x = rng.normal(size=(2, 2, 6, 6)).astype(np.float64)
+        cols = F.im2col_reference(x, 3, 3, 2, 1)
+        y = rng.normal(size=cols.shape).astype(np.float64)
+        lhs = float((cols * y).sum())
+        rhs = float((x * F.col2im_reference(y, x.shape, 3, 3, 2, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_matches_reference_layout(self, rng):
+        # The (N, C*KH*KW, OH*OW) layout holds exactly the seed layout's
+        # values, permuted: new[n, ck, p] == old[n*OHW + p, ck].
+        images = rng.normal(size=(2, 3, 7, 7)).astype(np.float32)
+        new = F.im2col(images, 3, 2, 2, 1)
+        old = F.im2col_reference(images, 3, 2, 2, 1)
+        np.testing.assert_array_equal(new.transpose(0, 2, 1).reshape(old.shape), old)
 
     def test_conv_output_size(self):
         assert F.conv_output_size(16, 3, 1, 1) == 16

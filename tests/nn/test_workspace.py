@@ -1,0 +1,144 @@
+"""Tests for the kernel scratch-buffer arena (``repro.nn.workspace``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Sequential, Dense, ReLU, Tensor, get_workspace, use_kernel_mode
+from repro.nn.workspace import Workspace
+
+
+class TestWorkspace:
+    def test_acquire_returns_requested_shape_and_dtype(self):
+        ws = Workspace()
+        buf = ws.acquire((3, 4), np.float32)
+        assert buf.shape == (3, 4)
+        assert buf.dtype == np.float32
+        assert ws.misses == 1
+
+    def test_release_then_acquire_reuses_buffer(self):
+        ws = Workspace()
+        buf = ws.acquire((8,), np.float32)
+        ws.release(buf)
+        again = ws.acquire((8,), np.float32)
+        assert again is buf
+        assert ws.hits == 1
+        assert ws.misses == 1
+
+    def test_distinct_shapes_do_not_cross_pollinate(self):
+        ws = Workspace()
+        a = ws.acquire((4,), np.float32)
+        ws.release(a)
+        b = ws.acquire((5,), np.float32)
+        assert b is not a
+        assert ws.hits == 0
+
+    def test_distinct_dtypes_keyed_separately(self):
+        ws = Workspace()
+        a = ws.acquire((4,), np.float32)
+        ws.release(a)
+        b = ws.acquire((4,), np.float64)
+        assert b is not a
+        assert b.dtype == np.float64
+
+    def test_acquire_zeros_wipes_reused_buffer(self):
+        ws = Workspace()
+        buf = ws.acquire((6,), np.float32)
+        buf[:] = 7.0
+        ws.release(buf)
+        again = ws.acquire_zeros((6,), np.float32)
+        assert again is buf
+        assert np.all(again == 0.0)
+
+    def test_release_ignores_views(self):
+        # A view's base may alias live data, so views are never pooled.
+        ws = Workspace()
+        buf = ws.acquire((4, 4), np.float32)
+        ws.release(buf[1:])
+        assert ws.num_free == 0
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError, match="max_per_key"):
+            Workspace(max_per_key=0)
+
+    def test_free_list_capped(self):
+        ws = Workspace(max_per_key=2)
+        bufs = [ws.acquire((3,), np.float32) for _ in range(4)]
+        for buf in bufs:
+            ws.release(buf)
+        assert ws.num_free == 2
+        assert ws.dropped == 2
+
+    def test_clear_empties_free_lists(self):
+        ws = Workspace()
+        ws.release(ws.acquire((3,), np.float32))
+        assert ws.num_free == 1
+        ws.clear()
+        assert ws.num_free == 0
+        assert ws.bytes_free == 0
+
+    def test_bytes_free_accounting(self):
+        ws = Workspace()
+        ws.release(ws.acquire((10,), np.float32))
+        assert ws.bytes_free == 40
+
+
+class TestWorkspaceIntegration:
+    def test_train_eval_transitions_flush_workspace(self):
+        ws = get_workspace()
+        model = Sequential(Dense(4, 3), ReLU())
+        ws.release(ws.acquire((9,), np.float32))
+        assert ws.num_free > 0
+        model.eval()
+        assert ws.num_free == 0
+        ws.release(ws.acquire((9,), np.float32))
+        model.train()
+        assert ws.num_free == 0
+
+    def test_leaving_fast_mode_flushes_workspace(self):
+        ws = get_workspace()
+        ws.release(ws.acquire((7,), np.float32))
+        with use_kernel_mode("reference"):
+            assert ws.num_free == 0
+
+    def test_conv_training_populates_and_reuses_buffers(self):
+        from repro.nn.functional import conv2d
+
+        ws = get_workspace()
+        ws.clear()
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        with use_kernel_mode("fast"):
+            for _ in range(3):
+                xt = Tensor(x, requires_grad=True)
+                wt = Tensor(w, requires_grad=True)
+                out = conv2d(xt, wt, None, stride=1, padding=1)
+                out.backward(np.ones_like(out.data))
+        assert ws.hits > 0
+        ws.clear()
+
+
+class TestDtypePromotion:
+    """float32 is the working dtype; float64 survives only for explicit
+    float64 ndarrays (numerical gradient checks)."""
+
+    def test_python_scalar_becomes_float32(self):
+        assert Tensor(1.5).dtype == np.float32
+
+    def test_python_list_becomes_float32(self):
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+
+    def test_float64_ndarray_preserved(self):
+        assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float64
+
+    def test_int_ndarray_coerced_to_float32(self):
+        assert Tensor(np.arange(3)).dtype == np.float32
+
+    def test_float32_ops_stay_float32(self):
+        a = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        out = ((a * 2.0 + 1.0) / 3.0 - 0.5).sum()
+        assert out.dtype == np.float32
+        out.backward()
+        assert a.grad.dtype == np.float32
