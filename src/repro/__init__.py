@@ -17,6 +17,7 @@ Public surface:
 - :mod:`repro.survey` -- the Table I technique catalog and selection
 - :mod:`repro.analysis` -- mechanism analyses (memorization, diversity, per-class AD)
 - :mod:`repro.telemetry` -- structured trace events, span timers, live sweep progress
+- :mod:`repro.serve` -- model registry, micro-batched inference engine, HTTP endpoint
 """
 
 from . import (
@@ -28,6 +29,7 @@ from . import (
     mitigation,
     models,
     nn,
+    serve,
     survey,
     telemetry,
 )
@@ -45,5 +47,6 @@ __all__ = [
     "experiments",
     "survey",
     "telemetry",
+    "serve",
     "__version__",
 ]

@@ -13,6 +13,7 @@ Usage::
     repro-study study [--jobs 4] [--checkpoint out/study.jsonl] [--resume] [--out results.json]
     repro-study study --trace out/trace.jsonl --progress ...
     repro-study trace out/trace.jsonl
+    repro-study serve [--model convnet --dataset gtsrb] [--state model.npz] [--port 8777]
 
 Scale comes from ``--scale`` or the ``REPRO_SCALE`` environment variable
 (default ``smoke``).  Each command prints the paper-shaped text rendering to
@@ -56,9 +57,13 @@ from .experiments import (
     run_resilient_study,
     save_results,
 )
+from .experiments.config import ExperimentConfig, resolve_scale
 from .faults import FaultType
 from .mitigation import technique_names
+from .nn.serialization import StateFileError
+from .serve import BatchSettings, ModelKey, ModelRegistry, ServingEngine, serve_forever
 from .survey import render_table1, select_representatives
+from .telemetry import FileTelemetry
 
 __all__ = ["main", "build_parser"]
 
@@ -188,6 +193,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=5, help="slowest cells to list (default 5)"
     )
 
+    serve = sub.add_parser(
+        "serve", help="serve a trained model over micro-batched HTTP inference"
+    )
+    serve.add_argument("--model", default="convnet")
+    serve.add_argument("--dataset", default="gtsrb")
+    serve.add_argument("--technique", default="baseline")
+    serve.add_argument(
+        "--fault", default="none",
+        help="fault label of the cell to serve, e.g. 'mislabelling@30%%' (default none)",
+    )
+    serve.add_argument(
+        "--state", default=None,
+        help="load weights from a save_model .npz archive instead of re-fitting "
+        "the cell at the active scale",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8777)
+    serve.add_argument(
+        "--max-batch-size", type=int, default=8,
+        help="largest micro-batch one dispatch coalesces (default 8)",
+    )
+    serve.add_argument(
+        "--max-latency-ms", type=float, default=2.0,
+        help="longest a request waits for its batch to fill (default 2.0)",
+    )
+    serve.add_argument(
+        "--serve-workers", type=int, default=2,
+        help="inference worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--trace", default=None,
+        help="write serve/serve_batch telemetry spans to this JSONL file",
+    )
+
     return parser
 
 
@@ -205,6 +244,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "trace":  # needs no runner either
         return _run_trace_command(args)
+
+    if args.command == "serve":  # owns its own model loading / re-fitting
+        return _run_serve_command(args)
 
     runner = ExperimentRunner(args.scale)
     logger.info("[scale=%s, repeats=%d]", runner.scale.name, runner.scale.repeats)
@@ -309,6 +351,63 @@ def _run_study_command(runner: ExperimentRunner, args: argparse.Namespace) -> in
         save_results(report.results, args.out)
         logger.info("[archived %d results to %s]", len(report.results), args.out)
     return 0 if report.ok else 1
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: registry + micro-batch engine + HTTP endpoint."""
+    try:
+        settings = BatchSettings(
+            max_batch_size=args.max_batch_size,
+            max_latency_ms=args.max_latency_ms,
+            workers=args.serve_workers,
+        )
+    except ValueError as exc:
+        logger.error("error: %s", exc)
+        return 2
+    key = ModelKey(
+        model=args.model, dataset=args.dataset,
+        technique=args.technique, fault_label=args.fault,
+    )
+    registry = ModelRegistry()
+    if args.state is not None:
+        try:
+            registry.load_state_file(args.state, key, scale=args.scale)
+        except (StateFileError, KeyError, ValueError) as exc:
+            logger.error("error: %s", exc)
+            return 2
+        logger.info("[loaded %s from %s]", key.id, args.state)
+    else:
+        scale = resolve_scale(args.scale)
+        config = ExperimentConfig(
+            dataset=args.dataset, model=args.model, technique=args.technique,
+            fault_label=args.fault, repeats=1, scale=scale.name,
+        )
+        logger.info("[no --state: re-fitting %s at scale %s]", key.id, scale.name)
+        try:
+            servable = registry.refit_cell(config)
+        except (KeyError, ValueError) as exc:
+            logger.error("error: %s", exc)
+            return 2
+        logger.info(
+            "[trained in %ss]", servable.metadata.get("training_s", "?")
+        )
+
+    telemetry = None
+    if args.trace:
+        telemetry = FileTelemetry(args.trace)
+        logger.info("[tracing to %s]", args.trace)
+    engine = ServingEngine(registry, settings, telemetry=telemetry).start()
+    try:
+        logger.info(
+            "[serving %d model(s) at http://%s:%d — POST /predict, POST /shutdown]",
+            len(registry), args.host, args.port,
+        )
+        serve_forever(engine, host=args.host, port=args.port, verbose=args.verbose)
+    finally:
+        engine.close()
+        if telemetry is not None:
+            telemetry.close()
+    return 0
 
 
 def _run_trace_command(args: argparse.Namespace) -> int:

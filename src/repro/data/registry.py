@@ -22,6 +22,8 @@ class DatasetInfo:
     name: str
     family: str
     num_classes: int
+    #: image channels (chest X-rays are grayscale; the rest are RGB)
+    channels: int
     task: str
     paper_train_size: int
     paper_test_size: int
@@ -36,6 +38,7 @@ DATASETS: dict[str, DatasetInfo] = {
         name="cifar10",
         family="cifar10-like",
         num_classes=10,
+        channels=3,
         task="Objects and animals (10)",
         paper_train_size=50_000,
         paper_test_size=10_000,
@@ -46,6 +49,7 @@ DATASETS: dict[str, DatasetInfo] = {
         name="gtsrb",
         family="gtsrb-like",
         num_classes=43,
+        channels=3,
         task="Traffic signs (43)",
         paper_train_size=39_209,
         paper_test_size=12_630,
@@ -56,6 +60,7 @@ DATASETS: dict[str, DatasetInfo] = {
         name="pneumonia",
         family="pneumonia-like",
         num_classes=2,
+        channels=1,
         task="Chest X-rays (2)",
         paper_train_size=5_239,
         paper_test_size=624,

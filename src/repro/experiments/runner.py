@@ -41,7 +41,35 @@ from .config import (
     scale_fingerprint,
 )
 
-__all__ = ["ExperimentResult", "ExperimentRunner"]
+__all__ = ["ExperimentResult", "ExperimentRunner", "prepare_faulty_train"]
+
+
+def prepare_faulty_train(
+    train: ArrayDataset,
+    fault: FaultSpec | CombinedFaultSpec | None,
+    technique_name: str,
+    clean_fraction: float,
+    injection_rng: np.random.Generator,
+) -> ArrayDataset:
+    """Inject ``fault`` into a copy of ``train`` for one technique fit.
+
+    Label correction reserves a stratified clean subset from injection (paper
+    §III-B2) and records it in the dataset metadata.  This is a pure function
+    of its arguments — the runner's Fig. 2 step 3 — shared with the serving
+    registry's re-fit path so a model re-fitted from an archived cell sees
+    byte-for-byte the same faulty training set as the original study run.
+    """
+    if fault is None:
+        return train
+    if technique_name == "label_correction":
+        clean = stratified_indices(
+            train.labels, clean_fraction, train.num_classes, injection_rng
+        )
+        faulty, report = inject(train, fault, rng=injection_rng, protected_indices=clean)
+        faulty.metadata["clean_indices"] = report.protected_indices_after
+        return faulty
+    faulty, _ = inject(train, fault, rng=injection_rng)
+    return faulty
 
 
 @dataclass
@@ -185,27 +213,6 @@ class ExperimentRunner:
             self.cell_cache.put(disk_key, self._golden_predictions[key], fitted.cost)
         return self._golden_predictions[key]
 
-    def _prepare_faulty_train(
-        self,
-        train: ArrayDataset,
-        fault: FaultSpec | CombinedFaultSpec | None,
-        technique_name: str,
-        clean_fraction: float,
-        injection_rng: np.random.Generator,
-    ) -> ArrayDataset:
-        """Inject faults; reserve the label-correction clean subset when needed."""
-        if fault is None:
-            return train
-        if technique_name == "label_correction":
-            clean = stratified_indices(
-                train.labels, clean_fraction, train.num_classes, injection_rng
-            )
-            faulty, report = inject(train, fault, rng=injection_rng, protected_indices=clean)
-            faulty.metadata["clean_indices"] = report.protected_indices_after
-            return faulty
-        faulty, _ = inject(train, fault, rng=injection_rng)
-        return faulty
-
     # ------------------------------------------------------------------
     # The Fig. 2 workflow
     # ------------------------------------------------------------------
@@ -321,7 +328,7 @@ class ExperimentRunner:
             seed = (seed + seed_offset * 0x9E3779B1) & 0x7FFFFFFF
         injection_rng = np.random.default_rng(seed + 0x5EED)
         with tel.span("fault_injection", fault=fault_label, dataset=dataset):
-            faulty_train = self._prepare_faulty_train(
+            faulty_train = prepare_faulty_train(
                 train, fault, technique, clean_fraction, injection_rng
             )
         budget = self.budget(dataset)

@@ -16,6 +16,7 @@ from .spec import (
     removal,
     repetition,
     single_fault,
+    spec_from_label,
 )
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "repetition",
     "removal",
     "single_fault",
+    "spec_from_label",
     "FaultReport",
     "inject",
     "inject_mislabelling",

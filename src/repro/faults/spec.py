@@ -88,6 +88,31 @@ def single_fault(fault_type: FaultType | str, rate: float) -> FaultSpec:
     return FaultSpec(FaultType(fault_type), rate)
 
 
+def spec_from_label(label: str) -> "FaultSpec | CombinedFaultSpec | None":
+    """Parse a ``FaultSpec.label`` string back into a spec.
+
+    The inverse of the ``label`` properties: ``"mislabelling@30%"`` round-trips
+    to ``FaultSpec(MISLABELLING, 0.3)``, ``"a@10%+b@30%"`` to a
+    :class:`CombinedFaultSpec`, and ``"none"`` (the archived label of clean
+    cells) to ``None``.  Used by the serving registry to re-fit models from
+    archived study results, whose configs carry only the label.
+    """
+    label = label.strip()
+    if not label or label == "none":
+        return None
+    specs = []
+    for part in label.split("+"):
+        try:
+            type_name, rate_text = part.split("@", 1)
+            rate = float(rate_text.rstrip("%")) / 100.0
+            specs.append(FaultSpec(FaultType(type_name), rate))
+        except (ValueError, KeyError) as exc:
+            raise ValueError(f"unparseable fault label {label!r}: {exc}") from None
+    if len(specs) == 1:
+        return specs[0]
+    return CombinedFaultSpec(tuple(specs))
+
+
 def mislabelling(rate: float) -> FaultSpec:
     """Shorthand constructor."""
     return FaultSpec(FaultType.MISLABELLING, rate)
@@ -103,4 +128,4 @@ def removal(rate: float) -> FaultSpec:
     return FaultSpec(FaultType.REMOVAL, rate)
 
 
-__all__ += ["single_fault", "mislabelling", "repetition", "removal"]
+__all__ += ["single_fault", "spec_from_label", "mislabelling", "repetition", "removal"]

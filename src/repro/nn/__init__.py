@@ -13,6 +13,8 @@ from .functional import (
     kernel_mode,
     log_softmax,
     max_pool2d,
+    row_stable_enabled,
+    row_stable_inference,
     set_kernel_mode,
     softmax,
     softmax_cross_entropy,
@@ -65,7 +67,7 @@ from .optim import (
     StepLR,
     get_optimizer,
 )
-from .serialization import load_into, load_state, save_model, save_state
+from .serialization import StateFileError, load_into, load_state, save_model, save_state
 from .tensor import Tensor, is_grad_enabled, no_grad
 from .workspace import Workspace, get_workspace
 from .trainer import (
@@ -118,6 +120,8 @@ __all__ = [
     "kernel_mode",
     "set_kernel_mode",
     "use_kernel_mode",
+    "row_stable_inference",
+    "row_stable_enabled",
     # workspace
     "Workspace",
     "get_workspace",
@@ -157,6 +161,7 @@ __all__ = [
     "predict_labels",
     "evaluate_accuracy",
     # serialization
+    "StateFileError",
     "save_state",
     "load_state",
     "save_model",

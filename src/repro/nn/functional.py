@@ -43,6 +43,7 @@ where most of the measured speedup comes from.  The seed layout survives as
 from __future__ import annotations
 
 import os
+import threading
 
 import numpy as np
 
@@ -68,6 +69,9 @@ __all__ = [
     "kernel_mode",
     "set_kernel_mode",
     "use_kernel_mode",
+    "row_stable_inference",
+    "row_stable_enabled",
+    "rowstable_matmul2d",
 ]
 
 
@@ -131,6 +135,57 @@ class use_kernel_mode:
 def _pool() -> Workspace | None:
     """The scratch-buffer arena, or None when buffer reuse is disabled."""
     return get_workspace() if _KERNEL_MODE == "fast" else None
+
+
+# ----------------------------------------------------------------------
+# Row-stable inference
+# ----------------------------------------------------------------------
+# BLAS gemm picks its kernel/blocking from the matrix shapes, so the result
+# row for one sample in an ``(N, D) @ (D, K)`` product can differ in the last
+# bit between N=1 and N=8.  Row-stable mode makes the batch-crossing matmuls
+# (currently only :class:`~repro.nn.layers.Dense`) compute each sample as its
+# own ``(1, D) @ (D, K)`` product via a batched gemm — bitwise identical to a
+# single-sample call, at any coalesced batch size.  The serving engine
+# (:mod:`repro.serve`) enables it on its worker threads so micro-batched
+# predictions are bitwise-equal to one-at-a-time ``predict_logits`` calls.
+# The flag is thread-local: a serving worker never alters training numerics
+# on other threads.
+_ROW_STABLE = threading.local()
+
+
+def row_stable_enabled() -> bool:
+    """Whether row-stable inference is active on the calling thread."""
+    return getattr(_ROW_STABLE, "enabled", False)
+
+
+class row_stable_inference:
+    """Context manager enabling row-stable (batch-size-invariant) inference.
+
+    Inside the context, forward passes produce per-sample results that do not
+    depend on how samples were coalesced into batches: splitting a batch of 8
+    into 8 singles (or any chunking in between) yields bitwise-identical rows.
+    Only affects inference-shaped code paths; training (tape-recording) passes
+    keep the plain gemm.
+    """
+
+    def __enter__(self) -> "row_stable_inference":
+        self._previous = getattr(_ROW_STABLE, "enabled", False)
+        _ROW_STABLE.enabled = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _ROW_STABLE.enabled = self._previous
+
+
+def rowstable_matmul2d(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``x @ w`` computed sample-by-sample via a batched gemm.
+
+    ``x`` is ``(N, D)``, ``w`` is ``(D, K)``; the result equals
+    ``np.concatenate([x[i:i+1] @ w for i in range(N)])`` bitwise, because each
+    item of the stacked product is its own M=1 gemm — the same call a
+    single-sample forward makes.
+    """
+    return np.matmul(x[:, None, :], w)[:, 0, :]
 
 
 # ----------------------------------------------------------------------

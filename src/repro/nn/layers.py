@@ -13,7 +13,7 @@ import numpy as np
 from . import functional as F
 from . import init as initializers
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "Dense",
@@ -55,7 +55,18 @@ class Dense(Module):
         self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
+        if (
+            F.row_stable_enabled()
+            and not is_grad_enabled()
+            and x.data.ndim == 2
+        ):
+            # Row-stable inference: the only batch-crossing gemm in the layer
+            # set.  Computed per sample so coalesced serving batches are
+            # bitwise-identical to one-at-a-time calls (see
+            # :class:`repro.nn.functional.row_stable_inference`).
+            out = Tensor(F.rowstable_matmul2d(x.data, self.weight.data))
+        else:
+            out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -1,18 +1,35 @@
-"""Model persistence: save/load state dicts as ``.npz`` archives."""
+"""Model persistence: save/load state dicts as ``.npz`` archives.
+
+The serving registry (:mod:`repro.serve.registry`) loads trained models
+through these paths, so failure modes are typed: any unreadable, truncated,
+or non-repro archive raises :class:`StateFileError` (a ``ValueError``) with
+the offending path in the message, never a raw ``zipfile``/``pickle`` error.
+"""
 
 from __future__ import annotations
 
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_state", "load_state", "save_model", "load_into"]
+__all__ = [
+    "StateFileError",
+    "save_state",
+    "load_state",
+    "save_model",
+    "load_into",
+]
 
 _FORMAT_KEY = "__repro_format__"
 _FORMAT_VERSION = 1.0
+
+
+class StateFileError(ValueError):
+    """A model state file is missing, truncated, corrupt, or foreign."""
 
 
 def save_state(state: dict[str, np.ndarray], path: str | os.PathLike) -> None:
@@ -23,11 +40,31 @@ def save_state(state: dict[str, np.ndarray], path: str | os.PathLike) -> None:
 
 
 def load_state(path: str | os.PathLike) -> dict[str, np.ndarray]:
-    """Read a state dict written by :func:`save_state`."""
-    with np.load(Path(path)) as archive:
-        if _FORMAT_KEY not in archive:
-            raise ValueError(f"{path} is not a repro model archive")
-        return {k: archive[k] for k in archive.files if k != _FORMAT_KEY}
+    """Read a state dict written by :func:`save_state`.
+
+    Raises :class:`StateFileError` when the file does not exist, is not a
+    readable ``.npz`` archive (truncated downloads, partial writes), or was
+    not written by :func:`save_state`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StateFileError(f"no such model state file: {path}")
+    try:
+        with np.load(path) as archive:
+            if _FORMAT_KEY not in archive:
+                raise StateFileError(f"{path} is not a repro model archive")
+            try:
+                return {k: archive[k] for k in archive.files if k != _FORMAT_KEY}
+            except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+                raise StateFileError(
+                    f"corrupt model state file {path}: {exc}"
+                ) from exc
+    except StateFileError:
+        raise
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        # np.load raises BadZipFile for truncated archives, ValueError for
+        # files that are not npz/npy at all, OSError/EOFError for torn reads.
+        raise StateFileError(f"corrupt or unreadable model state file {path}: {exc}") from exc
 
 
 def save_model(model: Module, path: str | os.PathLike) -> None:
@@ -36,6 +73,11 @@ def save_model(model: Module, path: str | os.PathLike) -> None:
 
 
 def load_into(model: Module, path: str | os.PathLike) -> Module:
-    """Load an archive into an already-constructed module; returns the module."""
+    """Load an archive into an already-constructed module; returns the module.
+
+    Key or shape mismatches (a state file saved from a different architecture
+    or width) surface as ``ValueError`` from
+    :meth:`~repro.nn.module.Module.load_state_dict`.
+    """
     model.load_state_dict(load_state(path))
     return model

@@ -13,36 +13,41 @@ handles full NumPy broadcasting so the layer implementations stay simple.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Tape recording is a *per-thread* property: the serving engine
+# (:mod:`repro.serve`) runs inference under ``no_grad`` on worker threads
+# while the owning process may train on the main thread, and a shared flag
+# would let one thread's inference silently disable the other's tape.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager that disables gradient tape recording.
 
     Used by evaluation loops and by the fitted-model prediction paths so that
-    inference does not pay the cost of building a backward graph.
+    inference does not pay the cost of building a backward graph.  The flag is
+    thread-local, so concurrent inference threads never affect training on
+    other threads.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = getattr(_GRAD_STATE, "enabled", True)
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations are currently recorded on the tape."""
-    return _GRAD_ENABLED
+    """Return whether operations are currently recorded on the tape (per thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -168,7 +173,7 @@ class Tensor:
         op: str,
     ) -> "Tensor":
         """Create a non-leaf tensor, recording on the tape if enabled."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
         return Tensor(

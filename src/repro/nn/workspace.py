@@ -23,6 +23,8 @@ phases cannot strand memory.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = ["Workspace", "get_workspace"]
@@ -112,9 +114,20 @@ class Workspace:
         )
 
 
-_WORKSPACE = Workspace()
+_WORKSPACES = threading.local()
 
 
 def get_workspace() -> Workspace:
-    """Return the process-global workspace used by the conv/pool kernels."""
-    return _WORKSPACE
+    """Return the calling thread's workspace used by the conv/pool kernels.
+
+    One arena per thread: the kernels acquire and release buffers without
+    locking, which is only safe if no two threads ever share a free-list.
+    The serving engine (:mod:`repro.serve`) runs inference on worker threads
+    concurrently with whatever the main thread is doing, so each thread gets
+    its own pool — the main-thread behaviour (and the training hot path) is
+    unchanged, and a worker's steady-state buffers stay hot per worker.
+    """
+    workspace = getattr(_WORKSPACES, "workspace", None)
+    if workspace is None:
+        workspace = _WORKSPACES.workspace = Workspace()
+    return workspace

@@ -1,0 +1,26 @@
+"""``repro.serve`` — model serving with micro-batched inference.
+
+The deployment-facing end of the study pipeline: trained models (loaded from
+``save_model`` archives or deterministically re-fit from archived study
+cells) are registered in a :class:`ModelRegistry` and served through a
+:class:`ServingEngine` that coalesces concurrent predict requests into
+micro-batches — with the guarantee that batching never changes a single bit
+of any response.  An optional stdlib-only HTTP front-end
+(:class:`ServingServer`) exposes the engine as a JSON endpoint for the
+``repro-study serve`` CLI subcommand.
+"""
+
+from .engine import BatchSettings, ServingEngine, ServingStats
+from .registry import ModelKey, ModelRegistry, ServableModel
+from .server import ServingServer, serve_forever
+
+__all__ = [
+    "ModelKey",
+    "ServableModel",
+    "ModelRegistry",
+    "BatchSettings",
+    "ServingStats",
+    "ServingEngine",
+    "ServingServer",
+    "serve_forever",
+]

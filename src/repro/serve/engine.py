@@ -1,0 +1,315 @@
+"""Dynamic micro-batching inference engine.
+
+Individual predict requests land in a thread-safe queue; worker threads
+coalesce them into batches bounded by ``max_batch_size`` and
+``max_latency_ms`` — the classic serving trade-off: a request waits at most
+the latency bound for company, and a full batch dispatches immediately.  The
+coalesced batch runs one forward pass per batch (im2col and the conv gemms
+genuinely vectorise across the coalesced samples), and the per-sample rows
+are handed back to each caller's future.
+
+**Equivalence discipline.**  Responses are bitwise-independent of how
+requests were coalesced: inference runs under
+:class:`~repro.nn.functional.row_stable_inference`, so a sample served in a
+batch of 8 gets exactly the bits a one-at-a-time
+:func:`repro.nn.trainer.predict_logits` call would return.  The batched
+equivalence suite (``tests/serve/test_engine.py``) enforces this the same way
+``results_equivalent`` locks down serial↔parallel study runs.
+
+**Telemetry.**  Each dispatched batch emits a ``serve_batch`` span (with
+``serve_infer`` nested inside) into a per-batch
+:class:`~repro.telemetry.RecordingTelemetry`, funneled under the engine's
+root ``serve`` span through the single-writer ``write_batch`` path — so a
+trace of a serving session validates with the existing
+:func:`repro.telemetry.validate_trace` tooling even with concurrent workers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..telemetry import NULL, RecordingTelemetry
+from .registry import ModelKey, ModelRegistry
+
+__all__ = ["BatchSettings", "ServingStats", "ServingEngine"]
+
+
+@dataclass(frozen=True)
+class BatchSettings:
+    """Micro-batching knobs.
+
+    ``max_batch_size`` caps how many queued samples one dispatch coalesces;
+    ``max_latency_ms`` bounds how long the oldest queued request may wait for
+    the batch to fill; ``workers`` is the number of inference threads (each
+    thread has its own kernel workspace arena, so workers never contend on
+    scratch buffers).
+    """
+
+    max_batch_size: int = 8
+    max_latency_ms: float = 2.0
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_latency_ms < 0:
+            raise ValueError("max_latency_ms must be >= 0")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+@dataclass
+class ServingStats:
+    """Aggregate counters for one engine (snapshot via :meth:`snapshot`)."""
+
+    requests: int = 0
+    batches: int = 0
+    errors: int = 0
+    max_batch: int = 0
+    queue_wait_s: float = 0.0
+    infer_s: float = 0.0
+    batch_sizes: deque = field(default_factory=lambda: deque(maxlen=1024))
+
+    def snapshot(self) -> dict:
+        """JSON-shaped snapshot (the ``/stats`` endpoint payload)."""
+        sizes = list(self.batch_sizes)
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "errors": self.errors,
+            "max_batch": self.max_batch,
+            "mean_batch": round(sum(sizes) / len(sizes), 3) if sizes else 0.0,
+            "queue_wait_s": round(self.queue_wait_s, 6),
+            "infer_s": round(self.infer_s, 6),
+        }
+
+
+class _Item:
+    """One queued sample: its input array, arrival time, and result future."""
+
+    __slots__ = ("sample", "enqueued", "future")
+
+    def __init__(self, sample: np.ndarray) -> None:
+        self.sample = sample
+        self.enqueued = time.perf_counter()
+        self.future: Future = Future()
+
+
+class ServingEngine:
+    """Micro-batched prediction over a :class:`~repro.serve.registry.ModelRegistry`.
+
+    Use as a context manager, or pair :meth:`start` with :meth:`close`::
+
+        with ServingEngine(registry, BatchSettings(max_batch_size=8)) as engine:
+            logits = engine.predict("gtsrb/convnet/baseline/none", images)
+
+    ``telemetry`` (optional) receives a root ``serve`` span for the engine's
+    lifetime and one funneled ``serve_batch`` span per dispatched batch.  It
+    must be a handle owned by the thread that calls ``start``/``close`` (the
+    engine serialises its own writes with an internal lock).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        settings: BatchSettings | None = None,
+        telemetry=None,
+    ) -> None:
+        self.registry = registry
+        self.settings = settings or BatchSettings()
+        self.stats = ServingStats()
+        self._telemetry = telemetry if telemetry is not None else NULL
+        self._tel_lock = threading.Lock()
+        self._root_span = None
+        self._cond = threading.Condition()
+        self._queues: "dict[ModelKey, deque[_Item]]" = {}
+        self._threads: list[threading.Thread] = []
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ServingEngine":
+        """Spawn the worker threads (idempotent)."""
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+        if self._telemetry is not NULL:
+            self._root_span = self._telemetry.span(
+                "serve",
+                max_batch_size=self.settings.max_batch_size,
+                max_latency_ms=self.settings.max_latency_ms,
+                workers=self.settings.workers,
+            )
+            self._root_span.__enter__()
+        for index in range(self.settings.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def close(self) -> None:
+        """Stop the workers, failing any still-queued requests."""
+        with self._cond:
+            if not self._running:
+                return
+            self._running = False
+            pending = [item for queue in self._queues.values() for item in queue]
+            self._queues.clear()
+            self._cond.notify_all()
+        for item in pending:
+            item.future.set_exception(RuntimeError("serving engine closed"))
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        if self._root_span is not None:
+            self._root_span.set(**self.stats.snapshot())
+            self._root_span.__exit__(None, None, None)
+            self._root_span = None
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request path --------------------------------------------------
+    def submit(self, key: "ModelKey | str", sample: np.ndarray) -> Future:
+        """Queue one sample for prediction; returns a future of its logits row.
+
+        ``sample`` is a single input (no batch axis).  The model key is
+        resolved eagerly so an unknown model fails the caller immediately
+        rather than poisoning a coalesced batch.
+        """
+        if isinstance(key, str):
+            key = ModelKey.parse(key)
+        self.registry.get(key)  # raise KeyError now, not inside a batch
+        item = _Item(np.asarray(sample))
+        with self._cond:
+            if not self._running:
+                raise RuntimeError("serving engine is not running (call start())")
+            self._queues.setdefault(key, deque()).append(item)
+            self._cond.notify()
+        return item.future
+
+    def predict(
+        self, key: "ModelKey | str", inputs: np.ndarray, timeout: float | None = 30.0
+    ) -> np.ndarray:
+        """Predict logits for ``inputs`` (one sample or a stack of samples).
+
+        Each sample is submitted as its own request — the equivalence unit —
+        so the result is identical whether this call's samples coalesce with
+        each other, with other clients' requests, or run alone.
+        """
+        inputs = np.asarray(inputs)
+        servable = self.registry.get(key)
+        sample_ndim = 1 if servable.key.model == "mlp" else 3
+        batch = inputs if inputs.ndim > sample_ndim else inputs[None]
+        futures = [self.submit(key, sample) for sample in batch]
+        rows = [future.result(timeout=timeout) for future in futures]
+        out = np.stack(rows)
+        return out if inputs.ndim > sample_ndim else out[0]
+
+    # -- worker side ---------------------------------------------------
+    def _collect_batch(self) -> "tuple[ModelKey, list[_Item]] | None":
+        """Block until a batch is ready (or the engine stops); pop and return it.
+
+        Dispatch policy: serve the model whose head-of-line request is oldest;
+        dispatch when its queue reaches ``max_batch_size`` or its oldest
+        request has waited ``max_latency_ms``.
+        """
+        max_size = self.settings.max_batch_size
+        max_wait = self.settings.max_latency_ms / 1000.0
+        with self._cond:
+            while True:
+                if not self._running:
+                    return None
+                oldest_key = None
+                oldest_t = None
+                for key, queue in self._queues.items():
+                    if queue and (oldest_t is None or queue[0].enqueued < oldest_t):
+                        oldest_key, oldest_t = key, queue[0].enqueued
+                if oldest_key is None:
+                    self._cond.wait()
+                    continue
+                queue = self._queues[oldest_key]
+                deadline = oldest_t + max_wait
+                remaining = deadline - time.perf_counter()
+                if len(queue) >= max_size or remaining <= 0:
+                    items = [queue.popleft() for _ in range(min(len(queue), max_size))]
+                    return oldest_key, items
+                # Wait for the batch to fill, but never past the deadline.
+                self._cond.wait(timeout=remaining)
+
+    def _worker_loop(self) -> None:
+        while True:
+            collected = self._collect_batch()
+            if collected is None:
+                return
+            key, items = collected
+            self._run_batch(key, items)
+
+    def _run_batch(self, key: ModelKey, items: "list[_Item]") -> None:
+        recorder = RecordingTelemetry() if self._telemetry is not NULL else None
+        started = time.perf_counter()
+        queue_wait = started - min(item.enqueued for item in items)
+        servable = self.registry.get(key)
+        span = recorder.span(
+            "serve_batch", model=key.id, batch=len(items)
+        ) if recorder else None
+        try:
+            if span:
+                span.__enter__()
+            batch = np.stack([item.sample for item in items])
+            if recorder:
+                with recorder.span("serve_infer", batch=len(items)):
+                    logits = servable.predict_logits(batch)
+            else:
+                logits = servable.predict_logits(batch)
+            infer_s = time.perf_counter() - started
+            if span:
+                span.set(queue_wait_s=queue_wait, infer_s=infer_s)
+        except BaseException as exc:  # fail every caller in the batch
+            if span:
+                span.set(outcome="error", error=type(exc).__name__)
+                span.__exit__(None, None, None)
+            self._record(key, items, queue_wait, 0.0, error=True, recorder=recorder)
+            for item in items:
+                item.future.set_exception(exc)
+            return
+        span and span.__exit__(None, None, None)
+        servable.predictions += len(items)
+        self._record(key, items, queue_wait, infer_s, error=False, recorder=recorder)
+        for row, item in zip(logits, items):
+            item.future.set_result(row)
+
+    def _record(
+        self,
+        key: ModelKey,
+        items: "list[_Item]",
+        queue_wait: float,
+        infer_s: float,
+        error: bool,
+        recorder: "RecordingTelemetry | None",
+    ) -> None:
+        """Update stats and funnel the batch's events under the root span."""
+        with self._cond:
+            self.stats.requests += len(items)
+            self.stats.batches += 1
+            self.stats.max_batch = max(self.stats.max_batch, len(items))
+            self.stats.queue_wait_s += queue_wait
+            self.stats.infer_s += infer_s
+            self.stats.batch_sizes.append(len(items))
+            if error:
+                self.stats.errors += 1
+        if recorder is not None:
+            parent = self._root_span.id if self._root_span is not None else None
+            with self._tel_lock:
+                self._telemetry.write_batch(recorder.drain(), parent=parent)

@@ -1,0 +1,289 @@
+"""Model registry — the serving layer's catalog of trained models.
+
+A :class:`ModelRegistry` maps :class:`ModelKey`\\ s — ``(network, dataset,
+technique, fault label)``, the identity of one study cell's trained model —
+to :class:`ServableModel`\\ s ready for inference.  Models enter the registry
+three ways:
+
+- :meth:`ModelRegistry.register` — an already-constructed module;
+- :meth:`ModelRegistry.load_state_file` — a ``.npz`` archive written by
+  :func:`repro.nn.serialization.save_model`;
+- :meth:`ModelRegistry.refit_cell` — deterministic re-training of an archived
+  study cell: the same scale, derived seeds, fault injection, and technique
+  fit as the original :class:`~repro.experiments.runner.ExperimentRunner`
+  pass, so the served model is the one the study measured.
+
+Inference goes through :meth:`ServableModel.predict_logits`, which runs in
+eval mode under ``no_grad`` and :class:`~repro.nn.functional.row_stable_inference`
+— the property that makes micro-batching (:mod:`repro.serve.engine`) safe:
+coalesced batches are bitwise-identical to one-at-a-time
+:func:`~repro.nn.trainer.predict_logits` calls.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.registry import DATASETS, load_dataset
+from ..experiments.config import ExperimentConfig, derive_repetition_seed, resolve_scale
+from ..experiments.runner import prepare_faulty_train
+from ..faults.spec import spec_from_label
+from ..mitigation.base import FittedModel, SingleModelFitted
+from ..mitigation.registry import build_technique
+from ..models.registry import build_model
+from ..nn import Module, Tensor, load_into, no_grad
+from ..nn.functional import row_stable_inference, softmax_np
+from ..nn.serialization import StateFileError
+
+__all__ = ["ModelKey", "ServableModel", "ModelRegistry"]
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Identity of one servable model: which study cell trained it."""
+
+    model: str
+    dataset: str
+    technique: str = "baseline"
+    fault_label: str = "none"
+
+    @property
+    def id(self) -> str:
+        """Canonical string form, e.g. ``gtsrb/convnet/baseline/none``."""
+        return f"{self.dataset}/{self.model}/{self.technique}/{self.fault_label}"
+
+    @classmethod
+    def parse(cls, text: str) -> "ModelKey":
+        """Parse the :attr:`id` form back into a key."""
+        parts = text.strip().strip("/").split("/")
+        if len(parts) != 4:
+            raise ValueError(
+                f"model key must be dataset/model/technique/fault_label; got {text!r}"
+            )
+        dataset, model, technique, fault_label = parts
+        return cls(model=model, dataset=dataset, technique=technique, fault_label=fault_label)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.id
+
+
+class ServableModel:
+    """One registered model plus its inference entry points.
+
+    ``predict_logits`` is the serving hot path: eval mode (set once at
+    registration, so repeated predictions do not re-flush the kernel
+    workspace), no gradient tape, row-stable kernels.  Access is not
+    serialised here — forward passes only read weights, so any number of
+    engine worker threads may infer concurrently.
+    """
+
+    def __init__(
+        self,
+        key: ModelKey,
+        module: Module,
+        source: str = "registered",
+        metadata: dict | None = None,
+    ) -> None:
+        self.key = key
+        self.module = module.eval()
+        self.source = source
+        self.metadata = dict(metadata or {})
+        self.predictions = 0  # samples served (engine-maintained tally)
+
+    def predict_logits(self, inputs: np.ndarray) -> np.ndarray:
+        """Logits for a ``(N, ...)`` input batch, bitwise batch-size-invariant.
+
+        Row-stable inference guarantees that any coalescing of the same
+        samples — one call of 8, two calls of 4, eight calls of 1 — produces
+        bitwise-identical per-sample rows, equal to what a plain one-at-a-time
+        :func:`repro.nn.trainer.predict_logits` call returns.
+        """
+        batch = np.ascontiguousarray(inputs, dtype=np.float32)
+        with no_grad(), row_stable_inference():
+            return self.module(Tensor(batch)).data
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        """Softmax probabilities (same softmax as the training stack)."""
+        return softmax_np(self.predict_logits(inputs), axis=1)
+
+    def predict_labels(self, inputs: np.ndarray) -> np.ndarray:
+        """Hard label predictions."""
+        return self.predict_logits(inputs).argmax(axis=1)
+
+    def describe(self) -> dict:
+        """JSON-shaped summary (the ``/models`` endpoint payload)."""
+        return {
+            "key": self.key.id,
+            "model": self.key.model,
+            "dataset": self.key.dataset,
+            "technique": self.key.technique,
+            "fault": self.key.fault_label,
+            "source": self.source,
+            "parameters": self.module.num_parameters(),
+            "predictions": self.predictions,
+            **self.metadata,
+        }
+
+
+class ModelRegistry:
+    """Thread-safe catalog of servable models, keyed by :class:`ModelKey`."""
+
+    def __init__(self) -> None:
+        self._models: dict[ModelKey, ServableModel] = {}
+        self._lock = threading.Lock()
+
+    # -- catalog -------------------------------------------------------
+    def register(self, servable: ServableModel) -> ServableModel:
+        """Add (or replace) a servable model; returns it."""
+        with self._lock:
+            self._models[servable.key] = servable
+        return servable
+
+    def get(self, key: "ModelKey | str") -> ServableModel:
+        """Look up a model by key or key-id string; raises ``KeyError``."""
+        if isinstance(key, str):
+            key = ModelKey.parse(key)
+        with self._lock:
+            try:
+                return self._models[key]
+            except KeyError:
+                known = sorted(k.id for k in self._models)
+                raise KeyError(
+                    f"no model registered under {key.id!r}; registered: {known}"
+                ) from None
+
+    def keys(self) -> list[ModelKey]:
+        with self._lock:
+            return list(self._models)
+
+    def describe(self) -> list[dict]:
+        """Summaries of every registered model (the ``/models`` payload)."""
+        with self._lock:
+            servables = list(self._models.values())
+        return [s.describe() for s in servables]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def __contains__(self, key: "ModelKey | str") -> bool:
+        if isinstance(key, str):
+            key = ModelKey.parse(key)
+        with self._lock:
+            return key in self._models
+
+    # -- loading paths -------------------------------------------------
+    def register_module(
+        self,
+        key: ModelKey,
+        module: Module,
+        source: str = "registered",
+        metadata: dict | None = None,
+    ) -> ServableModel:
+        """Wrap a constructed module and register it."""
+        return self.register(ServableModel(key, module, source=source, metadata=metadata))
+
+    def load_state_file(
+        self,
+        path: str | os.PathLike,
+        key: ModelKey,
+        image_shape: "tuple[int, int, int] | None" = None,
+        num_classes: "int | None" = None,
+        width: "int | None" = None,
+        scale: "str | None" = None,
+    ) -> ServableModel:
+        """Build ``key.model`` and load a ``save_model`` archive into it.
+
+        ``image_shape``/``num_classes`` default to the registered dataset's
+        geometry at ``scale`` (name or ``None`` for the ``REPRO_SCALE``
+        default) — the shapes study-trained models were saved with.  Missing,
+        truncated, or corrupt files raise
+        :class:`~repro.nn.serialization.StateFileError`; an archive saved
+        from a different architecture or width fails the state-dict shape
+        check with ``ValueError``.
+        """
+        if image_shape is None or num_classes is None:
+            settings = resolve_scale(scale)
+            try:
+                info = DATASETS[key.dataset]
+            except KeyError:
+                raise StateFileError(
+                    f"cannot infer model geometry: unknown dataset {key.dataset!r} "
+                    f"(pass image_shape and num_classes explicitly)"
+                ) from None
+            if num_classes is None:
+                num_classes = info.num_classes
+            if image_shape is None:
+                image_shape = (info.channels, settings.image_size, settings.image_size)
+        module = build_model(
+            key.model, image_shape=image_shape, num_classes=num_classes, width=width, seed=0
+        )
+        load_into(module, path)
+        return self.register_module(
+            key, module, source=f"state-file:{os.fspath(path)}"
+        )
+
+    def refit_cell(
+        self,
+        config: "ExperimentConfig | dict",
+        repetition: int = 0,
+        clean_fraction: float = 0.1,
+    ) -> ServableModel:
+        """Re-train the model of one archived study cell, deterministically.
+
+        ``config`` is an :class:`~repro.experiments.config.ExperimentConfig`
+        (or its dict form from a results archive).  The re-fit replays the
+        runner's Fig. 2 steps with the same derived seeds: load the dataset at
+        the cell's scale, inject the cell's fault with the repetition's
+        injection RNG, and fit the technique under the scale's budget — so the
+        registered model is byte-for-byte the network whose predictions the
+        archive records.  Only single-model techniques are servable; ensembles
+        raise ``ValueError``.
+        """
+        if isinstance(config, dict):
+            config = ExperimentConfig(**config)
+        settings = resolve_scale(config.scale)
+        train_size, test_size = settings.sizes_for(config.dataset)
+        train, _ = load_dataset(
+            config.dataset,
+            train_size=train_size,
+            test_size=test_size,
+            image_size=settings.image_size,
+            seed=settings.seed,
+        )
+        fault = spec_from_label(config.fault_label)
+        seed = derive_repetition_seed(
+            settings.seed, config.dataset, config.model, repetition
+        )
+        injection_rng = np.random.default_rng(seed + 0x5EED)
+        faulty_train = prepare_faulty_train(
+            train, fault, config.technique, clean_fraction, injection_rng
+        )
+        technique = build_technique(config.technique)
+        fitted: FittedModel = technique.fit(
+            faulty_train,
+            config.model,
+            settings.budget(config.dataset),
+            np.random.default_rng(seed + 1),
+        )
+        if not isinstance(fitted, SingleModelFitted):
+            raise ValueError(
+                f"technique {config.technique!r} does not produce a single servable "
+                f"network (got {type(fitted).__name__}); serve its members instead"
+            )
+        key = ModelKey(
+            model=config.model,
+            dataset=config.dataset,
+            technique=config.technique,
+            fault_label=config.fault_label,
+        )
+        return self.register_module(
+            key,
+            fitted.model,
+            source=f"refit:{config.scale}/rep{repetition}",
+            metadata={"training_s": round(fitted.cost.training_s, 3)},
+        )

@@ -1,0 +1,176 @@
+"""Stdlib HTTP front-end for the serving engine.
+
+A thin JSON endpoint over :class:`~repro.serve.engine.ServingEngine`, built on
+``http.server.ThreadingHTTPServer`` only — no third-party web framework.  Each
+HTTP request thread submits its samples to the shared micro-batching engine,
+so concurrent clients' requests coalesce into batches exactly like in-process
+callers.
+
+Routes::
+
+    GET  /healthz   liveness + model count
+    GET  /models    registry catalog (one summary dict per model)
+    GET  /stats     engine counters (requests, batches, mean batch size, ...)
+    POST /predict   {"model": "<dataset/model/technique/fault>",
+                     "inputs": [...], "return": "logits"|"proba"|"labels"}
+    POST /shutdown  graceful stop (used by the CI smoke job)
+
+``/predict`` accepts a single sample or a stack of samples as nested lists;
+the response carries per-sample rows plus the argmax labels.  Logits are
+bitwise-identical to one-at-a-time inference regardless of how the server
+coalesced them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..nn.functional import softmax_np
+from .engine import ServingEngine
+
+__all__ = ["ServingServer", "serve_forever"]
+
+#: Request body size cap (a resnet50-scale image batch fits comfortably).
+_MAX_BODY = 64 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP exchange; the engine and registry hang off ``self.server``."""
+
+    protocol_version = "HTTP/1.1"
+    server: "ServingServer"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:
+        if self.server.verbose:  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0 or length > _MAX_BODY:
+            raise ValueError(f"request body must be 1..{_MAX_BODY} bytes")
+        payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:
+        engine = self.server.engine
+        if self.path == "/healthz":
+            self._send_json({"status": "ok", "models": len(engine.registry)})
+        elif self.path == "/models":
+            self._send_json({"models": engine.registry.describe()})
+        elif self.path == "/stats":
+            self._send_json(engine.stats.snapshot())
+        else:
+            self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+
+    def do_POST(self) -> None:
+        if self.path == "/shutdown":
+            self._send_json({"status": "shutting down"})
+            # Shut down from another thread: shutdown() blocks until
+            # serve_forever returns, which waits on *this* handler otherwise.
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+            return
+        if self.path != "/predict":
+            self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+            return
+        try:
+            payload = self._read_json()
+            response = self._predict(payload)
+        except (KeyError, ValueError, json.JSONDecodeError) as exc:
+            self._send_json({"error": str(exc)}, status=400)
+        except Exception as exc:  # engine/inference failure
+            self._send_json(
+                {"error": f"{type(exc).__name__}: {exc}"}, status=500
+            )
+        else:
+            self._send_json(response)
+
+    def _predict(self, payload: dict) -> dict:
+        if "model" not in payload:
+            raise ValueError("request must name a 'model' key")
+        if "inputs" not in payload:
+            raise ValueError("request must carry 'inputs'")
+        kind = payload.get("return", "logits")
+        if kind not in ("logits", "proba", "labels"):
+            raise ValueError(f"unknown return kind {kind!r}")
+        engine = self.server.engine
+        servable = engine.registry.get(payload["model"])  # KeyError → 400
+        inputs = np.asarray(payload["inputs"], dtype=np.float32)
+        sample_ndim = 1 if servable.key.model == "mlp" else 3
+        if inputs.ndim not in (sample_ndim, sample_ndim + 1):
+            raise ValueError(
+                f"inputs for {servable.key.model!r} must have {sample_ndim} "
+                f"(single sample) or {sample_ndim + 1} (stack) dims; "
+                f"got shape {inputs.shape}"
+            )
+        logits = engine.predict(servable.key, inputs)
+        rows = logits if logits.ndim == 2 else logits[None]
+        out: dict = {
+            "model": servable.key.id,
+            "count": int(rows.shape[0]),
+            "labels": rows.argmax(axis=1).tolist(),
+        }
+        if kind == "logits":
+            out["logits"] = rows.tolist()
+        elif kind == "proba":
+            out["proba"] = softmax_np(rows, axis=1).tolist()
+        return out
+
+
+class ServingServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`~repro.serve.engine.ServingEngine`.
+
+    The engine must already be started; the server does not own its
+    lifecycle (the CLI composes engine + server and closes both).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self, engine: ServingEngine, host: str = "127.0.0.1", port: int = 8777,
+        verbose: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve_forever(
+    engine: ServingEngine, host: str = "127.0.0.1", port: int = 8777,
+    verbose: bool = False, ready: "threading.Event | None" = None,
+) -> ServingServer:
+    """Run the HTTP endpoint until ``/shutdown`` or interrupt.
+
+    ``ready`` (optional) is set once the socket is bound and the URL is
+    known — tests and the smoke job use it to avoid polling for startup.
+    """
+    server = ServingServer(engine, host=host, port=port, verbose=verbose)
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.server_close()
+    return server

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import ExperimentRunner, ScaleSettings
+from repro.experiments.runner import prepare_faulty_train
 from repro.faults import mislabelling, removal
 
 
@@ -81,7 +82,7 @@ class TestRun:
     def test_label_correction_gets_protected_clean_subset(self, runner):
         # The runner must reserve clean indices for LC and attach them.
         train, _ = runner.dataset("pneumonia")
-        faulty = runner._prepare_faulty_train(
+        faulty = prepare_faulty_train(
             train, mislabelling(0.5), "label_correction", 0.2, np.random.default_rng(0)
         )
         clean = faulty.metadata["clean_indices"]
@@ -90,14 +91,14 @@ class TestRun:
 
     def test_other_techniques_get_no_clean_subset(self, runner):
         train, _ = runner.dataset("pneumonia")
-        faulty = runner._prepare_faulty_train(
+        faulty = prepare_faulty_train(
             train, mislabelling(0.5), "baseline", 0.2, np.random.default_rng(0)
         )
         assert "clean_indices" not in faulty.metadata
 
     def test_no_fault_passes_original_data(self, runner):
         train, _ = runner.dataset("pneumonia")
-        same = runner._prepare_faulty_train(
+        same = prepare_faulty_train(
             train, None, "baseline", 0.2, np.random.default_rng(0)
         )
         assert same is train

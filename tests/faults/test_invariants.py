@@ -1,0 +1,139 @@
+"""Randomized invariant tests for the fault injectors.
+
+Each invariant is checked over many seeded draws (deterministic seeds, so a
+failure is reproducible, never flaky) across the paper's fault grid — the
+three fault types at 10/30/50 % (§IV):
+
+* affected counts are *exact*: ``round(rate * n)`` examples are touched,
+  no more, no fewer, and the audit report indices name exactly them;
+* injection is a pure function of the seed: same seed, same corruption;
+* different seeds genuinely produce different corruptions;
+* removal never empties a class at paper rates (the training set keeps
+  every class represented, so stratified techniques cannot crash).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.faults import FaultType, PAPER_FAULT_RATES, inject, single_fault
+
+N_DRAWS = 50
+NUM_CLASSES = 10
+PER_CLASS = 16  # large enough that emptying a class at 50 % removal is ~impossible
+
+
+def make_dataset(seed: int = 0) -> ArrayDataset:
+    """A small balanced dataset: NUM_CLASSES x PER_CLASS tiny images."""
+    rng = np.random.default_rng(seed)
+    n = NUM_CLASSES * PER_CLASS
+    images = rng.normal(size=(n, 1, 4, 4)).astype(np.float32)
+    labels = np.repeat(np.arange(NUM_CLASSES), PER_CLASS).astype(np.int64)
+    return ArrayDataset(images, labels, NUM_CLASSES, "invariant-test", {})
+
+
+GRID = [
+    (fault_type, rate)
+    for fault_type in FaultType
+    for rate in PAPER_FAULT_RATES
+]
+
+
+@pytest.mark.parametrize("fault_type,rate", GRID)
+def test_affected_counts_are_exact(fault_type, rate):
+    """Every draw touches exactly round(rate * n) examples."""
+    dataset = make_dataset()
+    n = len(dataset)
+    expected = int(round(rate * n))
+    for seed in range(N_DRAWS):
+        faulty, report = inject(dataset, single_fault(fault_type, rate), seed=seed)
+        if fault_type is FaultType.MISLABELLING:
+            assert report.num_mislabelled == expected
+            assert len(faulty) == n
+            changed = np.flatnonzero(faulty.labels != dataset.labels)
+            # The report names exactly the changed examples; a flip never
+            # lands back on the original label (offset is drawn from 1..K-1).
+            assert np.array_equal(changed, report.mislabelled_indices)
+            assert np.array_equal(faulty.images, dataset.images)
+        elif fault_type is FaultType.REPETITION:
+            assert report.num_repeated == expected
+            assert len(faulty) == n + expected
+            # Originals are untouched; every duplicate matches its source.
+            assert np.array_equal(faulty.labels[:n], dataset.labels)
+            assert np.array_equal(faulty.images[:n], dataset.images)
+        else:  # REMOVAL
+            assert report.num_removed == expected
+            assert len(faulty) == n - expected
+            keep = np.setdiff1d(np.arange(n), report.removed_indices)
+            assert np.array_equal(faulty.labels, dataset.labels[keep])
+            assert np.array_equal(faulty.images, dataset.images[keep])
+
+
+@pytest.mark.parametrize("fault_type,rate", GRID)
+def test_same_seed_is_deterministic(fault_type, rate):
+    """Injection is a pure function of (dataset, spec, seed)."""
+    dataset = make_dataset()
+    spec = single_fault(fault_type, rate)
+    for seed in range(0, N_DRAWS, 10):
+        first, report_a = inject(dataset, spec, seed=seed)
+        second, report_b = inject(dataset, spec, seed=seed)
+        assert np.array_equal(first.labels, second.labels)
+        assert np.array_equal(first.images, second.images)
+        assert np.array_equal(report_a.mislabelled_indices, report_b.mislabelled_indices)
+        assert np.array_equal(
+            report_a.repeated_source_indices, report_b.repeated_source_indices
+        )
+        assert np.array_equal(report_a.removed_indices, report_b.removed_indices)
+
+
+@pytest.mark.parametrize("fault_type,rate", GRID)
+def test_different_seeds_draw_different_corruptions(fault_type, rate):
+    """Distinct seeds must not collapse onto one corruption pattern."""
+    dataset = make_dataset()
+    spec = single_fault(fault_type, rate)
+    signatures = set()
+    for seed in range(N_DRAWS):
+        _, report = inject(dataset, spec, seed=seed)
+        indices = {
+            FaultType.MISLABELLING: report.mislabelled_indices,
+            FaultType.REPETITION: report.repeated_source_indices,
+            FaultType.REMOVAL: report.removed_indices,
+        }[fault_type]
+        signatures.add(tuple(indices.tolist()))
+    # All 50 seeded draws should be distinct; allow a freak collision or two.
+    assert len(signatures) >= N_DRAWS - 2
+
+
+@pytest.mark.parametrize("rate", PAPER_FAULT_RATES)
+def test_removal_never_empties_a_class(rate):
+    """At paper rates every class survives removal, across all draws."""
+    dataset = make_dataset()
+    spec = single_fault(FaultType.REMOVAL, rate)
+    for seed in range(N_DRAWS):
+        faulty, _ = inject(dataset, spec, seed=seed)
+        counts = np.asarray(faulty.class_counts())
+        assert len(counts) == NUM_CLASSES
+        assert (counts > 0).all(), (
+            f"seed {seed}: removal at {rate} emptied a class: {counts}"
+        )
+
+
+@pytest.mark.parametrize("fault_type,rate", GRID)
+def test_protected_indices_are_never_touched(fault_type, rate):
+    """The label-correction clean subset survives any fault untouched."""
+    dataset = make_dataset()
+    protected = np.arange(0, len(dataset), 7)  # every 7th example
+    originals = dataset.labels[protected].copy()
+    for seed in range(0, N_DRAWS, 10):
+        faulty, report = inject(
+            dataset, single_fault(fault_type, rate), seed=seed,
+            protected_indices=protected,
+        )
+        assert report.protected_indices_after is not None
+        after = report.protected_indices_after
+        if fault_type is FaultType.REMOVAL:
+            # Removal re-maps positions but may never delete a protected row.
+            assert len(after) == len(protected)
+        assert np.array_equal(faulty.labels[after], originals)

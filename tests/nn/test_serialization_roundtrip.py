@@ -1,0 +1,111 @@
+"""Serialization round-trips across every registry architecture, plus the
+error paths for damaged state files.
+
+The serving registry loads trained models back from ``save_model`` archives,
+so the round-trip guarantee must hold for all seven paper networks (and the
+tabular MLP extension): save, load into a *differently initialised* clone,
+and get bitwise-identical logits.  Damaged archives — missing, truncated,
+corrupt, or from a foreign tool — must fail loudly with
+:class:`~repro.nn.serialization.StateFileError`, never load garbage weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.registry import build_model, model_names
+from repro.nn import StateFileError, Tensor, load_into, load_state, no_grad, save_model
+
+NUM_CLASSES = 5
+IMAGE_SHAPE = (3, 16, 16)
+
+
+def _build(name: str, seed: int):
+    if name == "mlp":
+        return build_model(name, image_shape=(12,), num_classes=NUM_CLASSES, seed=seed)
+    return build_model(name, image_shape=IMAGE_SHAPE, num_classes=NUM_CLASSES, seed=seed)
+
+
+def _inputs(name: str) -> np.ndarray:
+    rng = np.random.default_rng(99)
+    shape = (4, 12) if name == "mlp" else (4, *IMAGE_SHAPE)
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+@pytest.mark.parametrize("name", model_names(include_extensions=True))
+def test_roundtrip_bitwise_logits(name, tmp_path):
+    """save -> load into a fresh clone -> bitwise-identical logits."""
+    original = _build(name, seed=1).eval()
+    clone = _build(name, seed=2).eval()  # different init: the load must matter
+    x = _inputs(name)
+    with no_grad():
+        before = clone(Tensor(x)).data.copy()
+        reference = original(Tensor(x)).data.copy()
+
+    path = tmp_path / f"{name}.npz"
+    save_model(original, path)
+    load_into(clone, path)
+    with no_grad():
+        after = clone(Tensor(x)).data
+    assert not np.array_equal(before, reference)  # the clone really differed
+    np.testing.assert_array_equal(after, reference)
+
+
+@pytest.mark.parametrize("name", model_names(include_extensions=True))
+def test_state_dict_keys_roundtrip(name, tmp_path):
+    """The archive carries exactly the model's state-dict entries."""
+    model = _build(name, seed=3)
+    path = tmp_path / f"{name}.npz"
+    save_model(model, path)
+    loaded = load_state(path)
+    state = model.state_dict()
+    assert set(loaded) == set(state)
+    for key, value in state.items():
+        assert loaded[key].shape == value.shape
+        assert loaded[key].dtype == value.dtype
+
+
+def test_missing_file_raises_state_file_error(tmp_path):
+    with pytest.raises(StateFileError, match="no such model state file"):
+        load_state(tmp_path / "never_saved.npz")
+
+
+def test_truncated_archive_raises_state_file_error(tmp_path):
+    model = _build("convnet", seed=0)
+    path = tmp_path / "model.npz"
+    save_model(model, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])  # cut the zip in half
+    with pytest.raises(StateFileError, match="corrupt or unreadable"):
+        load_state(path)
+
+
+def test_garbage_bytes_raise_state_file_error(tmp_path):
+    path = tmp_path / "garbage.npz"
+    path.write_bytes(b"this is not a zip archive at all" * 10)
+    with pytest.raises(StateFileError, match="corrupt or unreadable"):
+        load_state(path)
+
+
+def test_foreign_npz_raises_value_error(tmp_path):
+    """A valid .npz that wasn't written by save_state is rejected."""
+    path = tmp_path / "foreign.npz"
+    np.savez(path, weights=np.zeros(3))
+    with pytest.raises(ValueError, match="not a repro model archive"):
+        load_state(path)
+
+
+def test_state_file_error_is_a_value_error():
+    """Callers catching the historical ValueError keep working."""
+    assert issubclass(StateFileError, ValueError)
+
+
+def test_wrong_architecture_fails_shape_check(tmp_path):
+    """Loading one architecture's archive into another raises, not corrupts."""
+    small = _build("convnet", seed=0)
+    other = _build("vgg11", seed=0)
+    path = tmp_path / "convnet.npz"
+    save_model(small, path)
+    with pytest.raises((ValueError, KeyError)):
+        load_into(other, path)

@@ -1,0 +1,178 @@
+"""HTTP endpoint tests: routes, JSON shapes, error paths, concurrency.
+
+The server binds to port 0 (OS-assigned) so tests never collide with a real
+service or each other.  Responses on ``/predict`` must carry the same
+bitwise logits as in-process inference — the HTTP layer adds JSON transport,
+not numerics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchSettings, ServingEngine
+from repro.serve.server import ServingServer
+
+from .conftest import KEY
+
+
+@pytest.fixture()
+def server(registry):
+    engine = ServingEngine(
+        registry, BatchSettings(max_batch_size=8, max_latency_ms=3.0, workers=2)
+    ).start()
+    http = ServingServer(engine, port=0)
+    thread = threading.Thread(
+        target=http.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    try:
+        yield http
+    finally:
+        http.shutdown()
+        thread.join(timeout=5)
+        http.server_close()
+        engine.close()
+
+
+def get(server: ServingServer, path: str) -> dict:
+    with urllib.request.urlopen(server.url + path, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def post(server: ServingServer, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def post_error(server: ServingServer, path: str, payload: dict) -> tuple[int, dict]:
+    try:
+        post(server, path, payload)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+    raise AssertionError("expected an HTTP error")
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        assert get(server, "/healthz") == {"status": "ok", "models": 1}
+
+    def test_models_catalog(self, server):
+        payload = get(server, "/models")
+        assert [m["key"] for m in payload["models"]] == [KEY.id]
+
+    def test_stats_shape(self, server):
+        stats = get(server, "/stats")
+        assert {"requests", "batches", "errors", "mean_batch"} <= set(stats)
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestPredict:
+    def test_logits_bitwise_equal(self, server, inputs, reference):
+        payload = post(
+            server, "/predict", {"model": KEY.id, "inputs": inputs[:5].tolist()}
+        )
+        assert payload["model"] == KEY.id
+        assert payload["count"] == 5
+        got = np.asarray(payload["logits"], dtype=np.float32)
+        np.testing.assert_array_equal(got, reference[:5])
+        assert payload["labels"] == reference[:5].argmax(axis=1).tolist()
+
+    def test_single_sample_and_proba(self, server, inputs):
+        payload = post(
+            server, "/predict",
+            {"model": KEY.id, "inputs": inputs[0].tolist(), "return": "proba"},
+        )
+        assert payload["count"] == 1
+        proba = np.asarray(payload["proba"])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_concurrent_clients_bitwise_equal(self, server, inputs, reference):
+        clients = 4
+        per_client = len(inputs) // clients
+        results: dict[int, np.ndarray] = {}
+        errors: list[BaseException] = []
+
+        def client(index: int) -> None:
+            shard = inputs[index * per_client : (index + 1) * per_client]
+            try:
+                payload = post(
+                    server, "/predict", {"model": KEY.id, "inputs": shard.tolist()}
+                )
+                results[index] = np.asarray(payload["logits"], dtype=np.float32)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for index in range(clients):
+            np.testing.assert_array_equal(
+                results[index],
+                reference[index * per_client : (index + 1) * per_client],
+            )
+
+    def test_unknown_model_is_400(self, server, inputs):
+        code, body = post_error(
+            server, "/predict",
+            {"model": "cifar10/vgg16/baseline/none", "inputs": inputs[0].tolist()},
+        )
+        assert code == 400
+        assert "no model registered" in body["error"]
+
+    def test_missing_fields_are_400(self, server, inputs):
+        code, body = post_error(server, "/predict", {"inputs": inputs[0].tolist()})
+        assert code == 400 and "model" in body["error"]
+        code, body = post_error(server, "/predict", {"model": KEY.id})
+        assert code == 400 and "inputs" in body["error"]
+
+    def test_wrong_rank_is_400(self, server):
+        code, body = post_error(
+            server, "/predict", {"model": KEY.id, "inputs": [[1.0, 2.0]]}
+        )
+        assert code == 400
+        assert "dims" in body["error"]
+
+    def test_bad_return_kind_is_400(self, server, inputs):
+        code, body = post_error(
+            server, "/predict",
+            {"model": KEY.id, "inputs": inputs[0].tolist(), "return": "embeddings"},
+        )
+        assert code == 400
+        assert "return kind" in body["error"]
+
+
+class TestShutdown:
+    def test_shutdown_route_stops_the_server(self, registry):
+        engine = ServingEngine(registry, BatchSettings(max_latency_ms=1.0)).start()
+        http = ServingServer(engine, port=0)
+        thread = threading.Thread(
+            target=http.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+        )
+        thread.start()
+        try:
+            assert post(http, "/shutdown", {}) == {"status": "shutting down"}
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        finally:
+            http.server_close()
+            engine.close()

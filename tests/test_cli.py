@@ -76,6 +76,35 @@ class TestParser:
         assert args.top == 5
         assert build_parser().parse_args(["trace", "t.jsonl", "--top", "3"]).top == 3
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.model == "convnet"
+        assert args.dataset == "gtsrb"
+        assert args.technique == "baseline"
+        assert args.fault == "none"
+        assert args.state is None
+        assert args.port == 8777
+        assert args.max_batch_size == 8
+        assert args.max_latency_ms == 2.0
+        assert args.serve_workers == 2
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--dataset", "pneumonia", "--fault", "mislabelling@30%",
+            "--state", "model.npz", "--port", "9000",
+            "--max-batch-size", "16", "--max-latency-ms", "5.5",
+            "--serve-workers", "4", "--trace", "out/serve.jsonl",
+        ])
+        assert args.dataset == "pneumonia"
+        assert args.fault == "mislabelling@30%"
+        assert args.state == "model.npz"
+        assert args.port == 9000
+        assert args.max_batch_size == 16
+        assert args.max_latency_ms == 5.5
+        assert args.serve_workers == 4
+        assert args.trace == "out/serve.jsonl"
+
 
 class TestMain:
     def test_table1_prints_catalog(self, capsys):
@@ -196,6 +225,67 @@ class TestMain:
         path.write_text('{"ev": "span_start", "name": "study", "span": "1", "parent": null}\n')
         assert main(["trace", str(path)]) == 2
         assert "left open" in capsys.readouterr().err
+
+    def test_serve_bad_state_file(self, tmp_path, capsys):
+        code = main(["serve", "--state", str(tmp_path / "missing.npz")])
+        assert code == 2
+        assert "no such model state file" in capsys.readouterr().err
+
+    def test_serve_invalid_batch_settings(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EPOCHS", "1")
+        code = main([
+            "serve", "--dataset", "pneumonia", "--model", "convnet",
+            "--max-batch-size", "0",
+        ])
+        assert code == 2
+        assert "max_batch_size" in capsys.readouterr().err
+
+    def test_serve_end_to_end_smoke(self, capsys, monkeypatch):
+        """Train, serve over HTTP, predict, shut down — the whole path."""
+        import json
+        import threading
+        import time
+        import urllib.request
+
+        monkeypatch.setenv("REPRO_EPOCHS", "2")
+        port = 8797  # fixed test port; the suite runs serially
+        codes: dict[str, int] = {}
+        thread = threading.Thread(
+            target=lambda: codes.update(code=main([
+                "serve", "--dataset", "pneumonia", "--model", "convnet",
+                "--port", str(port), "--max-latency-ms", "1",
+            ])),
+            daemon=True,
+        )
+        thread.start()
+        url = f"http://127.0.0.1:{port}"
+        for _ in range(200):  # wait for train + bind
+            try:
+                urllib.request.urlopen(url + "/healthz", timeout=1).read()
+                break
+            except OSError:
+                time.sleep(0.25)
+        else:
+            raise AssertionError("serve endpoint never came up")
+        request = urllib.request.Request(
+            url + "/predict",
+            data=json.dumps({
+                "model": "pneumonia/convnet/baseline/none",
+                "inputs": [[[0.0] * 16] * 16],  # one grayscale sample
+                "return": "labels",
+            }).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            payload = json.loads(response.read())
+        assert payload["count"] == 1
+        assert payload["labels"][0] in (0, 1)
+        shutdown = urllib.request.Request(
+            url + "/shutdown", data=b"{}", method="POST"
+        )
+        urllib.request.urlopen(shutdown, timeout=10).read()
+        thread.join(timeout=15)
+        assert codes.get("code") == 0
 
     def test_study_progress_smoke(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_EPOCHS", "2")

@@ -10,7 +10,7 @@ import repro
 
 SUBPACKAGES = [
     "nn", "data", "faults", "models", "mitigation", "metrics", "experiments",
-    "survey", "telemetry",
+    "survey", "telemetry", "serve",
 ]
 
 
