@@ -14,6 +14,7 @@ Usage::
     repro-study study --trace out/trace.jsonl --progress ...
     repro-study trace out/trace.jsonl
     repro-study serve [--model convnet --dataset gtsrb] [--state model.npz] [--port 8777]
+    repro-study hardware-faults [--hw-rates 1e-4,1e-3] [--jobs 2] [--out BENCH_hardware_faults.json]
 
 Scale comes from ``--scale`` or the ``REPRO_SCALE`` environment variable
 (default ``smoke``).  Each command prints the paper-shaped text rendering to
@@ -56,6 +57,11 @@ from .experiments import (
     plan_study,
     run_resilient_study,
     save_results,
+)
+from .experiments.hardware_study import (
+    hardware_campaign_payload,
+    hardware_fault_study,
+    render_hardware_table,
 )
 from .experiments.config import ExperimentConfig, resolve_scale
 from .faults import FaultType
@@ -226,6 +232,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None,
         help="write serve/serve_batch telemetry spans to this JSONL file",
     )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="seconds one /predict request may wait on the engine before the "
+        "server answers 503 instead of hanging (default 30; 0 = unbounded)",
+    )
+
+    hw = sub.add_parser(
+        "hardware-faults",
+        help="cross-axis campaign: hardware faults at inference time vs "
+        "data-fault mitigations (SDC rates, accuracy degradation)",
+    )
+    hw.add_argument("--models", type=_csv, default=("convnet",))
+    hw.add_argument("--datasets", type=_csv, default=("gtsrb",))
+    hw.add_argument(
+        "--techniques", type=_csv, default=("baseline", "label_smoothing"),
+        help="mitigation techniques to cross against hardware faults",
+    )
+    hw.add_argument(
+        "--data-faults", type=_csv, default=("none", "mislabelling@30%"),
+        help="training-data fault labels (comma-separated; 'none' allowed)",
+    )
+    hw.add_argument(
+        "--hw-types", type=_csv, default=("bit_flip",),
+        help="hardware fault types: bit_flip, stuck_at_0, stuck_at_1, random_value",
+    )
+    hw.add_argument(
+        "--targets", type=_csv, default=("activation",),
+        help="fault targets: activation (kernel outputs) and/or weight",
+    )
+    hw.add_argument("--hw-rates", type=_csv_floats, default=(1e-4, 1e-3))
+    hw.add_argument(
+        "--trials", type=int, default=3,
+        help="injected inference passes per unit (default 3)",
+    )
+    hw.add_argument(
+        "--bit", type=int, default=None,
+        help="restrict bit-positioned faults to one bit (0..31; default random)",
+    )
+    hw.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1 = serial; results identical either way)",
+    )
+    hw.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL journal path; completed units are recorded as the campaign runs",
+    )
+    hw.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing campaign checkpoint (replays completed units)",
+    )
+    hw.add_argument("--out", default=None, help="write BENCH_hardware_faults-style JSON here")
+    hw.add_argument(
+        "--trace", default=None,
+        help="write hw_campaign/hw_unit/hw_trial telemetry spans to this JSONL file",
+    )
 
     return parser
 
@@ -247,6 +308,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve":  # owns its own model loading / re-fitting
         return _run_serve_command(args)
+
+    if args.command == "hardware-faults":  # owns its own campaign machinery
+        return _run_hardware_faults_command(args)
 
     runner = ExperimentRunner(args.scale)
     logger.info("[scale=%s, repeats=%d]", runner.scale.name, runner.scale.repeats)
@@ -353,6 +417,66 @@ def _run_study_command(runner: ExperimentRunner, args: argparse.Namespace) -> in
     return 0 if report.ok else 1
 
 
+def _run_hardware_faults_command(args: argparse.Namespace) -> int:
+    """The ``hardware-faults`` subcommand: the cross-axis SDC campaign."""
+    import json
+
+    if args.jobs < 1:
+        logger.error("error: --jobs must be >= 1")
+        return 2
+    if args.resume and args.checkpoint is None:
+        logger.error("error: --resume requires --checkpoint")
+        return 2
+    scale = resolve_scale(args.scale)
+    logger.info("[scale=%s, trials=%d]", scale.name, args.trials)
+    if args.jobs > 1:
+        logger.info("[parallel: %d worker processes]", args.jobs)
+    if args.trace:
+        logger.info("[tracing to %s]", args.trace)
+
+    checkpoint = args.checkpoint
+    if checkpoint is not None and not args.resume:
+        # Mirror the study subcommand's contract: refuse to silently resume.
+        import os
+
+        if os.path.exists(checkpoint) and os.path.getsize(checkpoint) > 0:
+            logger.error(
+                "error: checkpoint %s already exists; pass --resume to continue it",
+                checkpoint,
+            )
+            return 2
+
+    try:
+        results = hardware_fault_study(
+            models=args.models,
+            datasets=args.datasets,
+            techniques=args.techniques,
+            data_faults=args.data_faults,
+            hw_types=args.hw_types,
+            targets=args.targets,
+            hw_rates=args.hw_rates,
+            trials=args.trials,
+            bit=args.bit,
+            scale=scale,
+            jobs=args.jobs,
+            checkpoint=checkpoint,
+            trace=args.trace,
+            progress=lambda result: logger.info(
+                "  %s: sdc %.3f", result.key, result.sdc_rate.mean
+            ),
+        )
+    except (KeyError, ValueError, CheckpointError) as exc:
+        logger.error("error: %s", exc)
+        return 2
+    print(render_hardware_table(results))
+    if args.out is not None:
+        payload = hardware_campaign_payload(results, scale_name=scale.name)
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        logger.info("[archived %d campaign units to %s]", len(results), args.out)
+    return 0
+
+
 def _run_serve_command(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: registry + micro-batch engine + HTTP endpoint."""
     try:
@@ -402,7 +526,10 @@ def _run_serve_command(args: argparse.Namespace) -> int:
             "[serving %d model(s) at http://%s:%d — POST /predict, POST /shutdown]",
             len(registry), args.host, args.port,
         )
-        serve_forever(engine, host=args.host, port=args.port, verbose=args.verbose)
+        serve_forever(
+            engine, host=args.host, port=args.port, verbose=args.verbose,
+            request_timeout_s=args.request_timeout if args.request_timeout > 0 else None,
+        )
     finally:
         engine.close()
         if telemetry is not None:

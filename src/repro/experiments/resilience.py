@@ -26,6 +26,7 @@ import os
 import time
 import traceback
 import typing
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -207,6 +208,13 @@ class StudyCheckpoint:
     Re-opening within the owning process (reload, resume-in-place) is allowed;
     :meth:`close` — or process exit — releases the lock.  Instances also work
     as context managers.
+
+    ``encode``/``decode`` form the result codec: by default the
+    :class:`~repro.experiments.runner.ExperimentResult` (de)serializers, but
+    any journal whose payloads round-trip through JSON dicts can reuse the
+    machinery — the hardware-fault campaigns
+    (:mod:`repro.faults.hardware.campaign`) journal their own result type
+    through the same atomic-rewrite/lock/fingerprint path.
     """
 
     FORMAT = "repro-study-checkpoint"
@@ -222,9 +230,13 @@ class StudyCheckpoint:
         path: str | os.PathLike,
         fingerprint: str | None = None,
         resume: bool = True,
+        encode: "Callable[[object], dict]" = result_to_dict,
+        decode: "Callable[[dict], object]" = result_from_dict,
     ) -> None:
         self.path = Path(path)
         self.fingerprint = fingerprint
+        self._encode = encode
+        self._decode = decode
         self.completed: dict[str, ExperimentResult] = {}
         self.failures: dict[str, CellFailure] = {}
         self.corrupt_lines = 0
@@ -317,7 +329,7 @@ class StudyCheckpoint:
                 saw_header = True
             elif kind == "cell":
                 try:
-                    result = result_from_dict(record["result"])
+                    result = self._decode(record["result"])
                 except (KeyError, TypeError):
                     self.corrupt_lines += 1
                     continue
@@ -357,7 +369,7 @@ class StudyCheckpoint:
 
     # -- recording -----------------------------------------------------
     def record_success(self, key: str, result: ExperimentResult) -> None:
-        entry = {"kind": "cell", "key": key, "result": result_to_dict(result)}
+        entry = {"kind": "cell", "key": key, "result": self._encode(result)}
         self._lines.append(json.dumps(entry))
         self.completed[key] = result
         self.failures.pop(key, None)
@@ -401,7 +413,11 @@ class RetryPolicy:
     multiplied by ``lr_decay_on_divergence`` — the standard rescue for an
     exploded loss.  ``backoff_s``/``backoff_factor`` feed the ``sleep`` hook
     (exponential backoff; default 0 means no waiting — useful for transient
-    resource errors, pointless for deterministic ones).
+    resource errors, pointless for deterministic ones).  ``max_backoff_s``
+    caps the exponential growth and ``jitter`` spreads delays by a fraction
+    in ``[-jitter, +jitter]`` — derived deterministically (CRC32 of
+    ``jitter_seed`` and the attempt), so retry storms across cells
+    decorrelate while every run stays reproducible.
     """
 
     max_attempts: int = 2
@@ -409,6 +425,9 @@ class RetryPolicy:
     lr_decay_on_divergence: float = 0.5
     backoff_s: float = 0.0
     backoff_factor: float = 2.0
+    max_backoff_s: float | None = None
+    jitter: float = 0.0
+    jitter_seed: int = 0
     sleep: Callable[[float], None] = time.sleep
 
     def __post_init__(self) -> None:
@@ -416,10 +435,25 @@ class RetryPolicy:
             raise ValueError("max_attempts must be >= 1")
         if not 0.0 < self.lr_decay_on_divergence <= 1.0:
             raise ValueError("lr_decay_on_divergence must be in (0, 1]")
+        if self.max_backoff_s is not None and self.max_backoff_s < 0.0:
+            raise ValueError("max_backoff_s must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
 
     def backoff_for(self, attempt: int) -> float:
-        """Seconds to wait after ``attempt`` (1-based) fails."""
-        return self.backoff_s * self.backoff_factor ** (attempt - 1)
+        """Seconds to wait after ``attempt`` (1-based) fails.
+
+        Exponential in the attempt, then jittered, then capped — the cap is
+        applied last so ``max_backoff_s`` is a hard upper bound even at full
+        positive jitter.
+        """
+        delay = self.backoff_s * self.backoff_factor ** (attempt - 1)
+        if self.jitter > 0.0 and delay > 0.0:
+            unit = zlib.crc32(f"{self.jitter_seed}|{attempt}".encode()) / 0xFFFFFFFF
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        if self.max_backoff_s is not None:
+            delay = min(delay, self.max_backoff_s)
+        return delay
 
 
 def run_cell_with_retry(

@@ -1,4 +1,10 @@
-"""``repro.faults`` — training-data fault injection (the TF-DM substitute)."""
+"""``repro.faults`` — fault injection.
+
+Training-data faults (the TF-DM substitute) live at the package top level;
+the :mod:`repro.faults.hardware` subpackage adds the orthogonal axis of
+inference-time hardware faults (bit flips / stuck-at bits / random-value
+corruption of weights and activations).
+"""
 
 from .injector import (
     FaultReport,
@@ -19,7 +25,11 @@ from .spec import (
     spec_from_label,
 )
 
+# Imported last: repro.faults.hardware depends on repro.faults.spec above.
+from . import hardware
+
 __all__ = [
+    "hardware",
     "FaultType",
     "FaultSpec",
     "CombinedFaultSpec",

@@ -1,0 +1,55 @@
+"""``repro.faults.hardware`` — inference-time hardware-fault injection.
+
+The sibling axis to the package's training-data faults: seeded, deterministic
+transient-fault injection into the kernel layer (bit flips, stuck-at bits,
+random-value corruption of weights or activations), plus campaign machinery
+measuring accuracy degradation and SDC rates of study-trained models.
+"""
+
+from .campaign import (
+    HardwareCampaignResult,
+    HardwareCampaignUnit,
+    hardware_results_equivalent,
+    run_campaign,
+    run_campaign_unit,
+)
+from .injector import (
+    FlipRecord,
+    HardwareFaultInjector,
+    InjectionStats,
+    derive_site_seed,
+    hardware_fault_injection,
+)
+from .spec import (
+    DEFAULT_HW_RATES,
+    FaultTarget,
+    HardwareFaultSpec,
+    HardwareFaultType,
+    bit_flip,
+    hardware_spec_from_label,
+    random_value,
+    stuck_at_0,
+    stuck_at_1,
+)
+
+__all__ = [
+    "HardwareFaultType",
+    "FaultTarget",
+    "HardwareFaultSpec",
+    "DEFAULT_HW_RATES",
+    "hardware_spec_from_label",
+    "bit_flip",
+    "stuck_at_0",
+    "stuck_at_1",
+    "random_value",
+    "FlipRecord",
+    "InjectionStats",
+    "HardwareFaultInjector",
+    "hardware_fault_injection",
+    "derive_site_seed",
+    "HardwareCampaignUnit",
+    "HardwareCampaignResult",
+    "run_campaign_unit",
+    "run_campaign",
+    "hardware_results_equivalent",
+]

@@ -1,0 +1,457 @@
+"""Hardware-fault campaigns — measure SDC rates of study-trained models.
+
+A campaign crosses the paper's data-fault axis with the hardware axis: each
+:class:`HardwareCampaignUnit` names one study cell (dataset, model,
+mitigation technique, training-data fault) and one
+:class:`~repro.faults.hardware.spec.HardwareFaultSpec`, and measures how the
+cell's trained network degrades when that fault strikes at inference time.
+
+Per unit the runner fits the cell's model deterministically (the same seed
+chain as :meth:`repro.serve.registry.ModelRegistry.refit_cell`), records
+clean test-set predictions, then runs ``trials`` injected inference passes —
+each armed with :class:`~repro.faults.hardware.injector.hardware_fault_injection`
+under a CRC32-derived trial seed — and reports accuracy and SDC rate (the
+fraction of predictions that silently changed versus the clean pass).
+
+Execution reuses the study harness's resilience machinery: results journal
+through :class:`~repro.experiments.resilience.StudyCheckpoint` (with this
+module's codec), ``--jobs N`` fans units across worker processes with
+bitwise-identical results to the serial path, and telemetry batches funnel
+back to a single-writer merged trace.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+from ...log import get_logger
+from ...metrics.stats import MeanWithCI, mean_confidence_interval
+from ...telemetry import (
+    FileTelemetry,
+    NULL,
+    NullTelemetry,
+    RecordingTelemetry,
+    Telemetry,
+    telemetry_scope,
+)
+from ..spec import spec_from_label
+from .injector import hardware_fault_injection
+from .spec import HardwareFaultSpec
+
+# Runtime imports of repro.experiments stay function-local: this module sits
+# below experiments in the import graph (experiments.hardware_study and
+# mitigation.fault_aware pull it in), so a top-level import would cycle.
+if TYPE_CHECKING:
+    from ...experiments.config import ScaleSettings
+    from ...experiments.resilience import StudyCheckpoint
+
+logger = get_logger("faults.hardware.campaign")
+
+__all__ = [
+    "HardwareCampaignUnit",
+    "HardwareCampaignResult",
+    "run_campaign_unit",
+    "run_campaign",
+    "hardware_results_equivalent",
+]
+
+#: Fixed inference chunk size.  The per-site visit counters of an armed
+#: injector advance once per kernel call, so the chunking must be identical
+#: everywhere for a trial seed to reproduce the same flip sites.
+PREDICT_BATCH = 64
+
+
+@dataclass(frozen=True)
+class HardwareCampaignUnit:
+    """One campaign cell: a study-trained model crossed with one hw spec.
+
+    Frozen and built from plain strings/numbers so units pickle cleanly into
+    worker processes; :attr:`spec` reconstructs the
+    :class:`HardwareFaultSpec` on either side of the process boundary.
+    """
+
+    dataset: str
+    model: str
+    scale: ScaleSettings
+    technique: str = "baseline"
+    #: Training-data fault label (``repro.faults.spec`` grammar) or "none".
+    data_fault: str = "none"
+    hw_type: str = "bit_flip"
+    target: str = "activation"
+    rate: float = 1e-3
+    tensor_probability: float = 1.0
+    bit: "int | None" = None
+    trials: int = 3
+    repetition: int = 0
+    clean_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1; got {self.trials}")
+        self.spec  # construct once so invalid parameters fail at plan time
+
+    @property
+    def spec(self) -> HardwareFaultSpec:
+        """The unit's hardware-fault spec (validates the raw fields)."""
+        return HardwareFaultSpec(
+            fault_type=self.hw_type,
+            rate=self.rate,
+            target=self.target,
+            tensor_probability=self.tensor_probability,
+            bit=self.bit,
+        )
+
+    @property
+    def key(self) -> str:
+        """Stable journal/result key for this unit."""
+        return (
+            f"hw|{self.dataset}|{self.model}|{self.technique}|{self.data_fault}"
+            f"|{self.spec.label}|t{self.trials}|rep{self.repetition}|{self.scale.name}"
+        )
+
+    def trial_seed(self, trial: int) -> int:
+        """Per-trial injection seed — CRC32-stable across processes."""
+        from ...experiments.config import scale_fingerprint
+
+        raw = f"{scale_fingerprint(self.scale)}|{self.key}|{trial}".encode()
+        return zlib.crc32(raw) & 0x7FFFFFFF
+
+
+@dataclass
+class HardwareCampaignResult:
+    """Measured outcome of one campaign unit.
+
+    ``trials`` holds one dict per injected pass: ``accuracy`` (test accuracy
+    under fault), ``sdc_rate`` (fraction of predictions changed versus the
+    clean pass — silent data corruption), and ``faults`` (elements struck).
+    """
+
+    key: str
+    dataset: str
+    model: str
+    technique: str
+    data_fault: str
+    spec_label: str
+    clean_accuracy: float
+    trials: list = field(default_factory=list)
+    training_s: float = 0.0
+
+    @property
+    def faulty_accuracy(self) -> MeanWithCI:
+        """Mean accuracy under injection, with 95 % CI across trials."""
+        return mean_confidence_interval([t["accuracy"] for t in self.trials])
+
+    @property
+    def sdc_rate(self) -> MeanWithCI:
+        """Mean silent-data-corruption rate, with 95 % CI across trials."""
+        return mean_confidence_interval([t["sdc_rate"] for t in self.trials])
+
+    @property
+    def accuracy_drop(self) -> float:
+        """Clean accuracy minus mean faulty accuracy."""
+        return self.clean_accuracy - self.faulty_accuracy.mean
+
+    def to_dict(self) -> dict:
+        """JSON-shaped payload (the checkpoint/benchmark codec)."""
+        return {
+            "key": self.key,
+            "dataset": self.dataset,
+            "model": self.model,
+            "technique": self.technique,
+            "data_fault": self.data_fault,
+            "spec_label": self.spec_label,
+            "clean_accuracy": self.clean_accuracy,
+            "trials": [dict(t) for t in self.trials],
+            "training_s": self.training_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HardwareCampaignResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+def hardware_results_equivalent(
+    a: HardwareCampaignResult, b: HardwareCampaignResult
+) -> bool:
+    """Exact equality of two results — the serial == parallel criterion.
+
+    Training seconds are wall-clock and excluded; everything else (including
+    every per-trial accuracy/SDC value and fault count) must match exactly.
+    """
+    da, db = a.to_dict(), b.to_dict()
+    da.pop("training_s")
+    db.pop("training_s")
+    return da == db
+
+
+# ----------------------------------------------------------------------
+# Per-process memoization
+# ----------------------------------------------------------------------
+
+#: Trained (module, training_s) per cell identity — a worker process fits
+#: each study cell at most once across all its campaign units.
+_FITTED_CACHE: dict[tuple, tuple] = {}
+#: Loaded test sets per (scale fingerprint, dataset).
+_TESTSET_CACHE: dict[tuple, object] = {}
+
+
+def _fitted_cell(unit: HardwareCampaignUnit):
+    """Deterministically (re-)fit the unit's study cell; memoized per process.
+
+    Mirrors :meth:`repro.serve.registry.ModelRegistry.refit_cell`'s seed
+    chain exactly — scale seed → ``derive_repetition_seed`` → injection RNG
+    at ``seed + 0x5EED`` → fit RNG at ``seed + 1`` — so the measured network
+    is byte-for-byte the one the data-fault study trained.
+    """
+    from ...data.registry import load_dataset
+    from ...experiments.config import derive_repetition_seed, scale_fingerprint
+    from ...experiments.runner import prepare_faulty_train
+    from ...mitigation.base import SingleModelFitted
+    from ...mitigation.registry import build_technique
+
+    cell = (
+        scale_fingerprint(unit.scale), unit.dataset, unit.model, unit.technique,
+        unit.data_fault, unit.repetition, unit.clean_fraction,
+    )
+    cached = _FITTED_CACHE.get(cell)
+    if cached is not None:
+        return cached
+
+    settings = unit.scale
+    train_size, test_size = settings.sizes_for(unit.dataset)
+    data_key = (scale_fingerprint(settings), unit.dataset)
+    train, test = load_dataset(
+        unit.dataset,
+        train_size=train_size,
+        test_size=test_size,
+        image_size=settings.image_size,
+        seed=settings.seed,
+    )
+    _TESTSET_CACHE[data_key] = test
+    fault = spec_from_label(unit.data_fault)
+    seed = derive_repetition_seed(settings.seed, unit.dataset, unit.model, unit.repetition)
+    faulty_train = prepare_faulty_train(
+        train, fault, unit.technique, unit.clean_fraction,
+        np.random.default_rng(seed + 0x5EED),
+    )
+    technique = build_technique(unit.technique)
+    fitted = technique.fit(
+        faulty_train, unit.model, settings.budget(unit.dataset),
+        np.random.default_rng(seed + 1),
+    )
+    if not isinstance(fitted, SingleModelFitted):
+        raise ValueError(
+            f"technique {unit.technique!r} does not produce a single network "
+            f"(got {type(fitted).__name__}); hardware campaigns need one model "
+            "to inject into"
+        )
+    entry = (fitted.model.eval(), float(fitted.cost.training_s))
+    _FITTED_CACHE[cell] = entry
+    return entry
+
+
+def _test_set(unit: HardwareCampaignUnit):
+    """The unit's test split (cached by :func:`_fitted_cell`'s load)."""
+    from ...experiments.config import scale_fingerprint
+
+    key = (scale_fingerprint(unit.scale), unit.dataset)
+    test = _TESTSET_CACHE.get(key)
+    if test is None:
+        _fitted_cell(unit)
+        test = _TESTSET_CACHE[key]
+    return test
+
+
+def _predict_labels(module, images: np.ndarray) -> np.ndarray:
+    """Chunked eval-mode label predictions (fixed :data:`PREDICT_BATCH`).
+
+    The chunking is part of the determinism contract: an armed injector's
+    per-site visit counters advance once per kernel call, so the same seed
+    reproduces the same flip sites only if every run chunks identically.
+    """
+    from ...nn import Tensor, no_grad
+
+    out = []
+    with no_grad():
+        for start in range(0, len(images), PREDICT_BATCH):
+            batch = np.ascontiguousarray(images[start:start + PREDICT_BATCH], dtype=np.float32)
+            out.append(module(Tensor(batch)).data.argmax(axis=1))
+    return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Unit execution
+# ----------------------------------------------------------------------
+
+def run_campaign_unit(unit: HardwareCampaignUnit) -> HardwareCampaignResult:
+    """Fit the unit's cell, then measure it under ``unit.trials`` injections.
+
+    Clean predictions are taken outside any injection context; each trial
+    arms :class:`~repro.faults.hardware.injector.hardware_fault_injection`
+    with :meth:`HardwareCampaignUnit.trial_seed` around one full test-set
+    pass.  Deterministic per unit — not per schedule — so serial and worker
+    execution yield identical results.
+    """
+    from ...telemetry import get_telemetry
+
+    tel = get_telemetry()
+    with tel.span("hw_fit", key=unit.key) as span:
+        module, training_s = _fitted_cell(unit)
+        span.set(training_s=round(training_s, 3))
+    test = _test_set(unit)
+    clean = _predict_labels(module, test.images)
+    clean_accuracy = float((clean == test.labels).mean())
+    spec = unit.spec
+    trials = []
+    for trial in range(unit.trials):
+        seed = unit.trial_seed(trial)
+        with tel.span("hw_trial", key=unit.key, trial=trial, seed=seed) as span:
+            # Flipped exponent/sign bits legitimately produce inf/NaN that
+            # propagate through the forward pass; silence numpy's warnings
+            # for the corrupted passes only.
+            with hardware_fault_injection(spec, seed, model=module) as injector, \
+                    np.errstate(all="ignore"):
+                faulty = _predict_labels(module, test.images)
+            accuracy = float((faulty == test.labels).mean())
+            sdc = float((faulty != clean).mean())
+            span.set(
+                accuracy=round(accuracy, 4), sdc_rate=round(sdc, 4),
+                faults=injector.stats.elements_faulted,
+            )
+        trials.append({
+            "accuracy": accuracy,
+            "sdc_rate": sdc,
+            "faults": int(injector.stats.elements_faulted),
+        })
+    return HardwareCampaignResult(
+        key=unit.key,
+        dataset=unit.dataset,
+        model=unit.model,
+        technique=unit.technique,
+        data_fault=unit.data_fault,
+        spec_label=spec.label,
+        clean_accuracy=clean_accuracy,
+        trials=trials,
+        training_s=training_s,
+    )
+
+
+def _execute_unit(unit: HardwareCampaignUnit, trace: bool) -> tuple:
+    """Run one unit, optionally under a recording telemetry scope.
+
+    Returns ``(result, events)`` — the recorded batch rides back to the
+    parent collector, the single writer of the merged trace (the same
+    funnel pattern as :func:`repro.experiments.executors.execute_unit`).
+    """
+    if not trace:
+        return run_campaign_unit(unit), []
+    recorder = RecordingTelemetry()
+    with telemetry_scope(recorder):
+        with recorder.span(
+            "hw_unit", key=unit.key, dataset=unit.dataset, model=unit.model,
+            technique=unit.technique, data_fault=unit.data_fault,
+            hw_fault=unit.spec.label,
+        ):
+            result = run_campaign_unit(unit)
+    return result, recorder.drain()
+
+
+def _execute_unit_in_worker(unit: HardwareCampaignUnit, trace: bool) -> tuple:
+    """Top-level (hence picklable) pool-worker entry point."""
+    return _execute_unit(unit, trace)
+
+
+# ----------------------------------------------------------------------
+# The campaign collector
+# ----------------------------------------------------------------------
+
+def run_campaign(
+    units: Iterable[HardwareCampaignUnit],
+    jobs: int = 1,
+    checkpoint: "StudyCheckpoint | str | os.PathLike | None" = None,
+    trace: "Telemetry | str | os.PathLike | None" = None,
+    progress: "Callable[[HardwareCampaignResult], None] | None" = None,
+) -> list[HardwareCampaignResult]:
+    """Run campaign units; returns results in unit order.
+
+    ``checkpoint`` journals completed units through
+    :class:`~repro.experiments.resilience.StudyCheckpoint` with this module's
+    result codec — a resumed campaign replays journaled units without
+    re-fitting.  ``jobs > 1`` fans pending units across worker processes;
+    per-unit determinism makes the parallel results bitwise-identical to
+    serial.  ``trace`` (path or telemetry handle) merges per-unit telemetry
+    batches into one ordered JSONL trace under a ``hw_campaign`` root span.
+    """
+    from ...experiments.config import scale_fingerprint
+    from ...experiments.resilience import StudyCheckpoint
+
+    units = list(units)
+
+    tel: "Telemetry | NullTelemetry" = NULL
+    owns_trace = False
+    if isinstance(trace, (Telemetry, NullTelemetry)):
+        tel = trace
+    elif trace is not None:
+        tel = FileTelemetry(trace)
+        owns_trace = True
+
+    ckpt = checkpoint
+    if ckpt is not None and not isinstance(ckpt, StudyCheckpoint):
+        fingerprint = f"hw|{scale_fingerprint(units[0].scale)}" if units else None
+        ckpt = StudyCheckpoint(
+            ckpt,
+            fingerprint=fingerprint,
+            encode=lambda r: r.to_dict(),
+            decode=HardwareCampaignResult.from_dict,
+        )
+
+    results: dict[int, HardwareCampaignResult] = {}
+    try:
+        with tel.span("hw_campaign", units=len(units), jobs=jobs) as root:
+            pending: list[tuple[int, HardwareCampaignUnit]] = []
+            for index, unit in enumerate(units):
+                if ckpt is not None and unit.key in ckpt:
+                    results[index] = ckpt.completed[unit.key]
+                    tel.counter("checkpoint_skip", key=unit.key)
+                    if progress is not None:
+                        progress(results[index])
+                else:
+                    pending.append((index, unit))
+
+            def _collect(index: int, result: HardwareCampaignResult, events: list) -> None:
+                results[index] = result
+                if events:
+                    tel.write_batch(events, parent=root.id)
+                if ckpt is not None:
+                    ckpt.record_success(units[index].key, result)
+                if progress is not None:
+                    progress(result)
+
+            if pending and jobs > 1:
+                pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+                try:
+                    futures = {
+                        pool.submit(_execute_unit_in_worker, unit, tel.enabled): index
+                        for index, unit in pending
+                    }
+                    for future in as_completed(futures):
+                        result, events = future.result()
+                        _collect(futures[future], result, events)
+                finally:
+                    pool.shutdown(wait=True, cancel_futures=True)
+            else:
+                for index, unit in pending:
+                    result, events = _execute_unit(unit, tel.enabled)
+                    _collect(index, result, events)
+    finally:
+        if owns_trace:
+            tel.close()
+
+    return [results[index] for index in range(len(units))]

@@ -1,0 +1,162 @@
+"""Hardware-fault specifications — inference-time fault injection parameters.
+
+The paper studies *training-data* faults; this package crosses its grid with
+the sibling axis it never covered: transient hardware faults during
+inference (TensorFI-style operator-level injection — Chen et al.).  A
+:class:`HardwareFaultSpec` describes one injection configuration: the
+corruption applied to an IEEE-754 float32 value (bit flip, stuck-at-0/1, or
+random value), whether it strikes stored **weights** or computed
+**activations**, and two rates — the per-element fault probability inside a
+struck tensor and the per-tensor strike probability.
+
+Mirrors the idiom of :mod:`repro.faults.spec` (frozen dataclass, validating
+``__post_init__``, a round-trippable ``label``, shorthand constructors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "HardwareFaultType",
+    "FaultTarget",
+    "HardwareFaultSpec",
+    "DEFAULT_HW_RATES",
+    "hardware_spec_from_label",
+    "bit_flip",
+    "stuck_at_0",
+    "stuck_at_1",
+    "random_value",
+]
+
+#: Default per-element fault rates for campaign sweeps.  At smoke-scale
+#: activation tensors (10³–10⁴ elements) these span "usually one flip
+#: somewhere" to "tens of flips per forward pass".
+DEFAULT_HW_RATES = (1e-4, 1e-3, 1e-2)
+
+
+class HardwareFaultType(str, Enum):
+    """The four corruption models applied to a float32 value."""
+
+    BIT_FLIP = "bit_flip"
+    STUCK_AT_0 = "stuck_at_0"
+    STUCK_AT_1 = "stuck_at_1"
+    RANDOM_VALUE = "random_value"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class FaultTarget(str, Enum):
+    """What the fault strikes: stored weights or computed activations."""
+
+    WEIGHT = "weight"
+    ACTIVATION = "activation"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class HardwareFaultSpec:
+    """One hardware-fault injection configuration.
+
+    ``rate`` is the independent per-element fault probability within a struck
+    tensor; ``tensor_probability`` is the probability that an eligible tensor
+    (a kernel output for ``activation`` targets, a parameter array for
+    ``weight`` targets) is struck at all.  ``bit`` restricts bit-positioned
+    fault types to one bit (0 = mantissa LSB … 31 = sign); ``None`` draws the
+    bit uniformly per faulted element.  ``random_value`` ignores ``bit`` and
+    replaces the element with a uniform draw from the tensor's value range.
+    """
+
+    fault_type: HardwareFaultType
+    rate: float
+    target: FaultTarget = FaultTarget.ACTIVATION
+    tensor_probability: float = 1.0
+    bit: int | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.fault_type, str) and not isinstance(self.fault_type, HardwareFaultType):
+            object.__setattr__(self, "fault_type", HardwareFaultType(self.fault_type))
+        if isinstance(self.target, str) and not isinstance(self.target, FaultTarget):
+            object.__setattr__(self, "target", FaultTarget(self.target))
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"hardware fault rate must be in [0, 1]; got {self.rate}")
+        if not 0.0 <= self.tensor_probability <= 1.0:
+            raise ValueError(
+                f"tensor_probability must be in [0, 1]; got {self.tensor_probability}"
+            )
+        if self.bit is not None and not 0 <= self.bit <= 31:
+            raise ValueError(f"bit must be in [0, 31] for float32; got {self.bit}")
+
+    @property
+    def label(self) -> str:
+        """Round-trippable identifier, e.g. ``bit_flip@0.001:activation``.
+
+        Optional fields append ``|p<prob>`` and ``|b<bit>`` suffixes:
+        ``stuck_at_1@0.0001:weight|p0.5|b30``.
+        """
+        text = f"{self.fault_type.value}@{self.rate:g}:{self.target.value}"
+        if self.tensor_probability != 1.0:
+            text += f"|p{self.tensor_probability:g}"
+        if self.bit is not None:
+            text += f"|b{self.bit}"
+        return text
+
+
+def hardware_spec_from_label(label: str) -> "HardwareFaultSpec | None":
+    """Parse a :attr:`HardwareFaultSpec.label` string back into a spec.
+
+    The inverse of the ``label`` property; ``"none"`` (the archived label of
+    uninjected campaign rows) parses to ``None``.  Campaign units and CLI
+    arguments carry specs in this form, so worker processes reconstruct the
+    identical spec from plain strings.
+    """
+    label = label.strip()
+    if not label or label == "none":
+        return None
+    head, *extras = label.split("|")
+    try:
+        type_and_rate, target_text = head.split(":", 1)
+        type_name, rate_text = type_and_rate.split("@", 1)
+        kwargs: dict = {
+            "fault_type": HardwareFaultType(type_name),
+            "rate": float(rate_text),
+            "target": FaultTarget(target_text),
+        }
+        for extra in extras:
+            if extra.startswith("p"):
+                kwargs["tensor_probability"] = float(extra[1:])
+            elif extra.startswith("b"):
+                kwargs["bit"] = int(extra[1:])
+            else:
+                raise ValueError(f"unknown suffix {extra!r}")
+        return HardwareFaultSpec(**kwargs)
+    except (ValueError, KeyError) as exc:
+        raise ValueError(f"unparseable hardware fault label {label!r}: {exc}") from None
+
+
+def bit_flip(rate: float, target: "FaultTarget | str" = FaultTarget.ACTIVATION,
+             **kwargs: object) -> HardwareFaultSpec:
+    """Shorthand constructor."""
+    return HardwareFaultSpec(HardwareFaultType.BIT_FLIP, rate, FaultTarget(target), **kwargs)
+
+
+def stuck_at_0(rate: float, target: "FaultTarget | str" = FaultTarget.ACTIVATION,
+               **kwargs: object) -> HardwareFaultSpec:
+    """Shorthand constructor."""
+    return HardwareFaultSpec(HardwareFaultType.STUCK_AT_0, rate, FaultTarget(target), **kwargs)
+
+
+def stuck_at_1(rate: float, target: "FaultTarget | str" = FaultTarget.ACTIVATION,
+               **kwargs: object) -> HardwareFaultSpec:
+    """Shorthand constructor."""
+    return HardwareFaultSpec(HardwareFaultType.STUCK_AT_1, rate, FaultTarget(target), **kwargs)
+
+
+def random_value(rate: float, target: "FaultTarget | str" = FaultTarget.ACTIVATION,
+                 **kwargs: object) -> HardwareFaultSpec:
+    """Shorthand constructor."""
+    return HardwareFaultSpec(HardwareFaultType.RANDOM_VALUE, rate, FaultTarget(target), **kwargs)

@@ -5,6 +5,7 @@ from .baseline import BaselineTechnique
 from .co_teaching import CoTeachingFitted, CoTeachingTechnique
 from .distillation import SelfDistillationTechnique
 from .ensemble import PAPER_ENSEMBLE_MEMBERS, EnsembleFitted, EnsembleTechnique
+from .fault_aware import FaultAwareTrainingTechnique
 from .label_correction import LabelCorrector, MetaLabelCorrectionTechnique
 from .label_smoothing import LabelSmoothingTechnique
 from .registry import (
@@ -25,6 +26,7 @@ __all__ = [
     "BaselineTechnique",
     "CoTeachingTechnique",
     "CoTeachingFitted",
+    "FaultAwareTrainingTechnique",
     "LabelSmoothingTechnique",
     "MetaLabelCorrectionTechnique",
     "LabelCorrector",

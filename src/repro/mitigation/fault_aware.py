@@ -1,0 +1,149 @@
+"""Fault-aware training — the sixth mitigation technique (extension).
+
+The paper's five techniques harden models against *training-data* faults;
+this extension hardens them against *hardware* faults at inference time by
+training under simulated faults, the noise-injection recipe of fault-aware
+training literature (e.g. Ranger/FT-ClipAct-style robustness work):
+
+- ``mode="weight"`` perturbs every parameter with seeded Gaussian noise
+  (scaled to each parameter's RMS magnitude) before each batch's forward
+  pass and removes exactly that noise after the optimiser step — the
+  gradient is taken at the perturbed point, but the update applies to the
+  clean weights, so the fit converges to flat minima that tolerate weight
+  corruption.
+- ``mode="activation"`` trains with an armed hardware-fault injector
+  (:class:`~repro.faults.hardware.injector.HardwareFaultInjector`) on the
+  kernel output tap, corrupting activations exactly as an inference-time
+  campaign would.  The tap only fires while gradients are enabled, so any
+  ``no_grad`` evaluation stays bitwise-clean.
+
+Everything is seeded from the technique's fit RNG, so fits are deterministic
+and identical across worker processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..nn.functional import kernel_tap_scope
+from ..nn.losses import CrossEntropy
+from ..nn.tensor import is_grad_enabled
+from .base import MitigationTechnique, SingleModelFitted, TrainingBudget
+
+__all__ = ["FaultAwareTrainingTechnique"]
+
+
+class _WeightNoiseHook:
+    """Paired Trainer hooks implementing transient weight noise.
+
+    ``before_batch`` adds per-parameter Gaussian noise in place (stored for
+    removal); ``after_step`` subtracts it after the optimiser step.  Net
+    effect per batch: gradients are computed at the noisy point, the update
+    delta lands on the clean weights.
+    """
+
+    def __init__(self, model, sigma: float, rng: np.random.Generator) -> None:
+        self.params = [param for _, param in model.named_parameters()]
+        self.sigma = sigma
+        self.rng = rng
+        self._noise: "list[np.ndarray] | None" = None
+
+    def before_batch(self, model, xb: np.ndarray, yb: np.ndarray) -> None:
+        noise = []
+        for param in self.params:
+            rms = float(np.sqrt(np.mean(param.data.astype(np.float64) ** 2)))
+            scale = self.sigma * max(rms, 1e-3)
+            sample = (self.rng.standard_normal(param.data.shape) * scale).astype(np.float32)
+            param.data += sample
+            noise.append(sample)
+        self._noise = noise
+
+    def after_step(self, epoch: int, batch: int, loss: float) -> None:
+        if self._noise is None:  # pragma: no cover - defensive
+            return
+        for param, sample in zip(self.params, self._noise):
+            param.data -= sample
+        self._noise = None
+
+
+class FaultAwareTrainingTechnique(MitigationTechnique):
+    """Train under simulated hardware faults for inference-time robustness.
+
+    Parameters are plain numbers/strings so instances pickle cleanly into
+    study worker processes (``build_technique`` reconstructs from kwargs).
+
+    ``sigma`` scales the weight-noise standard deviation (relative to each
+    parameter's RMS) in ``weight`` mode; ``hw_rate``/``hw_type`` configure
+    the activation injector in ``activation`` mode.
+    """
+
+    name = "fault_aware"
+    abbreviation = "FA"
+
+    def __init__(
+        self,
+        sigma: float = 0.02,
+        mode: str = "weight",
+        hw_rate: float = 1e-3,
+        hw_type: str = "bit_flip",
+    ) -> None:
+        if mode not in ("weight", "activation"):
+            raise ValueError(f"mode must be 'weight' or 'activation'; got {mode!r}")
+        if sigma < 0.0:
+            raise ValueError(f"sigma must be >= 0; got {sigma}")
+        self.sigma = sigma
+        self.mode = mode
+        self.hw_rate = hw_rate
+        self.hw_type = hw_type
+
+    def fit(
+        self,
+        train: ArrayDataset,
+        model_name: str,
+        budget: TrainingBudget,
+        rng: np.random.Generator,
+    ) -> SingleModelFitted:
+        """Build and fit ``model_name`` under the configured fault regime."""
+        # Local import: repro.faults.hardware sits above mitigation in the
+        # import graph only at runtime (its campaign fits techniques), so
+        # binding it lazily keeps package import order unconstrained.
+        from ..faults.hardware.injector import HardwareFaultInjector
+        from ..faults.hardware.spec import HardwareFaultSpec
+
+        model = self._build(model_name, train, budget, rng)
+        noise_rng = np.random.default_rng(int(rng.integers(2**31)))
+        if self.mode == "weight":
+            hook = _WeightNoiseHook(model, self.sigma, noise_rng)
+            history, seconds = self._train(
+                model, CrossEntropy(), train, budget, rng,
+                batch_hook=hook.before_batch,
+                batch_callback=hook.after_step,
+            )
+        else:
+            spec = HardwareFaultSpec(
+                fault_type=self.hw_type, rate=self.hw_rate, target="activation"
+            )
+            injector = HardwareFaultInjector(spec, int(noise_rng.integers(2**31)))
+
+            def tap(site: str, array: np.ndarray) -> None:
+                # Training forwards only — no_grad evaluation stays clean.
+                if not is_grad_enabled():
+                    return
+                amax = float(np.abs(array).max()) if array.size else 0.0
+                if injector.perturb(site, array):
+                    # Ranger-style range restriction: a flipped exponent bit
+                    # yields inf/NaN or astronomically large values that would
+                    # diverge training immediately; clamp corruption to the
+                    # clean tensor's dynamic range so the model learns under
+                    # survivable faults.
+                    np.nan_to_num(
+                        array, copy=False, nan=0.0, posinf=amax, neginf=-amax
+                    )
+                    np.clip(array, -amax, amax, out=array)
+
+            with kernel_tap_scope(tap):
+                history, seconds = self._train(
+                    model, CrossEntropy(), train, budget, rng
+                )
+        return SingleModelFitted(f"fault_aware/{model_name}", model, seconds, history)

@@ -7,6 +7,7 @@ from .baseline import BaselineTechnique
 from .co_teaching import CoTeachingTechnique
 from .distillation import SelfDistillationTechnique
 from .ensemble import EnsembleTechnique
+from .fault_aware import FaultAwareTrainingTechnique
 from .label_correction import MetaLabelCorrectionTechnique
 from .label_smoothing import LabelSmoothingTechnique
 from .robust_loss import RobustLossTechnique
@@ -33,6 +34,7 @@ TECHNIQUES: dict[str, type[MitigationTechnique]] = {
 #: excluded from the default study grids so benches reproduce the paper).
 EXTENSION_TECHNIQUES: dict[str, type[MitigationTechnique]] = {
     "co_teaching": CoTeachingTechnique,
+    "fault_aware": FaultAwareTrainingTechnique,
 }
 
 #: Paper table-header abbreviations, in Table IV column order.
@@ -46,7 +48,7 @@ def technique_names(include_baseline: bool = True, include_extensions: bool = Fa
     """Registered technique names in paper column order.
 
     ``include_extensions=True`` appends techniques beyond the paper's five
-    (currently co-teaching).
+    (currently co-teaching and fault-aware training).
     """
     names = list(TECHNIQUES)
     if not include_baseline:

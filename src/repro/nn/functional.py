@@ -72,6 +72,8 @@ __all__ = [
     "row_stable_inference",
     "row_stable_enabled",
     "rowstable_matmul2d",
+    "kernel_tap",
+    "kernel_tap_scope",
 ]
 
 
@@ -186,6 +188,46 @@ def rowstable_matmul2d(x: np.ndarray, w: np.ndarray) -> np.ndarray:
     single-sample forward makes.
     """
     return np.matmul(x[:, None, :], w)[:, 0, :]
+
+
+# ----------------------------------------------------------------------
+# Kernel output taps
+# ----------------------------------------------------------------------
+# The hook point the hardware-fault injector (:mod:`repro.faults.hardware`)
+# uses to corrupt activations at inference time.  A tap is a callable
+# ``tap(site, array) -> None`` that mutates the freshly computed output array
+# of a kernel op in place; ``site`` names the op ("conv2d", "max_pool2d",
+# "dense", ...).  Like row-stable inference the flag is thread-local, so an
+# armed injection context on one thread never perturbs other threads.  With
+# no tap installed every op pays a single ``getattr`` returning ``None`` —
+# outputs are bitwise-identical to a build without the hook.
+_KERNEL_TAP = threading.local()
+
+
+def kernel_tap():
+    """The active kernel output tap on the calling thread, or ``None``."""
+    return getattr(_KERNEL_TAP, "fn", None)
+
+
+class kernel_tap_scope:
+    """Context manager installing a kernel output tap on this thread.
+
+    Scopes nest: entering replaces the current tap and exiting restores it,
+    so an inner injection context cleanly shadows an outer one.
+    """
+
+    def __init__(self, fn) -> None:
+        if not callable(fn):
+            raise TypeError("kernel tap must be callable as tap(site, array)")
+        self.fn = fn
+
+    def __enter__(self) -> "kernel_tap_scope":
+        self._previous = getattr(_KERNEL_TAP, "fn", None)
+        _KERNEL_TAP.fn = self.fn
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _KERNEL_TAP.fn = self._previous
 
 
 # ----------------------------------------------------------------------
@@ -479,6 +521,9 @@ def conv2d(
     if bias is not None:
         out3 += bias.data[:, None]
     out_data = out3.reshape(n, c_out, out_h, out_w)
+    tap = getattr(_KERNEL_TAP, "fn", None)
+    if tap is not None:
+        tap("conv2d", out_data)
 
     recording = is_grad_enabled() and (
         images.requires_grad
@@ -554,6 +599,9 @@ def depthwise_conv2d(
     if bias is not None:
         out += bias.data[:, None]
     out_data = out.reshape(n, c, out_h, out_w)
+    tap = getattr(_KERNEL_TAP, "fn", None)
+    if tap is not None:
+        tap("depthwise_conv2d", out_data)
 
     recording = is_grad_enabled() and (
         images.requires_grad
@@ -613,6 +661,9 @@ def max_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Te
     argmax = cols4.argmax(axis=2)  # (N, C, OH*OW)
     out = np.take_along_axis(cols4, argmax[:, :, None, :], axis=2)[:, :, 0, :]
     out_data = out.reshape(n, c, out_h, out_w)
+    tap = getattr(_KERNEL_TAP, "fn", None)
+    if tap is not None:
+        tap("max_pool2d", out_data)
     if ws is not None:
         # The backward pass only needs the argmax, not the patches.
         ws.release(cols)
@@ -668,6 +719,9 @@ def avg_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Te
     cols = ws.acquire((n, c * kk, ohw), x.dtype) if ws is not None else None
     cols4 = im2col(x, kernel, kernel, stride, 0, out=cols).reshape(n, c, kk, ohw)
     out_data = cols4.mean(axis=2).reshape(n, c, out_h, out_w)
+    tap = getattr(_KERNEL_TAP, "fn", None)
+    if tap is not None:
+        tap("avg_pool2d", out_data)
     if ws is not None:
         # Average-pool backward is a uniform spread; the patches are not needed.
         ws.release(cols)
@@ -728,6 +782,9 @@ def _conv2d_legacy(
     if bias is not None:
         out = out + bias.data
     out_data = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    tap = getattr(_KERNEL_TAP, "fn", None)
+    if tap is not None:
+        tap("conv2d", out_data)
 
     parents = (images, weight) if bias is None else (images, weight, bias)
 
@@ -762,6 +819,9 @@ def _depthwise_conv2d_legacy(
     if bias is not None:
         out = out + bias.data
     out_data = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+    tap = getattr(_KERNEL_TAP, "fn", None)
+    if tap is not None:
+        tap("depthwise_conv2d", out_data)
 
     parents = (images, weight) if bias is None else (images, weight, bias)
 
@@ -793,6 +853,9 @@ def _max_pool2d_legacy(images: Tensor, kernel: int, stride: int | None) -> Tenso
     argmax = cols.argmax(axis=2)  # (N*OH*OW, C)
     out = np.take_along_axis(cols, argmax[:, :, None], axis=2)[:, :, 0]
     out_data = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+    tap = getattr(_KERNEL_TAP, "fn", None)
+    if tap is not None:
+        tap("max_pool2d", out_data)
 
     def backward_fn(grad: np.ndarray) -> None:
         if not images.requires_grad:
@@ -817,6 +880,9 @@ def _avg_pool2d_legacy(images: Tensor, kernel: int, stride: int | None) -> Tenso
 
     cols = im2col_reference(images.data, kernel, kernel, stride, 0).reshape(-1, c, kernel * kernel)
     out_data = cols.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+    tap = getattr(_KERNEL_TAP, "fn", None)
+    if tap is not None:
+        tap("avg_pool2d", out_data)
 
     def backward_fn(grad: np.ndarray) -> None:
         if not images.requires_grad:
@@ -858,6 +924,9 @@ def batch_norm_2d(
     inv_std = (1.0 / np.sqrt(var + eps)).reshape(shape).astype(x.data.dtype)
     x_hat = (x.data - mean_b) * inv_std
     out_data = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+    tap = getattr(_KERNEL_TAP, "fn", None)
+    if tap is not None:
+        tap("batch_norm_2d", out_data)
 
     def backward_fn(grad: np.ndarray) -> None:
         # The beta/gamma sums double as the mean statistics of the
@@ -906,6 +975,9 @@ def _batch_norm_2d_legacy(
     inv_std = (1.0 / np.sqrt(var + eps)).reshape(shape).astype(x.data.dtype)
     x_hat = (x.data - mean_b) * inv_std
     out_data = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+    tap = getattr(_KERNEL_TAP, "fn", None)
+    if tap is not None:
+        tap("batch_norm_2d", out_data)
 
     def backward_fn(grad: np.ndarray) -> None:
         if beta.requires_grad:

@@ -69,6 +69,12 @@ class Dense(Module):
             out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
+        tap = F.kernel_tap()
+        if tap is not None:
+            # Mutates the forward value in place; the tape node is preserved,
+            # so an armed injection context corrupts downstream values only —
+            # the transient-fault semantics of repro.faults.hardware.
+            tap("dense", out.data)
         return out
 
 

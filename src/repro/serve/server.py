@@ -23,6 +23,7 @@ coalesced them.
 
 from __future__ import annotations
 
+import concurrent.futures
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -93,6 +94,16 @@ class _Handler(BaseHTTPRequestHandler):
             response = self._predict(payload)
         except (KeyError, ValueError, json.JSONDecodeError) as exc:
             self._send_json({"error": str(exc)}, status=400)
+        # Python < 3.11 keeps futures.TimeoutError distinct from the builtin;
+        # catch both so the 503 mapping is version-independent.
+        except (concurrent.futures.TimeoutError, TimeoutError):
+            self._send_json(
+                {
+                    "error": "prediction timed out after "
+                    f"{self.server.request_timeout_s}s"
+                },
+                status=503,
+            )
         except Exception as exc:  # engine/inference failure
             self._send_json(
                 {"error": f"{type(exc).__name__}: {exc}"}, status=500
@@ -118,7 +129,9 @@ class _Handler(BaseHTTPRequestHandler):
                 f"(single sample) or {sample_ndim + 1} (stack) dims; "
                 f"got shape {inputs.shape}"
             )
-        logits = engine.predict(servable.key, inputs)
+        logits = engine.predict(
+            servable.key, inputs, timeout=self.server.request_timeout_s
+        )
         rows = logits if logits.ndim == 2 else logits[None]
         out: dict = {
             "model": servable.key.id,
@@ -137,16 +150,25 @@ class ServingServer(ThreadingHTTPServer):
 
     The engine must already be started; the server does not own its
     lifecycle (the CLI composes engine + server and closes both).
+
+    ``request_timeout_s`` bounds how long one ``/predict`` exchange may wait
+    on the engine before the handler answers 503 (service unavailable)
+    instead of hanging its client; ``None`` disables the bound.
     """
 
     daemon_threads = True
 
     def __init__(
         self, engine: ServingEngine, host: str = "127.0.0.1", port: int = 8777,
-        verbose: bool = False,
+        verbose: bool = False, request_timeout_s: "float | None" = 30.0,
     ) -> None:
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be positive or None; got {request_timeout_s}"
+            )
         self.engine = engine
         self.verbose = verbose
+        self.request_timeout_s = request_timeout_s
         super().__init__((host, port), _Handler)
 
     @property
@@ -158,13 +180,19 @@ class ServingServer(ThreadingHTTPServer):
 def serve_forever(
     engine: ServingEngine, host: str = "127.0.0.1", port: int = 8777,
     verbose: bool = False, ready: "threading.Event | None" = None,
+    request_timeout_s: "float | None" = 30.0,
 ) -> ServingServer:
     """Run the HTTP endpoint until ``/shutdown`` or interrupt.
 
     ``ready`` (optional) is set once the socket is bound and the URL is
     known — tests and the smoke job use it to avoid polling for startup.
+    ``request_timeout_s`` is the per-request 503 bound (see
+    :class:`ServingServer`).
     """
-    server = ServingServer(engine, host=host, port=port, verbose=verbose)
+    server = ServingServer(
+        engine, host=host, port=port, verbose=verbose,
+        request_timeout_s=request_timeout_s,
+    )
     if ready is not None:
         ready.set()
     try:

@@ -308,6 +308,35 @@ class TestRetry:
         assert outcome.ok
         assert delays == [1.0, 2.0]
 
+    def test_backoff_jitter_stays_within_band_and_is_deterministic(self):
+        policy = RetryPolicy(backoff_s=1.0, backoff_factor=2.0, jitter=0.25)
+        for attempt in (1, 2, 3, 4):
+            base = 1.0 * 2.0 ** (attempt - 1)
+            delay = policy.backoff_for(attempt)
+            assert base * 0.75 <= delay <= base * 1.25
+            assert delay != base  # jitter actually perturbs the schedule
+            # Same jitter_seed → same delays: retries replay identically.
+            assert delay == RetryPolicy(
+                backoff_s=1.0, backoff_factor=2.0, jitter=0.25
+            ).backoff_for(attempt)
+        other = RetryPolicy(
+            backoff_s=1.0, backoff_factor=2.0, jitter=0.25, jitter_seed=1
+        )
+        assert any(
+            other.backoff_for(a) != policy.backoff_for(a) for a in (1, 2, 3)
+        )
+
+    def test_max_backoff_caps_after_jitter(self):
+        policy = RetryPolicy(
+            backoff_s=1.0, backoff_factor=10.0, jitter=0.5, max_backoff_s=5.0
+        )
+        # Attempt 3 has base 100s; whatever jitter does, the cap is hard.
+        assert policy.backoff_for(3) == 5.0
+        assert policy.backoff_for(1) <= 5.0
+        # Cap alone (no jitter) also clamps the exponential curve.
+        capped = RetryPolicy(backoff_s=1.0, backoff_factor=2.0, max_backoff_s=3.0)
+        assert [capped.backoff_for(a) for a in (1, 2, 3, 4)] == [1.0, 2.0, 3.0, 3.0]
+
     def test_keyboard_interrupt_propagates(self):
         from repro.faults import mislabelling
 
@@ -323,6 +352,10 @@ class TestRetry:
             RetryPolicy(max_attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(lr_decay_on_divergence=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_backoff_s=-1.0)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,86 @@
+"""HardwareFaultSpec: validation, labels, and round-trip parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.hardware import (
+    DEFAULT_HW_RATES,
+    FaultTarget,
+    HardwareFaultSpec,
+    HardwareFaultType,
+    bit_flip,
+    hardware_spec_from_label,
+    random_value,
+    stuck_at_0,
+    stuck_at_1,
+)
+
+
+class TestConstruction:
+    def test_strings_coerce_to_enums(self):
+        spec = HardwareFaultSpec(fault_type="bit_flip", rate=0.01, target="weight")
+        assert spec.fault_type is HardwareFaultType.BIT_FLIP
+        assert spec.target is FaultTarget.WEIGHT
+
+    def test_default_target_is_activation(self):
+        assert bit_flip(1e-3).target is FaultTarget.ACTIVATION
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rate_out_of_range_rejected(self, rate):
+        with pytest.raises(ValueError, match="rate"):
+            bit_flip(rate)
+
+    @pytest.mark.parametrize("prob", [-0.01, 1.01])
+    def test_tensor_probability_out_of_range_rejected(self, prob):
+        with pytest.raises(ValueError, match="tensor_probability"):
+            bit_flip(0.1, tensor_probability=prob)
+
+    @pytest.mark.parametrize("bit", [-1, 32])
+    def test_bit_out_of_range_rejected(self, bit):
+        with pytest.raises(ValueError, match="bit"):
+            bit_flip(0.1, bit=bit)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareFaultSpec(fault_type="gamma_ray", rate=0.1)
+
+    def test_shorthands_set_their_type(self):
+        assert stuck_at_0(0.1).fault_type is HardwareFaultType.STUCK_AT_0
+        assert stuck_at_1(0.1).fault_type is HardwareFaultType.STUCK_AT_1
+        assert random_value(0.1).fault_type is HardwareFaultType.RANDOM_VALUE
+
+    def test_default_rates_are_probabilities(self):
+        assert all(0.0 < rate < 1.0 for rate in DEFAULT_HW_RATES)
+
+
+class TestLabels:
+    def test_simple_label(self):
+        assert bit_flip(0.001).label == "bit_flip@0.001:activation"
+
+    def test_label_carries_optional_fields(self):
+        spec = stuck_at_1(1e-4, target="weight", tensor_probability=0.5, bit=30)
+        assert spec.label == "stuck_at_1@0.0001:weight|p0.5|b30"
+
+    @pytest.mark.parametrize("spec", [
+        bit_flip(0.001),
+        bit_flip(0.5, target="weight"),
+        stuck_at_0(1e-4, bit=31),
+        stuck_at_1(0.01, tensor_probability=0.25),
+        random_value(0.05, target="weight", tensor_probability=0.9),
+    ])
+    def test_label_round_trips(self, spec):
+        assert hardware_spec_from_label(spec.label) == spec
+
+    def test_none_parses_to_none(self):
+        assert hardware_spec_from_label("none") is None
+        assert hardware_spec_from_label("") is None
+        assert hardware_spec_from_label("  ") is None
+
+    @pytest.mark.parametrize("label", [
+        "bit_flip", "bit_flip@x:activation", "bit_flip@0.1:nowhere",
+        "cosmic@0.1:activation", "bit_flip@0.1:activation|z9",
+    ])
+    def test_garbage_labels_raise(self, label):
+        with pytest.raises(ValueError, match="label"):
+            hardware_spec_from_label(label)

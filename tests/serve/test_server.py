@@ -161,6 +161,60 @@ class TestPredict:
         assert "return kind" in body["error"]
 
 
+class _SleepyModule:
+    """Duck-typed module whose forward stalls long enough to trip timeouts."""
+
+    def __init__(self, delay_s: float) -> None:
+        self.delay_s = delay_s
+
+    def eval(self) -> "_SleepyModule":
+        return self
+
+    def num_parameters(self) -> int:
+        return 0
+
+    def __call__(self, tensor):
+        import time
+
+        time.sleep(self.delay_s)
+        return tensor
+
+
+class TestRequestTimeout:
+    def test_slow_prediction_returns_503(self, inputs):
+        from repro.serve import ModelKey, ModelRegistry
+
+        key = ModelKey(model="sleepy", dataset="gtsrb")
+        reg = ModelRegistry()
+        reg.register_module(key, _SleepyModule(delay_s=2.0))
+        engine = ServingEngine(
+            reg, BatchSettings(max_batch_size=8, max_latency_ms=1.0, workers=1)
+        ).start()
+        http = ServingServer(engine, port=0, request_timeout_s=0.1)
+        thread = threading.Thread(
+            target=http.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+        )
+        thread.start()
+        try:
+            code, body = post_error(
+                http, "/predict", {"model": key.id, "inputs": inputs[0].tolist()}
+            )
+            assert code == 503
+            assert "timed out" in body["error"]
+            # The server survives the timeout and keeps answering.
+            assert get(http, "/healthz")["status"] == "ok"
+        finally:
+            http.shutdown()
+            thread.join(timeout=5)
+            http.server_close()
+            engine.close()
+
+    def test_timeout_validation(self, registry):
+        engine = ServingEngine(registry, BatchSettings(max_latency_ms=1.0))
+        with pytest.raises(ValueError, match="request_timeout_s"):
+            ServingServer(engine, port=0, request_timeout_s=0.0)
+
+
 class TestShutdown:
     def test_shutdown_route_stops_the_server(self, registry):
         engine = ServingEngine(registry, BatchSettings(max_latency_ms=1.0)).start()

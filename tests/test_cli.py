@@ -287,6 +287,46 @@ class TestMain:
         thread.join(timeout=15)
         assert codes.get("code") == 0
 
+    def test_hardware_faults_parser_defaults(self):
+        args = build_parser().parse_args(["hardware-faults"])
+        assert args.command == "hardware-faults"
+        assert args.techniques == ("baseline", "label_smoothing")
+        assert args.hw_types == ("bit_flip",)
+        assert args.hw_rates == (1e-4, 1e-3)
+        assert args.trials == 3
+        assert args.jobs == 1
+        assert args.bit is None
+
+    def test_hardware_faults_resume_requires_checkpoint(self, capsys):
+        assert main(["hardware-faults", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_hardware_faults_invalid_axis_is_exit_2(self, capsys):
+        assert main(["hardware-faults", "--hw-types", "gamma_ray"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_hardware_faults_smoke(self, tmp_path, capsys, monkeypatch):
+        """A tiny cross-axis campaign end to end, with the JSON artifact."""
+        import json
+
+        monkeypatch.setenv("REPRO_EPOCHS", "2")
+        out = tmp_path / "BENCH_hardware_faults.json"
+        argv = [
+            "hardware-faults",
+            "--models", "convnet", "--datasets", "pneumonia",
+            "--techniques", "baseline", "--data-faults", "none",
+            "--hw-rates", "1e-2", "--trials", "2",
+            "--out", str(out),
+        ]
+        assert main(argv) == 0
+        table = capsys.readouterr().out
+        assert "hw fault" in table
+        assert "pneumonia/convnet/baseline/none" in table
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "hardware_faults"
+        assert payload["units"] == 1
+        assert payload["summary"][0]["sdc_rate"] >= 0.0
+
     def test_study_progress_smoke(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_EPOCHS", "2")
         argv = [
