@@ -66,6 +66,7 @@ from .experiments.hardware_study import (
 from .experiments.config import ExperimentConfig, resolve_scale
 from .faults import FaultType
 from .mitigation import technique_names
+from .nn.functional import KERNEL_MODES, set_kernel_mode
 from .nn.serialization import StateFileError
 from .serve import BatchSettings, ModelKey, ModelRegistry, ServingEngine, serve_forever
 from .survey import render_table1, select_representatives
@@ -190,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="live progress reporter (done/total, ETA, retries, per-worker "
         "activity) instead of one line per completed cell",
     )
+    study.add_argument(
+        "--kernels",
+        choices=KERNEL_MODES,
+        default=None,
+        help="nn kernel mode: fast (default), compiled (record/plan/replay "
+        "static training steps, bitwise-identical), reference, or legacy",
+    )
 
     trace = sub.add_parser(
         "trace", help="summarize a study telemetry trace (JSONL) file"
@@ -236,6 +244,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--request-timeout", type=float, default=30.0,
         help="seconds one /predict request may wait on the engine before the "
         "server answers 503 instead of hanging (default 30; 0 = unbounded)",
+    )
+    serve.add_argument(
+        "--kernels",
+        choices=KERNEL_MODES,
+        default=None,
+        help="nn kernel mode for re-fitting and inference (compiled only "
+        "affects training; inference always runs eagerly)",
     )
 
     hw = sub.add_parser(
@@ -348,6 +363,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 def _run_study_command(runner: ExperimentRunner, args: argparse.Namespace) -> int:
     """The fault-tolerant ``study`` subcommand (checkpoint/resume/retries)."""
+    if args.kernels is not None:
+        set_kernel_mode(args.kernels)
+        logger.info("[kernels=%s]", args.kernels)
     checkpoint = None
     if args.checkpoint is not None:
         try:
@@ -479,6 +497,9 @@ def _run_hardware_faults_command(args: argparse.Namespace) -> int:
 
 def _run_serve_command(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: registry + micro-batch engine + HTTP endpoint."""
+    if args.kernels is not None:
+        set_kernel_mode(args.kernels)
+        logger.info("[kernels=%s]", args.kernels)
     try:
         settings = BatchSettings(
             max_batch_size=args.max_batch_size,

@@ -5,7 +5,9 @@ This package is the substrate substitution for the paper's TensorFlow stack
 noise-robust ones the paper studies), optimisers, and a training loop.
 """
 
+from .compile import CompiledStep, CompileError, compile_tape
 from .functional import (
+    KERNEL_MODES,
     avg_pool2d,
     conv2d,
     depthwise_conv2d,
@@ -55,6 +57,7 @@ from .losses import (
     get_loss,
 )
 from .module import Module, Parameter
+from .ops import OP_REGISTRY, OpCtx, OpDef, register_op
 from .optim import (
     SGD,
     Adam,
@@ -68,6 +71,7 @@ from .optim import (
     get_optimizer,
 )
 from .serialization import StateFileError, load_into, load_state, save_model, save_state
+from .tape import Tape, TapeEntry, active_tape, tape_scope
 from .tensor import Tensor, is_grad_enabled, no_grad
 from .workspace import Workspace, get_workspace
 from .trainer import (
@@ -120,8 +124,21 @@ __all__ = [
     "kernel_mode",
     "set_kernel_mode",
     "use_kernel_mode",
+    "KERNEL_MODES",
     "row_stable_inference",
     "row_stable_enabled",
+    # op registry / tape / compiled step
+    "OpCtx",
+    "OpDef",
+    "OP_REGISTRY",
+    "register_op",
+    "Tape",
+    "TapeEntry",
+    "active_tape",
+    "tape_scope",
+    "CompiledStep",
+    "CompileError",
+    "compile_tape",
     # workspace
     "Workspace",
     "get_workspace",

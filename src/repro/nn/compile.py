@@ -1,0 +1,362 @@
+"""Plan & execute: compile a recorded tape into a static training step.
+
+This is the *plan* stage of the record → plan → execute pipeline
+(:mod:`repro.nn.tape` is the record stage).  :func:`compile_tape` takes one
+recorded training step — the tape's op entries plus the backward topological
+order captured by the step's ``backward()`` call — and emits a
+:class:`CompiledStep`: a static schedule that replays the identical op
+sequence without rebuilding the graph.  Steady-state replay does
+
+- **no graph construction** — no ``Tensor`` wrappers, no backward closures,
+  no per-step topological sort; just two flat lists of ``(apply, ctx, slots)``
+  and ``(vjp, ctx, slots)`` steps,
+- **no hot-loop allocation** — each entry owns a persistent
+  :class:`~repro.nn.ops.OpCtx` whose output buffers are reused every step, the
+  kernel ops keep drawing their scratch from the :mod:`repro.nn.workspace`
+  arena, and gradients accumulate into preplanned per-slot buffers,
+- **dead-adjoint elimination** — an entry's ``needs`` flags are frozen from
+  ``requires_grad`` at record time, so cotangents for constant inputs are
+  never computed.
+
+Bitwise contract
+----------------
+A replayed step runs the same ``apply``/``vjp`` bodies, on the same values,
+in the same order as the eager step it was recorded from — forward in
+recorded order, backward in the captured DFS topological order (float32
+``+=`` accumulation is order-sensitive, so the order *is* part of the
+contract).  Gradient slots mirror ``Tensor._accumulate`` exactly: the first
+contribution of a step is a copy, later ones are in-place ``+=``.  The
+equivalence is locked by ``tests/nn/test_compiled_tape.py`` for all registry
+networks.
+
+Structural limits
+-----------------
+Graphs are rejected with :exc:`CompileError` — and the trainer falls back to
+eager, results unchanged — when they contain an op recorded through a legacy
+closure instead of a registry :class:`~repro.nn.ops.OpDef`, or a non-scalar
+leaf constant whose value the planner cannot prove step-invariant (e.g. a
+distillation teacher's per-batch probabilities).  Scalar leaves (shape-derived
+factors like ``1/N``) are assumed step-invariant for a fixed geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .ops import OpCtx
+from .tape import Tape
+from .tensor import Tensor
+
+__all__ = ["CompileError", "CompiledStep", "compile_tape"]
+
+
+class CompileError(RuntimeError):
+    """The recorded step cannot be compiled; callers should stay eager."""
+
+
+class _SlotSpace:
+    """Assigns one value slot per distinct tensor seen during planning."""
+
+    def __init__(self) -> None:
+        self.slot_of: dict[int, int] = {}
+        self.tensors: list[Tensor] = []  # strong refs keep id()s unambiguous
+
+    def slot(self, tensor: Tensor) -> int:
+        key = id(tensor)
+        existing = self.slot_of.get(key)
+        if existing is not None:
+            return existing
+        index = len(self.tensors)
+        self.slot_of[key] = index
+        self.tensors.append(tensor)
+        return index
+
+
+class CompiledStep:
+    """A static, replayable training step.
+
+    Produced by :func:`compile_tape`; drive it as::
+
+        loss_arr, logits_arr = step.forward((xb, targets))
+        step.backward()          # assigns .grad on the bound parameters
+
+    ``forward`` feeds must match the recorded shapes — the trainer keys its
+    compile cache on the feed shapes and re-records when they change.
+    """
+
+    def __init__(
+        self,
+        forward_steps: list,
+        backward_steps: list,
+        feed_bindings: list[tuple[int, int]],
+        feed_shapes: list[tuple[int, ...]],
+        param_slots: list,
+        vals: list,
+        grad_dtypes: list,
+        loss_slot: int,
+        logits_slot: int,
+    ) -> None:
+        self._fwd = forward_steps
+        self._bwd = backward_steps
+        self._feed_bindings = feed_bindings
+        self.feed_shapes = tuple(feed_shapes)
+        self._param_slots = param_slots
+        self._vals = vals
+        self._grad_dtypes = grad_dtypes
+        self._loss_slot = loss_slot
+        self._logits_slot = logits_slot
+        n = len(vals)
+        self._grads: list[np.ndarray | None] = [None] * n
+        self._written = [0] * n
+        self._token = 0
+        self._ones = np.ones_like(np.asarray(vals[loss_slot]))
+        # Replay accounting, surfaced through trainer telemetry.
+        self.steps_replayed = 0
+
+    # -- introspection -------------------------------------------------
+    @property
+    def n_entries(self) -> int:
+        return len(self._fwd)
+
+    @property
+    def n_backward(self) -> int:
+        return len(self._bwd)
+
+    @property
+    def n_params(self) -> int:
+        return len(self._param_slots)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledStep(entries={self.n_entries}, backward={self.n_backward}, "
+            f"params={self.n_params}, feeds={len(self.feed_shapes)})"
+        )
+
+    # -- execution -----------------------------------------------------
+    def forward(self, feeds: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """Replay the forward schedule on fresh feed arrays.
+
+        Returns ``(loss, logits)`` as raw arrays (the loss is 0-d).
+        """
+        vals = self._vals
+        for arr, shape in zip(feeds, self.feed_shapes):
+            if arr.shape != shape:
+                raise ValueError(f"feed shape {arr.shape} does not match compiled {shape}")
+        for feed_index, slot in self._feed_bindings:
+            vals[slot] = feeds[feed_index]
+        for param, slot in self._param_slots:
+            # Read .data fresh each step: load_state_dict swaps the array.
+            vals[slot] = param.data
+        for apply, ctx, in_slots, out_slot, kwargs, cleanup in self._fwd:
+            k = len(in_slots)
+            if k == 1:
+                inputs = (vals[in_slots[0]],)
+            elif k == 2:
+                inputs = (vals[in_slots[0]], vals[in_slots[1]])
+            elif k == 3:
+                inputs = (vals[in_slots[0]], vals[in_slots[1]], vals[in_slots[2]])
+            else:
+                inputs = tuple(vals[s] for s in in_slots)
+            vals[out_slot] = apply(ctx, inputs, kwargs)
+            if cleanup is not None:
+                cleanup(ctx)
+        return vals[self._loss_slot], vals[self._logits_slot]
+
+    def _acc(self, slot: int, g: np.ndarray) -> None:
+        """Accumulate a cotangent into a slot's persistent gradient buffer.
+
+        First contribution per step copies (``Tensor._accumulate`` does
+        ``astype(dtype, copy=True)``), later ones add in place — the identical
+        value sequence, without the per-step allocation.
+        """
+        buf = self._grads[slot]
+        if buf is None or buf.shape != g.shape:
+            buf = self._grads[slot] = np.empty(g.shape, dtype=self._grad_dtypes[slot])
+        if self._written[slot] != self._token:
+            np.copyto(buf, g)
+            self._written[slot] = self._token
+        else:
+            buf += g
+
+    def backward(self) -> None:
+        """Replay the backward schedule; assigns ``.grad`` on bound params."""
+        self._token += 1
+        self._acc(self._loss_slot, self._ones)
+        grads = self._grads
+        written = self._written
+        token = self._token
+        for vjp, ctx, out_slot, needs, acc in self._bwd:
+            if written[out_slot] != token:
+                # Mirrors eager's ``node.grad is None`` skip.
+                continue
+            vjp(ctx, grads[out_slot], needs, acc)
+        for param, slot in self._param_slots:
+            if written[slot] == token:
+                param.grad = grads[slot]
+
+
+def compile_tape(
+    tape: Tape,
+    loss: Tensor,
+    logits: Tensor,
+    feeds: Sequence[np.ndarray],
+) -> CompiledStep:
+    """Plan a :class:`CompiledStep` from one recorded training step.
+
+    Parameters
+    ----------
+    tape:
+        The :class:`~repro.nn.tape.Tape` that observed the step, including
+        the backward topological order (``backward()`` must have run inside
+        the recording scope).
+    loss:
+        The scalar loss tensor the recorded ``backward()`` was seeded from.
+    logits:
+        The model output tensor (returned by every replayed forward).
+    feeds:
+        The per-step input arrays of the recorded step, by object identity —
+        typically ``(batch_images, batch_targets)``.  Leaf tensors whose
+        ``.data`` *is* one of these arrays become feed slots; all other
+        non-parameter leaves must be scalars, or compilation is refused.
+
+    Raises
+    ------
+    CompileError
+        If the step contains ops outside the registry, non-scalar constants,
+        or no recorded backward.
+    """
+    if not tape.entries:
+        raise CompileError("tape recorded no registry ops")
+    if tape.topo is None:
+        raise CompileError("no backward() ran inside the recording scope")
+    if tape.root is not loss:
+        raise CompileError("recorded backward root is not the loss tensor")
+
+    entry_index_of = {id(e.out): i for i, e in enumerate(tape.entries)}
+    if id(loss) not in entry_index_of:
+        raise CompileError(f"loss is not a registry-op output (op={loss._op or 'leaf'!r})")
+    if id(logits) not in entry_index_of:
+        raise CompileError(f"logits is not a registry-op output (op={logits._op or 'leaf'!r})")
+
+    space = _SlotSpace()
+    feed_list = list(feeds)
+    feed_shapes = [np.asarray(f).shape for f in feed_list]
+    feed_bindings: list[tuple[int, int]] = []
+    param_slots: list[tuple[Tensor, int]] = []
+    const_slots: list[tuple[int, np.ndarray]] = []
+    bound: set[int] = set()
+
+    def bind_leaf(tensor: Tensor) -> None:
+        slot = space.slot(tensor)
+        if slot in bound:
+            return
+        bound.add(slot)
+        if tensor._backward_fn is not None:
+            raise CompileError(
+                f"op {tensor._op!r} was recorded through a legacy closure, not the op registry"
+            )
+        if tensor.requires_grad:
+            param_slots.append((tensor, slot))
+            return
+        for i, feed in enumerate(feed_list):
+            if tensor.data is feed:
+                feed_bindings.append((i, slot))
+                return
+        if tensor.data.size != 1:
+            raise CompileError(
+                f"non-scalar constant of shape {tensor.shape} cannot be proven step-invariant"
+            )
+        const_slots.append((slot, tensor.data))
+
+    # Forward schedule: every recorded entry, in recorded (eager) order.
+    planned_fwd: list[tuple] = []
+    entry_out_slots: list[int] = []
+    for entry in tape.entries:
+        for parent in entry.inputs:
+            if id(parent) not in entry_index_of:
+                bind_leaf(parent)
+        in_slots = tuple(space.slot(t) for t in entry.inputs)
+        out_slot = space.slot(entry.out)
+        bound.add(out_slot)
+        planned_fwd.append((entry, in_slots, out_slot))
+        entry_out_slots.append(out_slot)
+
+    # The opaque-op check must also cover closure nodes reachable from the
+    # loss/logits ancestry that never passed through an entry input list.
+    stack = [loss, logits]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if id(node) in entry_index_of:
+            stack.extend(tape.entries[entry_index_of[id(node)]].inputs)
+        elif node._backward_fn is not None:
+            raise CompileError(
+                f"op {node._op!r} was recorded through a legacy closure, not the op registry"
+            )
+
+    # Backward schedule: the captured DFS topological order, reversed,
+    # restricted to registry-op outputs (leaves receive their gradients
+    # through the accumulation callbacks).
+    step = [None]  # resolved after CompiledStep exists; closures capture the cell
+
+    def make_acc(in_slots: tuple[int, ...]):
+        def acc(i: int, g: np.ndarray) -> None:
+            step[0]._acc(in_slots[i], g)
+
+        return acc
+
+    ctxs = [OpCtx(persistent=True) for _ in tape.entries]
+    backward_steps: list[tuple] = []
+    backward_out_ids: set[int] = set()
+    for node in reversed(tape.topo):
+        idx = entry_index_of.get(id(node))
+        if idx is None:
+            if node._backward_fn is not None:
+                raise CompileError(
+                    f"op {node._op!r} was recorded through a legacy closure, not the op registry"
+                )
+            continue
+        entry = tape.entries[idx]
+        needs = tuple(t.requires_grad for t in entry.inputs)
+        in_slots = tuple(space.slot(t) for t in entry.inputs)
+        backward_steps.append(
+            (entry.op.vjp, ctxs[idx], space.slot(node), needs, make_acc(in_slots))
+        )
+        backward_out_ids.add(id(node))
+
+    # Entries outside the backward graph never run a vjp, so their workspace
+    # cleanup (normally the vjp's job) runs right after apply instead.
+    forward_steps: list[tuple] = []
+    for idx, (entry, in_slots, out_slot) in enumerate(planned_fwd):
+        cleanup = None
+        if id(entry.out) not in backward_out_ids and entry.op.discard is not None:
+            cleanup = entry.op.discard
+        forward_steps.append(
+            (entry.op.apply, ctxs[idx], in_slots, out_slot, entry.kwargs, cleanup)
+        )
+
+    vals: list = [None] * len(space.tensors)
+    for slot, value in const_slots:
+        vals[slot] = value
+    loss_slot = space.slot(loss)
+    vals[loss_slot] = loss.data  # seeds the ones template in CompiledStep
+    grad_dtypes = [t.data.dtype for t in space.tensors]
+
+    compiled = CompiledStep(
+        forward_steps,
+        backward_steps,
+        feed_bindings,
+        feed_shapes,
+        param_slots,
+        vals,
+        grad_dtypes,
+        loss_slot,
+        space.slot(logits),
+    )
+    step[0] = compiled
+    return compiled

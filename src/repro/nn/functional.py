@@ -47,7 +47,8 @@ import threading
 
 import numpy as np
 
-from .tensor import Tensor, is_grad_enabled
+from .ops import OpCtx, register_op
+from .tensor import Tensor, is_grad_enabled, run_op
 from .workspace import Workspace, get_workspace
 
 __all__ = [
@@ -60,6 +61,9 @@ __all__ = [
     "max_pool2d",
     "avg_pool2d",
     "global_avg_pool2d",
+    "batch_norm_2d",
+    "batch_norm_2d_train",
+    "dropout_train",
     "im2col",
     "col2im",
     "im2col_reference",
@@ -80,7 +84,13 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Kernel-mode dispatch
 # ----------------------------------------------------------------------
-KERNEL_MODES = ("fast", "reference", "legacy")
+KERNEL_MODES = ("fast", "reference", "legacy", "compiled")
+
+#: Modes that run the vectorised kernel bodies with workspace pooling.
+#: ``compiled`` uses the identical kernels as ``fast``; it additionally lets
+#: :class:`repro.nn.trainer.Trainer` record one step and replay a static
+#: schedule for the rest (see :mod:`repro.nn.compile`).
+_FAST_LIKE = ("fast", "compiled")
 
 _KERNEL_MODE = os.environ.get("REPRO_KERNELS", "fast").strip().lower() or "fast"
 if _KERNEL_MODE not in KERNEL_MODES:
@@ -90,7 +100,7 @@ if _KERNEL_MODE not in KERNEL_MODES:
 
 
 def kernel_mode() -> str:
-    """Return the active kernel mode (``fast``, ``reference``, or ``legacy``)."""
+    """Return the active kernel mode (``fast``, ``reference``, ``legacy``, or ``compiled``)."""
     return _KERNEL_MODE
 
 
@@ -98,16 +108,16 @@ def set_kernel_mode(mode: str) -> str:
     """Select the kernel implementation; returns the previous mode.
 
     Also honours the ``REPRO_KERNELS`` environment variable at import time.
-    ``fast`` and ``reference`` are bitwise-equivalent; ``legacy`` is the seed
-    implementation retained for benchmarking.
+    ``fast``, ``reference``, and ``compiled`` are bitwise-equivalent;
+    ``legacy`` is the seed implementation retained for benchmarking.
     """
     global _KERNEL_MODE
     if mode not in KERNEL_MODES:
         raise ValueError(f"unknown kernel mode {mode!r}; choices: {KERNEL_MODES}")
     previous = _KERNEL_MODE
     _KERNEL_MODE = mode
-    if mode != "fast":
-        # Non-fast modes do not pool buffers; drop whatever the fast path cached.
+    if mode not in _FAST_LIKE:
+        # Modes without buffer reuse; drop whatever the pooled paths cached.
         get_workspace().clear()
     return previous
 
@@ -136,7 +146,7 @@ class use_kernel_mode:
 
 def _pool() -> Workspace | None:
     """The scratch-buffer arena, or None when buffer reuse is disabled."""
-    return get_workspace() if _KERNEL_MODE == "fast" else None
+    return get_workspace() if _KERNEL_MODE in _FAST_LIKE else None
 
 
 # ----------------------------------------------------------------------
@@ -288,12 +298,16 @@ def softmax_cross_entropy(logits: Tensor, targets: np.ndarray, temperature: floa
         raise ValueError(
             f"expected matching (N, K) logits and targets; got {logits.shape} and {t.shape}"
         )
-    if _KERNEL_MODE != "fast":
+    if _KERNEL_MODE not in _FAST_LIKE:
         return -(log_softmax(logits, axis=1, temperature=temperature) * Tensor(t)).sum(
             axis=1
         ).mean()
+    return run_op(_SOFTMAX_CE, (logits, Tensor(t)), {"temperature": temperature})
 
-    x = logits.data
+
+def _softmax_ce_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    x, t = inputs
+    temperature = kwargs["temperature"]
     if temperature != 1.0:
         inv_t = np.asarray(1.0 / temperature, dtype=np.float32)
         scaled = x * inv_t
@@ -310,20 +324,25 @@ def softmax_cross_entropy(logits: Tensor, targets: np.ndarray, temperature: floa
     rowsum = (log_probs * t).sum(axis=1)
     inv_n = np.asarray(1.0 / rowsum.shape[0], dtype=np.float32)
     out_data = -(rowsum.sum() * inv_n)
+    ctx.saved = (t, exps, sums, inv_n, inv_t)
+    return out_data
 
-    def backward_fn(grad: np.ndarray) -> None:
-        if not logits.requires_grad:
-            return
-        # Closed-form gradient, in the exact operation order of the composed
-        # tape (down to the order the two shifted-gradient terms are added).
-        g_lp = ((-grad) * inv_n) * t
-        g_logsum = (-g_lp).sum(axis=1, keepdims=True)
-        gx = g_lp + (g_logsum / sums) * exps
-        if inv_t is not None:
-            gx *= inv_t
-        logits._accumulate(gx)
 
-    return Tensor._make(out_data, (logits,), backward_fn, "softmax_ce")
+def _softmax_ce_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    if not needs[0]:
+        return
+    t, exps, sums, inv_n, inv_t = ctx.saved
+    # Closed-form gradient, in the exact operation order of the composed
+    # tape (down to the order the two shifted-gradient terms are added).
+    g_lp = ((-grad) * inv_n) * t
+    g_logsum = (-g_lp).sum(axis=1, keepdims=True)
+    gx = g_lp + (g_logsum / sums) * exps
+    if inv_t is not None:
+        gx *= inv_t
+    acc(0, gx)
+
+
+_SOFTMAX_CE = register_op("softmax_ce", _softmax_ce_apply, _softmax_ce_vjp)
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -341,6 +360,7 @@ def im2col(
     stride: int,
     padding: int,
     out: np.ndarray | None = None,
+    padded_out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Unfold NCHW image patches into matrices of shape ``(N, C*KH*KW, OH*OW)``.
 
@@ -351,20 +371,26 @@ def im2col(
 
     ``out``, when given, must be a ``(N, C*KH*KW, OH*OW)`` C-contiguous buffer
     of the image dtype (e.g. from the :mod:`repro.nn.workspace` arena); it is
-    fully overwritten and returned.
+    fully overwritten and returned.  ``padded_out``, when given with
+    ``padding > 0``, is a persistent pad buffer whose border is already zero
+    (compiled replay arms one per conv site): only the interior is written, so
+    the border stays zero and the per-step pad allocation + memset disappear.
     """
     n, c, h, w = images.shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)
     if padding > 0:
-        padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=images.dtype)
+        if padded_out is not None:
+            padded = padded_out
+        else:
+            padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=images.dtype)
         padded[:, :, padding:-padding, padding:-padding] = images
         images = padded
 
     if out is None:
         out = np.empty((n, c * kernel_h * kernel_w, out_h * out_w), dtype=images.dtype)
     cols = out.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
-    if _KERNEL_MODE == "fast" and stride == 1:
+    if _KERNEL_MODE in _FAST_LIKE and stride == 1:
         # The six-axis window-view copy wins for dense (stride-1) convolution
         # gathers but loses to the offset loop once the windows are strided
         # (pooling geometries), so strided gathers fall through to the loop.
@@ -389,6 +415,7 @@ def col2im(
     stride: int,
     padding: int,
     workspace: Workspace | None = None,
+    padded_out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Fold ``(N, C*KH*KW, OH*OW)`` patch matrices back to NCHW, accumulating overlaps.
 
@@ -400,7 +427,9 @@ def col2im(
 
     When ``workspace`` is given, the padded accumulator is drawn from it; the
     caller owns releasing the returned array's base buffer after consuming the
-    values.
+    values.  ``padded_out``, when given, is a persistent accumulator (compiled
+    replay arms one per site) that is zero-filled in place instead — same
+    values, no allocation.
     """
     n, c, h, w = input_shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
@@ -408,7 +437,10 @@ def col2im(
     cols6 = cols.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
 
     padded_shape = (n, c, h + 2 * padding, w + 2 * padding)
-    if workspace is not None:
+    if padded_out is not None:
+        padded = padded_out
+        padded.fill(0)
+    elif workspace is not None:
         padded = workspace.acquire_zeros(padded_shape, cols.dtype)
     else:
         padded = np.zeros(padded_shape, dtype=cols.dtype)
@@ -484,6 +516,60 @@ def _release_folded(workspace: Workspace | None, folded: np.ndarray) -> None:
         workspace.release(folded if folded.base is None else folded.base)
 
 
+def _ctx_pad_zeros(ctx: OpCtx, key: str, x_shape, padding: int, dtype) -> np.ndarray | None:
+    """A persistent zero-bordered pad buffer for an armed (compiled) op site.
+
+    Allocated zeroed once; :func:`im2col` only ever writes the interior, so
+    the border invariantly stays zero across replays.
+    """
+    if padding == 0:
+        return None
+    n, c, h, w = x_shape
+    shape = (n, c, h + 2 * padding, w + 2 * padding)
+    buf = ctx.bufs.get(key)
+    if buf is None or buf.shape != shape or buf.dtype != dtype:
+        buf = ctx.bufs[key] = np.zeros(shape, dtype)
+    return buf
+
+
+def _armed_im2col(
+    ctx: OpCtx, x: np.ndarray, kh: int, kw: int, stride: int, padding: int, cols: np.ndarray
+) -> np.ndarray:
+    """:func:`im2col` into an armed cols buffer, with plan-cached strided views.
+
+    For the stride-1 fast path the sliding-window source view and the target
+    six-axis view are pure functions of the (persistent) pad buffer and cols
+    buffer, so they are built once and cached on the ctx; steady-state steps
+    run exactly two copies — pad interior and window gather — the identical
+    element movement :func:`im2col` performs, minus its per-call view setup.
+    """
+    if stride != 1:
+        return im2col(
+            x,
+            kh,
+            kw,
+            stride,
+            padding,
+            out=cols,
+            padded_out=_ctx_pad_zeros(ctx, "pad", x.shape, padding, x.dtype),
+        )
+    pad = _ctx_pad_zeros(ctx, "pad", x.shape, padding, x.dtype)
+    if pad is not None:
+        pad[:, :, padding:-padding, padding:-padding] = x
+        src = pad
+    else:
+        src = x
+    plan = ctx.bufs.get("i2c")
+    if plan is None or plan[0] is not src or plan[2].base is not cols:
+        windows = np.lib.stride_tricks.sliding_window_view(src, (kh, kw), axis=(2, 3))
+        n, c = x.shape[0], x.shape[1]
+        out_h, out_w = windows.shape[2], windows.shape[3]
+        cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+        plan = ctx.bufs["i2c"] = (src, windows.transpose(0, 1, 4, 5, 2, 3), cols6)
+    plan[2][...] = plan[1]
+    return cols
+
+
 # ----------------------------------------------------------------------
 # Convolutions
 # ----------------------------------------------------------------------
@@ -503,71 +589,106 @@ def conv2d(
     """
     if _KERNEL_MODE == "legacy":
         return _conv2d_legacy(images, weight, bias, stride, padding)
-    n, c_in, h, w = images.shape
-    c_out, c_in_w, kh, kw = weight.shape
+    c_in = images.shape[1]
+    c_in_w = weight.shape[1]
     if c_in != c_in_w:
         raise ValueError(f"conv2d channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    inputs = (images, weight) if bias is None else (images, weight, bias)
+    return run_op(_CONV2D, inputs, {"stride": stride, "padding": padding})
+
+
+def _conv2d_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    x, w = inputs[0], inputs[1]
+    b = inputs[2] if len(inputs) == 3 else None
+    stride = kwargs["stride"]
+    padding = kwargs["padding"]
+    n, c_in, h, w_in = x.shape
+    c_out, _, kh, kw = w.shape
     out_h = conv_output_size(h, kh, stride, padding)
-    out_w = conv_output_size(w, kw, stride, padding)
+    out_w = conv_output_size(w_in, kw, stride, padding)
     ohw = out_h * out_w
     ckk = c_in * kh * kw
 
-    x = images.data
-    ws = _pool()
-    cols = ws.acquire((n, ckk, ohw), x.dtype) if ws is not None else None
-    cols = im2col(x, kh, kw, stride, padding, out=cols)  # (N, C*KH*KW, OH*OW)
-    flat_weight = weight.data.reshape(c_out, -1)  # (C_out, C*KH*KW)
-    out3 = np.matmul(flat_weight, cols)  # (N, C_out, OH*OW)
-    if bias is not None:
-        out3 += bias.data[:, None]
+    if ctx.bufs is None:
+        ws = _pool()
+        cols = ws.acquire((n, ckk, ohw), x.dtype) if ws is not None else None
+        cols = im2col(x, kh, kw, stride, padding, out=cols)  # (N, C*KH*KW, OH*OW)
+        flat_weight = w.reshape(c_out, -1)  # (C_out, C*KH*KW)
+        out3 = np.matmul(flat_weight, cols)  # (N, C_out, OH*OW)
+    else:
+        # Armed replay: patch columns and the pad buffer live on the ctx, so
+        # steady-state steps do no workspace churn and no pad alloc/memset.
+        ws = None
+        cols = _armed_im2col(
+            ctx, x, kh, kw, stride, padding, ctx.buffer("cols", (n, ckk, ohw), x.dtype)
+        )
+        flat_weight = w.reshape(c_out, -1)
+        out3 = np.matmul(flat_weight, cols, out=ctx.buffer("out3", (n, c_out, ohw), x.dtype))
+    if b is not None:
+        out3 += b[:, None]
     out_data = out3.reshape(n, c_out, out_h, out_w)
     tap = getattr(_KERNEL_TAP, "fn", None)
     if tap is not None:
         tap("conv2d", out_data)
+    ctx.saved = (x.shape, w.shape, cols, flat_weight, ws, (n, c_out, ohw, kh, kw, stride, padding))
+    return out_data
 
-    recording = is_grad_enabled() and (
-        images.requires_grad
-        or weight.requires_grad
-        or (bias is not None and bias.requires_grad)
-    )
-    if not recording:
-        if ws is not None:
-            ws.release(cols)
-        return Tensor(out_data)
 
-    parents = (images, weight) if bias is None else (images, weight, bias)
+def _conv2d_discard(ctx: OpCtx) -> None:
+    _, _, cols, _, ws, _ = ctx.saved
+    if ws is not None:
+        ws.release(cols)
 
-    def backward_fn(grad: np.ndarray) -> None:
-        grad3 = grad.reshape(n, c_out, ohw)
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(grad3.sum(axis=(0, 2)))
-        if weight.requires_grad:
-            if c_out > 4 * ohw:
-                # Deep layers (many channels, few positions): contract batch
-                # and position axes in one GEMM; the batched alternative would
-                # materialise an (N, C_out, C*KH*KW) intermediate.
-                grad_w = np.tensordot(grad3, cols, axes=([0, 2], [0, 2]))  # (C_out, C*KH*KW)
-            else:
-                # Wide-spatial layers: per-sample GEMMs are large enough that
-                # the batched product beats tensordot's internal transposes.
-                grad_w = np.matmul(grad3, cols.transpose(0, 2, 1)).sum(axis=0)
-            weight._accumulate(grad_w.reshape(weight.shape))
-        if images.requires_grad:
-            gcols = (
-                ws.acquire((n, ckk, ohw), x.dtype)
-                if ws is not None
-                else np.empty((n, ckk, ohw), dtype=x.dtype)
+
+def _conv2d_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    x_shape, w_shape, cols, flat_weight, ws, geom = ctx.saved
+    n, c_out, ohw, kh, kw, stride, padding = geom
+    ckk = flat_weight.shape[1]
+    grad3 = grad.reshape(n, c_out, ohw)
+    if len(needs) == 3 and needs[2]:
+        acc(2, grad3.sum(axis=(0, 2)))
+    if needs[1]:
+        if c_out > 4 * ohw:
+            # Deep layers (many channels, few positions): contract batch
+            # and position axes in one GEMM; the batched alternative would
+            # materialise an (N, C_out, C*KH*KW) intermediate.
+            grad_w = np.tensordot(grad3, cols, axes=([0, 2], [0, 2]))  # (C_out, C*KH*KW)
+        elif ctx.bufs is None:
+            # Wide-spatial layers: per-sample GEMMs are large enough that
+            # the batched product beats tensordot's internal transposes.
+            grad_w = np.matmul(grad3, cols.transpose(0, 2, 1)).sum(axis=0)
+        else:
+            gw3 = np.matmul(
+                grad3, cols.transpose(0, 2, 1), out=ctx.buffer("gw3", (n, c_out, ckk), grad.dtype)
             )
-            np.matmul(flat_weight.T, grad3, out=gcols)  # (N, C*KH*KW, OH*OW)
-            grad_img = col2im(gcols, images.shape, kh, kw, stride, padding, workspace=ws)
-            images._accumulate(grad_img)
-            if ws is not None:
-                ws.release(gcols)
-            _release_folded(ws, grad_img)
+            grad_w = gw3.sum(axis=0, out=ctx.buffer("gw", (c_out, ckk), grad.dtype))
+        acc(1, grad_w.reshape(w_shape))
+    if needs[0]:
+        if ctx.bufs is not None:
+            gcols = ctx.buffer("gcols", (n, ckk, ohw), grad.dtype)
+        elif ws is not None:
+            gcols = ws.acquire((n, ckk, ohw), grad.dtype)
+        else:
+            gcols = np.empty((n, ckk, ohw), dtype=grad.dtype)
+        np.matmul(flat_weight.T, grad3, out=gcols)  # (N, C*KH*KW, OH*OW)
+        fold = None
+        if ctx.bufs is not None:
+            nx, cx, hx, wx = x_shape
+            fold = ctx.buffer(
+                "fold", (nx, cx, hx + 2 * padding, wx + 2 * padding), grad.dtype
+            )
+        grad_img = col2im(
+            gcols, x_shape, kh, kw, stride, padding, workspace=ws, padded_out=fold
+        )
+        acc(0, grad_img)
         if ws is not None:
-            ws.release(cols)
+            ws.release(gcols)
+        _release_folded(ws, grad_img)
+    if ws is not None:
+        ws.release(cols)
 
-    return Tensor._make(out_data, parents, backward_fn, "conv2d")
+
+_CONV2D = register_op("conv2d", _conv2d_apply, _conv2d_vjp, discard=_conv2d_discard)
 
 
 def depthwise_conv2d(
@@ -580,64 +701,96 @@ def depthwise_conv2d(
     """
     if _KERNEL_MODE == "legacy":
         return _depthwise_conv2d_legacy(images, weight, bias, stride, padding)
-    n, c, h, w = images.shape
-    c_w, one, kh, kw = weight.shape
+    c = images.shape[1]
+    c_w, one = weight.shape[0], weight.shape[1]
     if c_w != c or one != 1:
         raise ValueError(f"depthwise weight must be (C, 1, KH, KW); got {weight.shape}")
+    inputs = (images, weight) if bias is None else (images, weight, bias)
+    return run_op(_DEPTHWISE_CONV2D, inputs, {"stride": stride, "padding": padding})
+
+
+def _depthwise_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    x, w = inputs[0], inputs[1]
+    b = inputs[2] if len(inputs) == 3 else None
+    stride = kwargs["stride"]
+    padding = kwargs["padding"]
+    n, c, h, w_in = x.shape
+    _, _, kh, kw = w.shape
     out_h = conv_output_size(h, kh, stride, padding)
-    out_w = conv_output_size(w, kw, stride, padding)
+    out_w = conv_output_size(w_in, kw, stride, padding)
     ohw = out_h * out_w
     kk = kh * kw
 
-    x = images.data
-    ws = _pool()
-    cols = ws.acquire((n, c * kk, ohw), x.dtype) if ws is not None else None
-    cols = im2col(x, kh, kw, stride, padding, out=cols)
-    cols4 = cols.reshape(n, c, kk, ohw)
-    flat_weight = weight.data.reshape(c, kk)  # (C, KH*KW)
-    out = np.einsum("nckp,ck->ncp", cols4, flat_weight)  # (N, C, OH*OW)
-    if bias is not None:
-        out += bias.data[:, None]
+    if ctx.bufs is None:
+        ws = _pool()
+        cols = ws.acquire((n, c * kk, ohw), x.dtype) if ws is not None else None
+        cols = im2col(x, kh, kw, stride, padding, out=cols)
+        cols4 = cols.reshape(n, c, kk, ohw)
+        flat_weight = w.reshape(c, kk)  # (C, KH*KW)
+        out = np.einsum("nckp,ck->ncp", cols4, flat_weight)  # (N, C, OH*OW)
+    else:
+        ws = None
+        cols = _armed_im2col(
+            ctx, x, kh, kw, stride, padding, ctx.buffer("cols", (n, c * kk, ohw), x.dtype)
+        )
+        cols4 = cols.reshape(n, c, kk, ohw)
+        flat_weight = w.reshape(c, kk)
+        out = np.einsum(
+            "nckp,ck->ncp", cols4, flat_weight, out=ctx.buffer("out", (n, c, ohw), x.dtype)
+        )
+    if b is not None:
+        out += b[:, None]
     out_data = out.reshape(n, c, out_h, out_w)
     tap = getattr(_KERNEL_TAP, "fn", None)
     if tap is not None:
         tap("depthwise_conv2d", out_data)
+    ctx.saved = (x.shape, w.shape, cols, cols4, flat_weight, ws, (n, c, kk, ohw, kh, kw, stride, padding))
+    return out_data
 
-    recording = is_grad_enabled() and (
-        images.requires_grad
-        or weight.requires_grad
-        or (bias is not None and bias.requires_grad)
-    )
-    if not recording:
-        if ws is not None:
-            ws.release(cols)
-        return Tensor(out_data)
 
-    parents = (images, weight) if bias is None else (images, weight, bias)
+def _depthwise_discard(ctx: OpCtx) -> None:
+    cols, ws = ctx.saved[2], ctx.saved[5]
+    if ws is not None:
+        ws.release(cols)
 
-    def backward_fn(grad: np.ndarray) -> None:
-        grad3 = grad.reshape(n, c, ohw)
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(grad3.sum(axis=(0, 2)))
-        if weight.requires_grad:
-            grad_w = np.einsum("ncp,nckp->ck", grad3, cols4)
-            weight._accumulate(grad_w.reshape(weight.shape))
-        if images.requires_grad:
-            gcols = (
-                ws.acquire((n, c * kk, ohw), x.dtype)
-                if ws is not None
-                else np.empty((n, c * kk, ohw), dtype=x.dtype)
+
+def _depthwise_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    x_shape, w_shape, cols, cols4, flat_weight, ws, geom = ctx.saved
+    n, c, kk, ohw, kh, kw, stride, padding = geom
+    grad3 = grad.reshape(n, c, ohw)
+    if len(needs) == 3 and needs[2]:
+        acc(2, grad3.sum(axis=(0, 2)))
+    if needs[1]:
+        grad_w = np.einsum("ncp,nckp->ck", grad3, cols4)
+        acc(1, grad_w.reshape(w_shape))
+    if needs[0]:
+        if ctx.bufs is not None:
+            gcols = ctx.buffer("gcols", (n, c * kk, ohw), grad.dtype)
+        elif ws is not None:
+            gcols = ws.acquire((n, c * kk, ohw), grad.dtype)
+        else:
+            gcols = np.empty((n, c * kk, ohw), dtype=grad.dtype)
+        np.einsum("ncp,ck->nckp", grad3, flat_weight, out=gcols.reshape(n, c, kk, ohw))
+        fold = None
+        if ctx.bufs is not None:
+            nx, cx, hx, wx = x_shape
+            fold = ctx.buffer(
+                "fold", (nx, cx, hx + 2 * padding, wx + 2 * padding), grad.dtype
             )
-            np.einsum("ncp,ck->nckp", grad3, flat_weight, out=gcols.reshape(n, c, kk, ohw))
-            grad_img = col2im(gcols, images.shape, kh, kw, stride, padding, workspace=ws)
-            images._accumulate(grad_img)
-            if ws is not None:
-                ws.release(gcols)
-            _release_folded(ws, grad_img)
+        grad_img = col2im(
+            gcols, x_shape, kh, kw, stride, padding, workspace=ws, padded_out=fold
+        )
+        acc(0, grad_img)
         if ws is not None:
-            ws.release(cols)
+            ws.release(gcols)
+        _release_folded(ws, grad_img)
+    if ws is not None:
+        ws.release(cols)
 
-    return Tensor._make(out_data, parents, backward_fn, "depthwise_conv2d")
+
+_DEPTHWISE_CONV2D = register_op(
+    "depthwise_conv2d", _depthwise_apply, _depthwise_vjp, discard=_depthwise_discard
+)
 
 
 # ----------------------------------------------------------------------
@@ -648,59 +801,104 @@ def max_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Te
     if _KERNEL_MODE == "legacy":
         return _max_pool2d_legacy(images, kernel, stride)
     stride = stride or kernel
-    n, c, h, w = images.shape
+    return run_op(_MAX_POOL2D, (images,), {"kernel": kernel, "stride": stride})
+
+
+def _max_pool2d_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    (x,) = inputs
+    kernel = kwargs["kernel"]
+    stride = kwargs["stride"]
+    n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, 0)
     out_w = conv_output_size(w, kernel, stride, 0)
     ohw = out_h * out_w
     kk = kernel * kernel
 
-    x = images.data
-    ws = _pool()
-    cols = ws.acquire((n, c * kk, ohw), x.dtype) if ws is not None else None
-    cols4 = im2col(x, kernel, kernel, stride, 0, out=cols).reshape(n, c, kk, ohw)
-    argmax = cols4.argmax(axis=2)  # (N, C, OH*OW)
-    out = np.take_along_axis(cols4, argmax[:, :, None, :], axis=2)[:, :, 0, :]
-    out_data = out.reshape(n, c, out_h, out_w)
+    if ctx.bufs is None:
+        ws = _pool()
+        cols = ws.acquire((n, c * kk, ohw), x.dtype) if ws is not None else None
+        cols4 = im2col(x, kernel, kernel, stride, 0, out=cols).reshape(n, c, kk, ohw)
+        argmax = cols4.argmax(axis=2)  # (N, C, OH*OW)
+        out = np.take_along_axis(cols4, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+        out_data = out.reshape(n, c, out_h, out_w)
+    else:
+        # Armed replay: persistent buffers, and the window maximum comes from
+        # a max-reduce instead of a gather at argmax — an exact selection of
+        # the same element, one contiguous scan instead of a fancy-index pass.
+        ws = None
+        cols4 = im2col(
+            x, kernel, kernel, stride, 0, out=ctx.buffer("cols", (n, c * kk, ohw), x.dtype)
+        ).reshape(n, c, kk, ohw)
+        argmax = np.argmax(cols4, axis=2, out=ctx.buffer("argmax", (n, c, ohw), np.intp))
+        out = cols4.max(axis=2, out=ctx.buffer("out", (n, c, ohw), x.dtype))
+        out_data = out.reshape(n, c, out_h, out_w)
     tap = getattr(_KERNEL_TAP, "fn", None)
     if tap is not None:
         tap("max_pool2d", out_data)
     if ws is not None:
         # The backward pass only needs the argmax, not the patches.
         ws.release(cols)
+    ctx.saved = (x.shape, x.dtype, argmax, ws, (kernel, stride, out_h, out_w, ohw, kk))
+    return out_data
 
-    def backward_fn(grad: np.ndarray) -> None:
-        if not images.requires_grad:
-            return
-        grad3 = grad.reshape(n, c, ohw)
-        if ws is not None and stride >= kernel:
-            # Disjoint windows: route each gradient straight to its argmax
-            # pixel instead of materialising patch columns plus col2im.  Every
-            # destination is written at most once, so the scatter is bitwise
-            # identical to the column route the reference mode takes.
+
+def _max_pool2d_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    if not needs[0]:
+        return
+    x_shape, x_dtype, argmax, ws, geom = ctx.saved
+    kernel, stride, out_h, out_w, ohw, kk = geom
+    n, c, h, w = x_shape
+    grad3 = grad.reshape(n, c, ohw)
+    if (ws is not None or ctx.bufs is not None) and stride >= kernel:
+        # Disjoint windows: route each gradient straight to its argmax
+        # pixel instead of materialising patch columns plus col2im.  Every
+        # destination is written at most once, so the scatter is bitwise
+        # identical to the column route the reference mode takes.
+        if ctx.bufs is None:
             ky, kx = np.divmod(argmax, kernel)
             flat = ky * w
             flat += kx
             oy, ox = np.divmod(np.arange(ohw), out_w)
             flat += (oy * stride) * w + ox * stride
-            grad_img = np.zeros((n, c, h * w), dtype=x.dtype)
-            np.put_along_axis(grad_img, flat, grad3, axis=2)
-            images._accumulate(grad_img.reshape(n, c, h, w))
-            return
-        gcols = (
-            ws.acquire_zeros((n, c * kk, ohw), x.dtype)
-            if ws is not None
-            else np.zeros((n, c * kk, ohw), dtype=x.dtype)
-        )
-        np.put_along_axis(
-            gcols.reshape(n, c, kk, ohw), argmax[:, :, None, :], grad3[:, :, None, :], axis=2
-        )
-        grad_img = col2im(gcols, images.shape, kernel, kernel, stride, 0, workspace=ws)
-        images._accumulate(grad_img)
-        if ws is not None:
-            ws.release(gcols)
-        _release_folded(ws, grad_img)
+            grad_img = np.zeros((n, c, h * w), dtype=x_dtype)
+        else:
+            # Integer index arithmetic into persistent buffers; the window
+            # position offsets are geometry-only and computed once.
+            pos = ctx.bufs.get("pos")
+            if pos is None or pos.shape != (ohw,):
+                oy, ox = np.divmod(np.arange(ohw), out_w)
+                pos = ctx.bufs["pos"] = (oy * stride) * w + ox * stride
+            flat = np.floor_divide(argmax, kernel, out=ctx.buffer("flat", argmax.shape, argmax.dtype))
+            kx = np.remainder(argmax, kernel, out=ctx.buffer("kx", argmax.shape, argmax.dtype))
+            flat *= w
+            flat += kx
+            flat += pos
+            grad_img = ctx.buffer("grad_img", (n, c, h * w), x_dtype)
+            grad_img.fill(0)
+        np.put_along_axis(grad_img, flat, grad3, axis=2)
+        acc(0, grad_img.reshape(n, c, h, w))
+        return
+    if ctx.bufs is not None:
+        gcols = ctx.buffer("gcols", (n, c * kk, ohw), x_dtype)
+        gcols.fill(0)
+        fold = ctx.buffer("fold", (n, c, h, w), x_dtype)
+    elif ws is not None:
+        gcols = ws.acquire_zeros((n, c * kk, ohw), x_dtype)
+        fold = None
+    else:
+        gcols = np.zeros((n, c * kk, ohw), dtype=x_dtype)
+        fold = None
+    np.put_along_axis(
+        gcols.reshape(n, c, kk, ohw), argmax[:, :, None, :], grad3[:, :, None, :], axis=2
+    )
+    grad_img = col2im(gcols, x_shape, kernel, kernel, stride, 0, workspace=ws, padded_out=fold)
+    acc(0, grad_img)
+    if ws is not None:
+        ws.release(gcols)
+    _release_folded(ws, grad_img)
 
-    return Tensor._make(out_data, (images,), backward_fn, "max_pool2d")
+
+_MAX_POOL2D = register_op("max_pool2d", _max_pool2d_apply, _max_pool2d_vjp)
 
 
 def avg_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
@@ -708,54 +906,91 @@ def avg_pool2d(images: Tensor, kernel: int = 2, stride: int | None = None) -> Te
     if _KERNEL_MODE == "legacy":
         return _avg_pool2d_legacy(images, kernel, stride)
     stride = stride or kernel
-    n, c, h, w = images.shape
+    return run_op(_AVG_POOL2D, (images,), {"kernel": kernel, "stride": stride})
+
+
+def _avg_pool2d_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    (x,) = inputs
+    kernel = kwargs["kernel"]
+    stride = kwargs["stride"]
+    n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, 0)
     out_w = conv_output_size(w, kernel, stride, 0)
     ohw = out_h * out_w
     kk = kernel * kernel
 
-    x = images.data
-    ws = _pool()
-    cols = ws.acquire((n, c * kk, ohw), x.dtype) if ws is not None else None
-    cols4 = im2col(x, kernel, kernel, stride, 0, out=cols).reshape(n, c, kk, ohw)
-    out_data = cols4.mean(axis=2).reshape(n, c, out_h, out_w)
+    if ctx.bufs is None:
+        ws = _pool()
+        cols = ws.acquire((n, c * kk, ohw), x.dtype) if ws is not None else None
+        cols4 = im2col(x, kernel, kernel, stride, 0, out=cols).reshape(n, c, kk, ohw)
+        out_data = cols4.mean(axis=2).reshape(n, c, out_h, out_w)
+    else:
+        ws = None
+        cols4 = im2col(
+            x, kernel, kernel, stride, 0, out=ctx.buffer("cols", (n, c * kk, ohw), x.dtype)
+        ).reshape(n, c, kk, ohw)
+        out_data = cols4.mean(axis=2, out=ctx.buffer("out", (n, c, ohw), x.dtype)).reshape(
+            n, c, out_h, out_w
+        )
     tap = getattr(_KERNEL_TAP, "fn", None)
     if tap is not None:
         tap("avg_pool2d", out_data)
     if ws is not None:
         # Average-pool backward is a uniform spread; the patches are not needed.
         ws.release(cols)
+    ctx.saved = (x.shape, x.dtype, ws, (kernel, stride, out_h, out_w, ohw, kk))
+    return out_data
 
-    def backward_fn(grad: np.ndarray) -> None:
-        if not images.requires_grad:
-            return
-        grad3 = grad.reshape(n, c, ohw)
-        if ws is not None and stride >= kernel:
-            # Disjoint windows: each source pixel belongs to at most one
-            # window, so the uniform spread is k*k strided assignments of the
-            # scaled gradient — no patch-column buffer, no col2im.
+
+def _avg_pool2d_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    if not needs[0]:
+        return
+    x_shape, x_dtype, ws, geom = ctx.saved
+    kernel, stride, out_h, out_w, ohw, kk = geom
+    n, c, h, w = x_shape
+    grad3 = grad.reshape(n, c, ohw)
+    if (ws is not None or ctx.bufs is not None) and stride >= kernel:
+        # Disjoint windows: each source pixel belongs to at most one
+        # window, so the uniform spread is k*k strided assignments of the
+        # scaled gradient — no patch-column buffer, no col2im.
+        if ctx.bufs is None:
             spread = grad3.reshape(n, c, out_h, out_w) / kk
-            grad_img = np.zeros((n, c, h, w), dtype=x.dtype)
-            for ky in range(kernel):
-                for kx in range(kernel):
-                    grad_img[
-                        :, :, ky : ky + stride * out_h : stride, kx : kx + stride * out_w : stride
-                    ] = spread
-            images._accumulate(grad_img)
-            return
-        gcols = (
-            ws.acquire((n, c * kk, ohw), x.dtype)
-            if ws is not None
-            else np.empty((n, c * kk, ohw), dtype=x.dtype)
-        )
-        np.divide(grad3[:, :, None, :], kk, out=gcols.reshape(n, c, kk, ohw))
-        grad_img = col2im(gcols, images.shape, kernel, kernel, stride, 0, workspace=ws)
-        images._accumulate(grad_img)
-        if ws is not None:
-            ws.release(gcols)
-        _release_folded(ws, grad_img)
+        else:
+            spread = np.divide(
+                grad3.reshape(n, c, out_h, out_w),
+                kk,
+                out=ctx.buffer("spread", (n, c, out_h, out_w), grad.dtype),
+            )
+        if ctx.bufs is None:
+            grad_img = np.zeros((n, c, h, w), dtype=x_dtype)
+        else:
+            grad_img = ctx.buffer("grad_img", (n, c, h, w), x_dtype)
+            grad_img.fill(0)
+        for ky in range(kernel):
+            for kx in range(kernel):
+                grad_img[
+                    :, :, ky : ky + stride * out_h : stride, kx : kx + stride * out_w : stride
+                ] = spread
+        acc(0, grad_img)
+        return
+    if ctx.bufs is not None:
+        gcols = ctx.buffer("gcols", (n, c * kk, ohw), x_dtype)
+        fold = ctx.buffer("fold", (n, c, h, w), x_dtype)
+    elif ws is not None:
+        gcols = ws.acquire((n, c * kk, ohw), x_dtype)
+        fold = None
+    else:
+        gcols = np.empty((n, c * kk, ohw), dtype=x_dtype)
+        fold = None
+    np.divide(grad3[:, :, None, :], kk, out=gcols.reshape(n, c, kk, ohw))
+    grad_img = col2im(gcols, x_shape, kernel, kernel, stride, 0, workspace=ws, padded_out=fold)
+    acc(0, grad_img)
+    if ws is not None:
+        ws.release(gcols)
+    _release_folded(ws, grad_img)
 
-    return Tensor._make(out_data, (images,), backward_fn, "avg_pool2d")
+
+_AVG_POOL2D = register_op("avg_pool2d", _avg_pool2d_apply, _avg_pool2d_vjp)
 
 
 def global_avg_pool2d(images: Tensor) -> Tensor:
@@ -995,3 +1230,145 @@ def _batch_norm_2d_legacy(
         x._accumulate(scale * (grad - grad_mean - x_hat * grad_xhat_mean))
 
     return Tensor._make(out_data, (x, gamma, beta), backward_fn, "batch_norm_2d")
+
+
+# ----------------------------------------------------------------------
+# Stateful training ops (batch-norm batch statistics, dropout rng)
+# ----------------------------------------------------------------------
+# These two ops advance external state inside ``apply`` — batch-norm updates
+# the module's running mean/variance buffers, dropout consumes the module's
+# rng stream — which is exactly why they must be *ops* and not layer-level
+# Python: a compiled replay (repro.nn.compile) re-runs every op's apply each
+# step, so the running statistics and the dropout mask sequence evolve
+# identically to eager training.  Both are marked ``stateful`` so the planner
+# never prunes them.
+
+
+def batch_norm_2d_train(x: Tensor, gamma: Tensor, beta: Tensor, bn) -> Tensor:
+    """Training-mode batch norm as a single stateful op.
+
+    Computes the batch statistics, updates ``bn``'s running buffers, and
+    applies the affine normalisation — the exact float sequence the
+    layer-plus-:func:`batch_norm_2d` pair performs, fused into one recordable
+    op.  ``bn`` is the owning :class:`~repro.nn.layers.BatchNorm2D` module.
+    """
+    return run_op(_BATCH_NORM_2D_TRAIN, (x, gamma, beta), {"bn": bn})
+
+
+def _bn_train_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    x, g, b = inputs
+    bn = kwargs["bn"]
+    c = x.shape[1]
+    shape = (1, c, 1, 1)
+    # Batch statistics + running-buffer update, verbatim from the layer.
+    mean = x.mean(axis=(0, 2, 3))
+    if ctx.bufs is None:
+        var = x.var(axis=(0, 2, 3))
+    else:
+        # ``np.var`` unrolled into persistent buffers: the same sum → divide →
+        # subtract → square → sum → divide sequence ``np._methods._var`` runs
+        # (the mean division is bitwise-identical to ``x.mean``'s, and the
+        # final divide keeps _var's intp divisor so the f8-loop-then-cast
+        # rounding matches).  The centred difference is kept — it *is* the
+        # x_hat numerator — which drops np.var's hidden x-sized temp and one
+        # full subtract pass per step.
+        d = np.subtract(x, mean.reshape(shape), out=ctx.buffer("x_hat", x.shape, x.dtype))
+        sq = np.multiply(d, d, out=ctx.buffer("sq", x.shape, x.dtype))
+        ssum = sq.sum(axis=(0, 2, 3))
+        count = np.intp(x.shape[0] * x.shape[2] * x.shape[3])
+        var = np.true_divide(ssum, count, out=ssum, casting="unsafe")
+    bn.running_mean[...] = (1 - bn.momentum) * bn.running_mean + bn.momentum * mean
+    bn.running_var[...] = (1 - bn.momentum) * bn.running_var + bn.momentum * var
+    # Normalisation, verbatim from batch_norm_2d's fast body.
+    mean_b = mean.reshape(shape).astype(x.dtype)
+    inv_std = (1.0 / np.sqrt(var + bn.eps)).reshape(shape).astype(x.dtype)
+    if ctx.bufs is None:
+        x_hat = (x - mean_b) * inv_std
+        out_data = g.reshape(shape) * x_hat + b.reshape(shape)
+    else:
+        x_hat = d  # already x - mean_b, computed for the variance
+        x_hat *= inv_std
+        out_data = np.multiply(g.reshape(shape), x_hat, out=ctx.buffer("out", x.shape, x.dtype))
+        out_data += b.reshape(shape)
+    tap = getattr(_KERNEL_TAP, "fn", None)
+    if tap is not None:
+        tap("batch_norm_2d", out_data)
+    ctx.saved = (x_hat, inv_std, g, shape, c)
+    return out_data
+
+
+def _bn_train_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    x_hat, inv_std, g, shape, c = ctx.saved
+    # Same shared-sums backward as batch_norm_2d (training=True), with the
+    # same beta → gamma → x contribution order.
+    need_x = needs[0]
+    grad_sum = None
+    if needs[2] or need_x:
+        grad_sum = grad.sum(axis=(0, 2, 3), keepdims=True)
+    if needs[2]:
+        acc(2, grad_sum.reshape(c))
+    grad_xhat_sum = None
+    if needs[1] or need_x:
+        if ctx.bufs is None:
+            grad_xhat = grad * x_hat
+        else:
+            grad_xhat = np.multiply(grad, x_hat, out=ctx.buffer("gxh", grad.shape, grad.dtype))
+        grad_xhat_sum = grad_xhat.sum(axis=(0, 2, 3), keepdims=True)
+    if needs[1]:
+        acc(1, grad_xhat_sum.reshape(c))
+    if not need_x:
+        return
+    scale = g.reshape(shape) * inv_std
+    count = grad.shape[0] * grad.shape[2] * grad.shape[3]
+    grad_mean = grad_sum / count
+    grad_xhat_mean = grad_xhat_sum / count
+    if ctx.bufs is None:
+        acc(0, scale * (grad - grad_mean - x_hat * grad_xhat_mean))
+    else:
+        # The identical elementwise sequence as the expression above, staged
+        # through two persistent buffers (``gxh`` is dead once summed).
+        gx = np.subtract(grad, grad_mean, out=ctx.buffer("gx", grad.shape, grad.dtype))
+        term = np.multiply(x_hat, grad_xhat_mean, out=ctx.buffer("gxh", grad.shape, grad.dtype))
+        gx -= term
+        gx *= scale
+        acc(0, gx)
+
+
+_BATCH_NORM_2D_TRAIN = register_op(
+    "batch_norm_2d_train", _bn_train_apply, _bn_train_vjp, stateful=True
+)
+
+
+def dropout_train(x: Tensor, module) -> Tensor:
+    """Training-mode inverted dropout as a single stateful op.
+
+    Draws the keep mask from ``module.rng`` inside ``apply`` so a compiled
+    replay consumes the rng stream exactly like eager training.  ``module``
+    is the owning :class:`~repro.nn.layers.Dropout`.
+    """
+    return run_op(_DROPOUT_TRAIN, (x,), {"module": module})
+
+
+def _dropout_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    (x,) = inputs
+    module = kwargs["module"]
+    keep = 1.0 - module.rate
+    mask = (module.rng.random(x.shape) < keep).astype(np.float32) / keep
+    if ctx.bufs is None:
+        out = x * mask
+    else:
+        out = np.multiply(x, mask, out=ctx.buffer("out", x.shape, x.dtype))
+    ctx.saved = mask
+    return out
+
+
+def _dropout_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    if not needs[0]:
+        return
+    if ctx.bufs is None:
+        acc(0, grad * ctx.saved)
+    else:
+        acc(0, np.multiply(grad, ctx.saved, out=ctx.buffer("gx", grad.shape, grad.dtype)))
+
+
+_DROPOUT_TRAIN = register_op("dropout_train", _dropout_apply, _dropout_vjp, stateful=True)

@@ -187,6 +187,11 @@ class BatchNorm2D(Module):
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
             raise ValueError(f"BatchNorm2D expects NCHW input; got shape {x.shape}")
+        if self.training and F.kernel_mode() != "legacy":
+            # Stats + running-buffer update + normalisation fused into one
+            # stateful registry op so a compiled replay re-runs all of it
+            # (same floats as the unfused pair below — see functional.py).
+            return F.batch_norm_2d_train(x, self.gamma, self.beta, self)
         if self.training:
             mean = x.data.mean(axis=(0, 2, 3))
             var = x.data.var(axis=(0, 2, 3))
@@ -213,9 +218,9 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.rate == 0.0:
             return x
-        keep = 1.0 - self.rate
-        mask = (self.rng.random(x.shape) < keep).astype(np.float32) / keep
-        return x * Tensor(mask)
+        # The rng draw lives inside the op's apply (see functional.py) so a
+        # compiled replay advances the mask stream exactly like eager mode.
+        return F.dropout_train(x, self)
 
 
 class Flatten(Module):

@@ -1,0 +1,120 @@
+"""Declarative op registry for the record → plan → execute autodiff pipeline.
+
+Historically every ``Tensor`` op captured a ``backward_fn`` closure over its
+forward intermediates, which welds the backward pass to the Python frame that
+ran the forward pass.  This module splits each op into data (an :class:`OpDef`
+holding a pure ``apply`` and a pure ``vjp``) plus a per-call :class:`OpCtx`
+carrying the saved intermediates.  Eager mode still runs ops immediately —
+``Tensor.run_op`` calls ``apply`` and wraps ``vjp`` for the classic tape — but
+because the op is now *data*, a recorded step can be replayed without
+rebuilding the graph (see :mod:`repro.nn.compile`).
+
+Bitwise contract
+----------------
+``apply`` and ``vjp`` are the *single* implementation used by both eager and
+compiled execution, so the two modes perform the identical float operation
+sequence by construction.  The only compiled-mode difference is *where*
+results land: when an executor pre-arms ``ctx.bufs``, applies may compute into
+persistent ``out=`` buffers instead of fresh allocations — same ufunc/GEMM
+call, same values, no allocator traffic.
+
+Contracts:
+
+``apply(ctx, inputs, kwargs) -> np.ndarray``
+    Pure function of the input arrays and kwargs (``stateful`` ops may also
+    advance an rng or running statistics referenced via kwargs).  Saves
+    whatever the backward pass needs on ``ctx.saved``.
+
+``vjp(ctx, grad, needs, acc)``
+    Routes the output cotangent to the inputs: for each input ``i`` with
+    ``needs[i]`` true, computes the gradient contribution and calls
+    ``acc(i, g)``.  The callback owns accumulation (``Tensor._accumulate`` in
+    eager mode, a preplanned gradient slot in compiled mode), so contribution
+    order — which fixes the bitwise result of ``+=`` chains — is identical in
+    both modes.
+
+``discard(ctx)``
+    Optional cleanup for the not-recording eager path (returns workspace
+    buffers that ``vjp`` would otherwise release).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["OpCtx", "OpDef", "OP_REGISTRY", "register_op"]
+
+
+class OpCtx:
+    """Per-call context: saved intermediates plus optional persistent buffers.
+
+    ``saved`` is whatever tuple the op's ``apply`` stashes for its ``vjp``.
+    ``bufs`` is ``None`` in eager mode (every call allocates, exactly as the
+    closure implementation did) and a dict in compiled execution, where the
+    same :class:`OpCtx` instance is reused every step so :meth:`buffer`
+    returns the same hot array each time.
+    """
+
+    __slots__ = ("saved", "bufs")
+
+    def __init__(self, persistent: bool = False) -> None:
+        self.saved = None
+        self.bufs: dict | None = {} if persistent else None
+
+    def buffer(self, key: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """An output buffer: persistent across steps when armed, fresh otherwise."""
+        if self.bufs is None:
+            return np.empty(shape, dtype)
+        buf = self.bufs.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = self.bufs[key] = np.empty(shape, dtype)
+        return buf
+
+
+class OpDef:
+    """A differentiable op as data: name + pure apply/vjp (+ cleanup)."""
+
+    __slots__ = ("name", "apply", "vjp", "discard", "stateful")
+
+    def __init__(
+        self,
+        name: str,
+        apply: Callable,
+        vjp: Callable,
+        discard: Callable | None = None,
+        stateful: bool = False,
+    ) -> None:
+        self.name = name
+        self.apply = apply
+        self.vjp = vjp
+        self.discard = discard
+        # Stateful ops advance external state (an rng stream, batch-norm
+        # running statistics) inside ``apply``; a planner must re-run them
+        # every step and may never prune them.
+        self.stateful = stateful
+
+    def __repr__(self) -> str:
+        flag = ", stateful" if self.stateful else ""
+        return f"OpDef({self.name!r}{flag})"
+
+
+#: Every registered op, by name.  Populated by :mod:`repro.nn.tensor` (core
+#: arithmetic) and :mod:`repro.nn.functional` (kernel ops) at import time.
+OP_REGISTRY: dict[str, OpDef] = {}
+
+
+def register_op(
+    name: str,
+    apply: Callable,
+    vjp: Callable,
+    discard: Callable | None = None,
+    stateful: bool = False,
+) -> OpDef:
+    """Create and register an :class:`OpDef`; returns it for direct dispatch."""
+    if name in OP_REGISTRY:
+        raise ValueError(f"op {name!r} is already registered")
+    op = OpDef(name, apply, vjp, discard=discard, stateful=stateful)
+    OP_REGISTRY[name] = op
+    return op

@@ -1,0 +1,91 @@
+"""Recording tape for the record → plan → execute training pipeline.
+
+A :class:`Tape` passively observes one training step: every registry op that
+runs while a tape is active appends a :class:`TapeEntry` (op, input tensors,
+output tensor, kwargs), and the first ``backward()`` that runs hands the tape
+its topologically-sorted node list.  Recording changes nothing about the step
+itself — ops still execute eagerly and the recorded step's results are used
+normally — so the record step is just a regular step that happens to leave a
+trace behind.
+
+The captured topo order matters: gradient accumulation (``+=`` chains into
+shared tensors) is order-sensitive in float32, and eager backward runs vjps
+in reverse topological order as discovered by ``Tensor.backward``'s DFS.
+Replaying that exact order is what keeps a compiled step bitwise-identical to
+the eager one (see :mod:`repro.nn.compile`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Tape", "TapeEntry", "tape_scope", "active_tape"]
+
+
+class TapeEntry:
+    """One recorded op invocation: ``out = op(*inputs, **kwargs)``."""
+
+    __slots__ = ("op", "inputs", "out", "kwargs")
+
+    def __init__(self, op, inputs, out, kwargs) -> None:
+        self.op = op
+        self.inputs = inputs
+        self.out = out
+        self.kwargs = kwargs
+
+    def __repr__(self) -> str:
+        return f"TapeEntry({self.op.name}, n_inputs={len(self.inputs)})"
+
+
+class Tape:
+    """An append-only record of one step's op calls plus its backward order.
+
+    Holds strong references to every tensor it saw, which keeps ``id()``-based
+    bookkeeping in the planner unambiguous for the tape's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[TapeEntry] = []
+        self.topo: list | None = None
+        self.root = None
+
+    def record(self, op, inputs, out, kwargs) -> None:
+        self.entries.append(TapeEntry(op, inputs, out, kwargs))
+
+    def set_topo(self, topo: list, root) -> None:
+        """Capture the backward topological order (first backward call wins)."""
+        if self.topo is None:
+            self.topo = list(topo)
+            self.root = root
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# Like grad mode, the active tape is per-thread: a serving worker running
+# inference must never append entries to a tape the training thread opened.
+TAPE_STATE = threading.local()
+
+
+def active_tape() -> Tape | None:
+    """The tape currently recording on this thread, or ``None``."""
+    return getattr(TAPE_STATE, "tape", None)
+
+
+class tape_scope:
+    """Context manager that records all registry ops run inside it.
+
+    Scopes nest by shadowing: the inner tape records until it exits, then the
+    outer tape resumes.
+    """
+
+    def __init__(self, tape: Tape) -> None:
+        self.tape = tape
+
+    def __enter__(self) -> Tape:
+        self._previous = getattr(TAPE_STATE, "tape", None)
+        TAPE_STATE.tape = self.tape
+        return self.tape
+
+    def __exit__(self, *exc_info: object) -> None:
+        TAPE_STATE.tape = self._previous

@@ -18,7 +18,10 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+from .ops import OpCtx, OpDef, register_op
+from .tape import TAPE_STATE
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "run_op"]
 
 # Tape recording is a *per-thread* property: the serving engine
 # (:mod:`repro.serve`) runs inference under ``no_grad`` on worker threads
@@ -221,6 +224,13 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
 
+        # A recording tape needs the exact DFS order: float32 gradient
+        # accumulation is order-sensitive, so a compiled replay must run vjps
+        # in precisely this sequence to stay bitwise-equal (see nn.compile).
+        tape = getattr(TAPE_STATE, "tape", None)
+        if tape is not None:
+            tape.set_topo(topo, self)
+
         self._accumulate(np.asarray(grad, dtype=self.data.dtype))
         for node in reversed(topo):
             if node._backward_fn is not None and node.grad is not None:
@@ -231,15 +241,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
-        out_data = self.data + other_t.data
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
-            if other_t.requires_grad:
-                other_t._accumulate(_unbroadcast(grad, other_t.shape))
-
-        return Tensor._make(out_data, (self, other_t), backward_fn, "add")
+        return run_op(_ADD, (self, other_t), _NO_KWARGS)
 
     __radd__ = __add__
 
@@ -267,15 +269,7 @@ class Tensor:
 
     def __mul__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
-        out_data = self.data * other_t.data
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other_t.data, self.shape))
-            if other_t.requires_grad:
-                other_t._accumulate(_unbroadcast(grad * self.data, other_t.shape))
-
-        return Tensor._make(out_data, (self, other_t), backward_fn, "mul")
+        return run_op(_MUL, (self, other_t), _NO_KWARGS)
 
     __rmul__ = __mul__
 
@@ -309,15 +303,7 @@ class Tensor:
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
-        out_data = self.data @ other_t.data
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad @ other_t.data.swapaxes(-1, -2))
-            if other_t.requires_grad:
-                other_t._accumulate(self.data.swapaxes(-1, -2) @ grad)
-
-        return Tensor._make(out_data, (self, other_t), backward_fn, "matmul")
+        return run_op(_MATMUL, (self, other_t), _NO_KWARGS)
 
     # ------------------------------------------------------------------
     # Elementwise math
@@ -364,14 +350,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward_fn, "clip")
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out_data = self.data * mask
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * mask)
-
-        return Tensor._make(out_data, (self,), backward_fn, "relu")
+        return run_op(_RELU, (self,), _NO_KWARGS)
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
@@ -406,19 +385,7 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            if axis is not None and not keepdims:
-                axes = (axis,) if isinstance(axis, int) else axis
-                for ax in sorted(a % self.ndim for a in axes):
-                    g = np.expand_dims(g, ax)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
-
-        return Tensor._make(out_data, (self,), backward_fn, "sum")
+        return run_op(_SUM, (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -488,13 +455,7 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out_data = self.data.reshape(shape)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad.reshape(self.shape))
-
-        return Tensor._make(out_data, (self,), backward_fn, "reshape")
+        return run_op(_RESHAPE, (self,), {"shape": shape})
 
     def transpose(self, *axes: int) -> "Tensor":
         axes_t = tuple(axes) if axes else tuple(reversed(range(self.ndim)))
@@ -547,3 +508,193 @@ class Tensor:
                     tensor._accumulate(grad[tuple(slicer)])
 
         return Tensor._make(out_data, tensors, backward_fn, "concat")
+
+
+# ----------------------------------------------------------------------
+# Registry-op dispatch
+# ----------------------------------------------------------------------
+_NO_KWARGS: dict = {}
+
+
+def run_op(op: OpDef, inputs: tuple["Tensor", ...], kwargs: dict) -> "Tensor":
+    """Execute a registry op eagerly, recording it on the active tape.
+
+    The eager twin of a compiled executor's inner loop: run ``apply``, and if
+    any input is on the tape wrap ``vjp`` into a classic ``backward_fn`` whose
+    accumulation callback is ``Tensor._accumulate`` — the identical ``apply``/
+    ``vjp`` bodies later replayed by :class:`repro.nn.compile.CompiledStep`.
+    """
+    ctx = OpCtx()
+    out_data = op.apply(ctx, tuple(t.data for t in inputs), kwargs)
+    if not (is_grad_enabled() and any(t.requires_grad for t in inputs)):
+        if op.discard is not None:
+            op.discard(ctx)
+        out = Tensor(out_data)
+        if is_grad_enabled():
+            # Grad-free ops still go on a recording tape: their outputs feed
+            # later entries as *computed* values, and the planner must re-run
+            # them every step rather than freeze them as constants.
+            tape = getattr(TAPE_STATE, "tape", None)
+            if tape is not None:
+                tape.record(op, inputs, out, kwargs)
+        return out
+    needs = tuple(t.requires_grad for t in inputs)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        op.vjp(ctx, grad, needs, lambda i, g: inputs[i]._accumulate(g))
+
+    out = Tensor(
+        out_data,
+        requires_grad=True,
+        _parents=inputs,
+        _backward_fn=backward_fn,
+        _op=op.name,
+    )
+    tape = getattr(TAPE_STATE, "tape", None)
+    if tape is not None:
+        tape.record(op, inputs, out, kwargs)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Core op definitions
+# ----------------------------------------------------------------------
+# Each apply keeps the original closure implementation verbatim on its
+# eager branch (``ctx.bufs is None``); the armed branch differs only by
+# computing into a persistent ``out=`` buffer — same ufunc, same values.
+
+
+def _add_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    a, b = inputs
+    ctx.saved = (a.shape, b.shape)
+    if ctx.bufs is None:
+        return a + b
+    out = ctx.buffer("out", np.broadcast_shapes(a.shape, b.shape), np.result_type(a, b))
+    return np.add(a, b, out=out)
+
+
+def _add_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    a_shape, b_shape = ctx.saved
+    if needs[0]:
+        acc(0, _unbroadcast(grad, a_shape))
+    if needs[1]:
+        acc(1, _unbroadcast(grad, b_shape))
+
+
+def _mul_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    a, b = inputs
+    ctx.saved = (a, b)
+    if ctx.bufs is None:
+        return a * b
+    out = ctx.buffer("out", np.broadcast_shapes(a.shape, b.shape), np.result_type(a, b))
+    return np.multiply(a, b, out=out)
+
+
+def _mul_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    a, b = ctx.saved
+    if ctx.bufs is None:
+        if needs[0]:
+            acc(0, _unbroadcast(grad * b, a.shape))
+        if needs[1]:
+            acc(1, _unbroadcast(grad * a, b.shape))
+        return
+    if needs[0]:
+        ga = np.multiply(
+            grad, b, out=ctx.buffer("ga", np.broadcast_shapes(grad.shape, b.shape), np.result_type(grad, b))
+        )
+        acc(0, _unbroadcast(ga, a.shape))
+    if needs[1]:
+        gb = np.multiply(
+            grad, a, out=ctx.buffer("gb", np.broadcast_shapes(grad.shape, a.shape), np.result_type(grad, a))
+        )
+        acc(1, _unbroadcast(gb, b.shape))
+
+
+def _matmul_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    a, b = inputs
+    ctx.saved = (a, b)
+    if ctx.bufs is None or a.ndim != 2 or b.ndim != 2:
+        return a @ b
+    return np.matmul(a, b, out=ctx.buffer("out", (a.shape[0], b.shape[1]), np.result_type(a, b)))
+
+
+def _matmul_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    a, b = ctx.saved
+    armed = ctx.bufs is not None and a.ndim == 2 and b.ndim == 2
+    if needs[0]:
+        if armed:
+            ga = ctx.buffer("ga", a.shape, np.result_type(grad, b))
+            acc(0, np.matmul(grad, b.swapaxes(-1, -2), out=ga))
+        else:
+            acc(0, grad @ b.swapaxes(-1, -2))
+    if needs[1]:
+        if armed:
+            gb = ctx.buffer("gb", b.shape, np.result_type(a, grad))
+            acc(1, np.matmul(a.swapaxes(-1, -2), grad, out=gb))
+        else:
+            acc(1, a.swapaxes(-1, -2) @ grad)
+
+
+def _relu_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    (a,) = inputs
+    if ctx.bufs is None:
+        mask = a > 0
+        ctx.saved = mask
+        return a * mask
+    mask = np.greater(a, 0, out=ctx.buffer("mask", a.shape, np.bool_))
+    ctx.saved = mask
+    return np.multiply(a, mask, out=ctx.buffer("out", a.shape, a.dtype))
+
+
+def _relu_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    if not needs[0]:
+        return
+    if ctx.bufs is None:
+        acc(0, grad * ctx.saved)
+    else:
+        acc(0, np.multiply(grad, ctx.saved, out=ctx.buffer("gx", grad.shape, grad.dtype)))
+
+
+def _sum_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    (a,) = inputs
+    axis = kwargs["axis"]
+    keepdims = kwargs["keepdims"]
+    ctx.saved = (a.shape, axis, keepdims)
+    return a.sum(axis=axis, keepdims=keepdims)
+
+
+def _sum_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    if not needs[0]:
+        return
+    in_shape, axis, keepdims = ctx.saved
+    g = grad
+    if axis is not None and not keepdims:
+        axes = (axis,) if isinstance(axis, int) else axis
+        ndim = len(in_shape)
+        for ax in sorted(a % ndim for a in axes):
+            g = np.expand_dims(g, ax)
+    if ctx.bufs is None:
+        acc(0, np.broadcast_to(g, in_shape).copy())
+    else:
+        gx = ctx.buffer("gx", tuple(in_shape), grad.dtype)
+        np.copyto(gx, g)
+        acc(0, gx)
+
+
+def _reshape_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    (a,) = inputs
+    ctx.saved = a.shape
+    return a.reshape(kwargs["shape"])
+
+
+def _reshape_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    if needs[0]:
+        acc(0, grad.reshape(ctx.saved))
+
+
+_ADD = register_op("add", _add_apply, _add_vjp)
+_MUL = register_op("mul", _mul_apply, _mul_vjp)
+_MATMUL = register_op("matmul", _matmul_apply, _matmul_vjp)
+_RELU = register_op("relu", _relu_apply, _relu_vjp)
+_SUM = register_op("sum", _sum_apply, _sum_vjp)
+_RESHAPE = register_op("reshape", _reshape_apply, _reshape_vjp)

@@ -16,11 +16,14 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..telemetry import get_telemetry
-from .functional import softmax_np
+from .compile import CompileError, compile_tape
+from .functional import kernel_mode, kernel_tap, softmax_np
 from .losses import Loss
 from .module import Module
 from .optim import LRScheduler, Optimizer
-from .tensor import Tensor, no_grad
+from .tape import Tape, tape_scope
+from .tensor import Tensor, is_grad_enabled, no_grad
+from .workspace import get_workspace
 
 __all__ = [
     "TrainHistory",
@@ -148,6 +151,35 @@ class EarlyStopping:
         return self.stale_epochs >= self.patience
 
 
+class _CompiledFitState:
+    """Per-``fit`` bookkeeping for compiled kernel mode.
+
+    Caches one :class:`~repro.nn.compile.CompiledStep` per feed-shape pair
+    (``None`` marks a shape whose recorded step refused to compile, so the
+    trainer stops re-recording it) and counts how each optimisation step was
+    executed — surfaced in the ``compiled_fit`` telemetry event.
+    """
+
+    __slots__ = (
+        "cache",
+        "compiled_steps",
+        "eager_steps",
+        "tap_fallback_steps",
+        "compiles",
+        "compile_fallbacks",
+        "tap_event_sent",
+    )
+
+    def __init__(self) -> None:
+        self.cache: dict = {}
+        self.compiled_steps = 0
+        self.eager_steps = 0
+        self.tap_fallback_steps = 0
+        self.compiles = 0
+        self.compile_fallbacks = 0
+        self.tap_event_sent = False
+
+
 class Trainer:
     """Mini-batch gradient-descent trainer.
 
@@ -249,6 +281,9 @@ class Trainer:
         # every optimisation step.
         label_idx = targets.argmax(axis=1)
         tel = get_telemetry()
+        # Compiled kernel mode: record the first step per feed shape, plan a
+        # static CompiledStep, replay it for every later fixed-shape step.
+        compiled = _CompiledFitState() if kernel_mode() == "compiled" else None
         for epoch in range(self.epochs):
             with tel.span("epoch", epoch=epoch) as span:
                 epoch_start = time.perf_counter()
@@ -264,24 +299,22 @@ class Trainer:
                     if self.batch_hook is not None:
                         self.batch_hook(self.model, xb, yb)
                     effective_targets = self.target_transform(yb) if self.target_transform else yb
-                    logits = self.model(Tensor(xb))
-                    loss_value = self.loss(logits, effective_targets)
-                    batch_loss = float(loss_value.item())
-                    if self.raise_on_divergence and not math.isfinite(batch_loss):
-                        raise DivergenceError(
-                            epoch=epoch, batch=lo // self.batch_size, loss=batch_loss
+                    batch_index = lo // self.batch_size
+                    if compiled is not None:
+                        batch_loss, logits_data = self._compiled_step(
+                            compiled, xb, effective_targets, epoch, batch_index, tel
                         )
-                    self.optimizer.zero_grad()
-                    loss_value.backward()
-                    if self.clip_norm is not None:
-                        self.optimizer.clip_grad_norm(self.clip_norm)
-                    self.optimizer.step()
+                    else:
+                        batch_loss, logits_t, _ = self._eager_step(
+                            xb, effective_targets, epoch, batch_index
+                        )
+                        logits_data = logits_t.data
                     epoch_loss += batch_loss * len(idx)
                     epoch_correct += int(
-                        (logits.data.argmax(axis=1) == label_idx[idx]).sum()
+                        (logits_data.argmax(axis=1) == label_idx[idx]).sum()
                     )
                     if self.batch_callback is not None:
-                        self.batch_callback(epoch, lo // self.batch_size, batch_loss)
+                        self.batch_callback(epoch, batch_index, batch_loss)
 
                 record = EpochRecord(
                     epoch=epoch,
@@ -313,8 +346,122 @@ class Trainer:
                     history.stopped_early = True
                     break
 
+        if compiled is not None:
+            workspace = get_workspace()
+            tel.event(
+                "compiled_fit",
+                compiled_steps=compiled.compiled_steps,
+                eager_steps=compiled.eager_steps,
+                tap_fallback_steps=compiled.tap_fallback_steps,
+                compiles=compiled.compiles,
+                compile_fallbacks=compiled.compile_fallbacks,
+                workspace_hits=workspace.hits,
+                workspace_misses=workspace.misses,
+                workspace_dropped=workspace.dropped,
+            )
         history.total_time_s = time.perf_counter() - start
         return history
+
+    def _eager_step(
+        self, xb: np.ndarray, targets: np.ndarray, epoch: int, batch_index: int
+    ) -> tuple[float, Tensor, Tensor]:
+        """One define-by-run optimisation step; returns (loss, logits, loss tensor)."""
+        logits = self.model(Tensor(xb))
+        loss_value = self.loss(logits, targets)
+        batch_loss = float(loss_value.item())
+        if self.raise_on_divergence and not math.isfinite(batch_loss):
+            raise DivergenceError(epoch=epoch, batch=batch_index, loss=batch_loss)
+        self.optimizer.zero_grad()
+        loss_value.backward()
+        if self.clip_norm is not None:
+            self.optimizer.clip_grad_norm(self.clip_norm)
+        self.optimizer.step()
+        return batch_loss, logits, loss_value
+
+    def _compiled_step(
+        self,
+        state: _CompiledFitState,
+        xb: np.ndarray,
+        effective_targets: np.ndarray,
+        epoch: int,
+        batch_index: int,
+        tel,
+    ) -> tuple[float, np.ndarray]:
+        """One optimisation step in compiled kernel mode.
+
+        Dispatch, in order: an armed hardware-fault tap or disabled grad mode
+        forces a per-step eager downgrade (the tap mutates per-op outputs a
+        static replay would not route through the layer hooks); a cached
+        :class:`CompiledStep` for this feed shape is replayed; an uncached
+        shape runs one eager step under a recording tape and compiles it; a
+        shape whose recording refused to compile stays eager for the rest of
+        the fit.  Every path produces bitwise-identical floats.
+        """
+        xb = np.asarray(xb, dtype=np.float32)
+        t_arr = np.asarray(effective_targets, dtype=np.float32)
+        if kernel_tap() is not None or not is_grad_enabled():
+            state.tap_fallback_steps += 1
+            if not state.tap_event_sent:
+                state.tap_event_sent = True
+                tel.event(
+                    "tape_replay_fallback",
+                    reason="kernel tap armed" if kernel_tap() is not None else "grad disabled",
+                    epoch=epoch,
+                    batch=batch_index,
+                )
+            batch_loss, logits_t, _ = self._eager_step(xb, t_arr, epoch, batch_index)
+            return batch_loss, logits_t.data
+
+        key = (xb.shape, t_arr.shape)
+        if key not in state.cache:
+            tape = Tape()
+            with tape_scope(tape):
+                batch_loss, logits_t, loss_t = self._eager_step(xb, t_arr, epoch, batch_index)
+            state.eager_steps += 1
+            try:
+                step = compile_tape(tape, loss_t, logits_t, (xb, t_arr))
+            except CompileError as exc:
+                state.cache[key] = None
+                state.compile_fallbacks += 1
+                tel.event(
+                    "tape_compile_fallback",
+                    reason=str(exc),
+                    feed_shape=list(xb.shape),
+                    epoch=epoch,
+                    batch=batch_index,
+                )
+            else:
+                state.cache[key] = step
+                state.compiles += 1
+                tel.event(
+                    "tape_compile",
+                    entries=step.n_entries,
+                    backward_steps=step.n_backward,
+                    params=step.n_params,
+                    feed_shape=list(xb.shape),
+                    epoch=epoch,
+                    batch=batch_index,
+                )
+            return batch_loss, logits_t.data
+
+        step = state.cache[key]
+        if step is None:
+            state.eager_steps += 1
+            batch_loss, logits_t, _ = self._eager_step(xb, t_arr, epoch, batch_index)
+            return batch_loss, logits_t.data
+
+        loss_arr, logits_arr = step.forward((xb, t_arr))
+        batch_loss = float(loss_arr)
+        if self.raise_on_divergence and not math.isfinite(batch_loss):
+            raise DivergenceError(epoch=epoch, batch=batch_index, loss=batch_loss)
+        self.optimizer.zero_grad()
+        step.backward()
+        if self.clip_norm is not None:
+            self.optimizer.clip_grad_norm(self.clip_norm)
+        self.optimizer.step()
+        state.compiled_steps += 1
+        step.steps_replayed += 1
+        return batch_loss, logits_arr
 
     def _evaluate(self, inputs: np.ndarray, targets: np.ndarray) -> tuple[float, float]:
         self.model.eval()

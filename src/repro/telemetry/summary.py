@@ -45,6 +45,9 @@ class TraceSummary:
     point_events: dict = field(default_factory=dict)
     #: (technique, dataset) -> total unit seconds
     technique_dataset_s: dict = field(default_factory=dict)
+    #: aggregated ``compiled_fit`` events (compiled vs eager step counts,
+    #: workspace effectiveness) — empty when no fit ran in compiled mode
+    compiled_exec: dict = field(default_factory=dict)
     #: total study wall-clock (sum of root span durations)
     total_s: float = 0.0
 
@@ -63,6 +66,8 @@ def summarize_trace(source: "str | os.PathLike | list[dict]", top: int = 5) -> T
     phase_seconds: defaultdict = defaultdict(float)
     counters: Counter = Counter()
     points: Counter = Counter()
+    compiled: Counter = Counter()
+    workspace_peak: Counter = Counter()
     for event in events:
         kind = event.get("ev")
         name = event.get("name", "")
@@ -73,11 +78,28 @@ def summarize_trace(source: "str | os.PathLike | list[dict]", top: int = 5) -> T
             counters[name] += int(event.get("value", 1))
         elif kind == "event":
             points[name] += 1
+            if name == "compiled_fit":
+                for field_name in (
+                    "compiled_steps",
+                    "eager_steps",
+                    "tap_fallback_steps",
+                    "compiles",
+                    "compile_fallbacks",
+                ):
+                    compiled[field_name] += int(event.get(field_name, 0))
+                # Workspace counters are cumulative per thread, so across
+                # fits the *latest* value is the total — keep the max.
+                for field_name in ("workspace_hits", "workspace_misses", "workspace_dropped"):
+                    workspace_peak[field_name] = max(
+                        workspace_peak[field_name], int(event.get(field_name, 0))
+                    )
     summary.phase_totals = {
         name: (phase_counts[name], phase_seconds[name]) for name in phase_counts
     }
     summary.counters = dict(counters)
     summary.point_events = dict(points)
+    if compiled or workspace_peak:
+        summary.compiled_exec = {**compiled, **workspace_peak}
 
     units: list[tuple[str, float]] = []
     tech_dataset: defaultdict = defaultdict(float)
@@ -119,6 +141,25 @@ def render_trace_summary(summary: TraceSummary) -> str:
         lines.append("tallies:")
         for name, count in tallies:
             lines.append(f"  {name:<18} {count:>6}")
+
+    if summary.compiled_exec:
+        ce = summary.compiled_exec
+        lines.append("")
+        lines.append("compiled execution:")
+        lines.append(
+            f"  steps: {ce.get('compiled_steps', 0)} compiled, "
+            f"{ce.get('eager_steps', 0)} eager, "
+            f"{ce.get('tap_fallback_steps', 0)} tap-fallback"
+        )
+        lines.append(
+            f"  plans: {ce.get('compiles', 0)} compiled, "
+            f"{ce.get('compile_fallbacks', 0)} refused"
+        )
+        lines.append(
+            f"  workspace: {ce.get('workspace_hits', 0)} hits, "
+            f"{ce.get('workspace_misses', 0)} misses, "
+            f"{ce.get('workspace_dropped', 0)} dropped"
+        )
 
     if summary.slowest_units:
         lines.append("")

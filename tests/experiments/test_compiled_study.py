@@ -1,0 +1,31 @@
+"""The golden micro-study must reproduce exactly under compiled kernels.
+
+``tests/experiments/test_golden_archive.py`` pins the whole deterministic
+experiment pipeline against a checked-in archive in the default (fast-eager)
+kernel mode.  This file re-runs the identical plan with the compiled autodiff
+tape (``--kernels compiled``): record-once/replay training must produce the
+same accuracies and deltas float-for-float, proving the compiled step is a
+pure execution-strategy change with zero numeric surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.persistence import load_results, results_equivalent
+from repro.nn import use_kernel_mode
+
+from .test_golden_archive import CELLS, FIXTURE, run_micro_study
+
+
+@pytest.mark.slow
+def test_micro_study_compiled_matches_archive():
+    assert FIXTURE.exists(), f"missing fixture {FIXTURE}"
+    archived = load_results(FIXTURE)
+    assert len(archived) == len(CELLS)
+    with use_kernel_mode("compiled"):
+        fresh = run_micro_study()
+    assert results_equivalent(fresh, archived), (
+        "compiled-tape micro-study diverged from the golden archive — the "
+        "record/plan/execute pipeline changed training numerics"
+    )

@@ -125,3 +125,47 @@ class TestRunCampaign:
         assert stats["spans"] > 0
         names = {event.get("name") for event in events}
         assert {"hw_campaign", "hw_unit", "hw_fit", "hw_trial"} <= names
+
+
+class TestCompiledKernelMode:
+    """Hardware campaigns compose with the compiled autodiff tape.
+
+    Fitting runs compiled (record-once, replay); the armed injection tap
+    around each measurement trial forces the per-step eager downgrade.  The
+    campaign result must be bitwise-identical to plain fast-eager mode.
+    """
+
+    @staticmethod
+    def _fresh_fit():
+        # The fitted-cell memo is keyed without the kernel mode (the bitwise
+        # guarantee makes it mode-agnostic); clear it so each mode actually
+        # trains instead of replaying a module fitted by an earlier test.
+        from repro.faults.hardware.campaign import _FITTED_CACHE
+
+        _FITTED_CACHE.clear()
+
+    def test_campaign_matches_fast_mode(self):
+        from repro.nn import use_kernel_mode
+
+        self._fresh_fit()
+        with use_kernel_mode("compiled"):
+            compiled = run_campaign_unit(unit())
+        self._fresh_fit()
+        with use_kernel_mode("fast"):
+            fast = run_campaign_unit(unit())
+        assert hardware_results_equivalent(compiled, fast)
+        assert compiled.clean_accuracy == fast.clean_accuracy
+
+    def test_compiled_fit_replays_steps(self):
+        from repro.nn import use_kernel_mode
+        from repro.telemetry import RecordingTelemetry, telemetry_scope
+
+        self._fresh_fit()
+        tel = RecordingTelemetry()
+        with telemetry_scope(tel), use_kernel_mode("compiled"):
+            run_campaign_unit(unit())
+        (fit_event,) = [e for e in tel.events if e.get("name") == "compiled_fit"]
+        assert fit_event["compiled_steps"] > 0
+        # The injection tap only arms around measurement passes, never the
+        # fit, so no training step should have downgraded because of it.
+        assert fit_event["tap_fallback_steps"] == 0

@@ -1,0 +1,286 @@
+"""Compiled-tape equivalence and fallback tests.
+
+The record → plan → execute pipeline (``repro.nn.compile``) promises that a
+replayed :class:`CompiledStep` is *bitwise* identical to the define-by-run
+step it was recorded from — same floats in every weight and gradient, not
+merely close.  These tests pin that contract across every registered
+architecture, the direct ``compile_tape`` API, and each of the automatic
+eager-fallback paths (armed kernel tap, disabled grad mode, uncompilable
+tape), plus the telemetry the trainer emits about its decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model, model_names
+from repro.nn import (
+    SGD,
+    CrossEntropy,
+    Tensor,
+    Trainer,
+    use_kernel_mode,
+)
+from repro.nn.compile import compile_tape
+from repro.nn.functional import kernel_tap_scope
+from repro.nn.tape import Tape, tape_scope
+from repro.nn.tensor import no_grad
+from repro.telemetry import RecordingTelemetry, telemetry_scope
+from repro.telemetry.summary import render_trace_summary, summarize_trace
+
+NUM_CLASSES = 5
+IMAGE_SHAPE = (3, 16, 16)
+#: 12 examples in batches of 5 → per-epoch batches of 5, 5, 2: the ragged
+#: tail is a second feed shape, so every fit exercises compile, replay, and
+#: the dynamic-shape path at once.
+N, BATCH, EPOCHS = 12, 5, 2
+STEPS_PER_EPOCH = 3
+FEED_SHAPES = 2  # (5, …) and (2, …)
+
+
+def _data(name: str):
+    rng = np.random.default_rng(7)
+    feature_shape = (12,) if name == "mlp" else IMAGE_SHAPE
+    x = rng.normal(size=(N, *feature_shape)).astype(np.float32)
+    y = np.eye(NUM_CLASSES, dtype=np.float32)[rng.integers(0, NUM_CLASSES, N)]
+    return feature_shape, x, y
+
+
+def _fit(name: str, mode: str, loss=None, tap=None, validation=False):
+    """Train ``name`` from a fixed seed under kernel ``mode``; returns (model, history)."""
+    feature_shape, x, y = _data(name)
+    with use_kernel_mode(mode):
+        model = build_model(
+            name, feature_shape, NUM_CLASSES, width=2, rng=np.random.default_rng(3)
+        )
+        trainer = Trainer(
+            model,
+            loss if loss is not None else CrossEntropy(),
+            SGD(model.parameters(), lr=0.05),
+            epochs=EPOCHS,
+            batch_size=BATCH,
+            rng=np.random.default_rng(11),
+        )
+        val = (x, y) if validation else None
+        if tap is not None:
+            with kernel_tap_scope(tap):
+                history = trainer.fit(x, y, validation=val)
+        else:
+            history = trainer.fit(x, y, validation=val)
+    return model, history
+
+
+def _assert_bitwise_same(fast, compiled):
+    fast_model, fast_hist = fast
+    comp_model, comp_hist = compiled
+    assert fast_hist.loss_curve() == comp_hist.loss_curve()
+    assert [e.train_accuracy for e in fast_hist.epochs] == [
+        e.train_accuracy for e in comp_hist.epochs
+    ]
+    fast_params = fast_model.parameters()
+    comp_params = comp_model.parameters()
+    assert len(fast_params) == len(comp_params)
+    for pf, pc in zip(fast_params, comp_params):
+        assert np.array_equal(pf.data, pc.data), "weights diverged"
+        assert pf.grad is not None and pc.grad is not None
+        assert np.array_equal(pf.grad, pc.grad), "last-step gradients diverged"
+
+
+class TestBitwiseEquivalence:
+    """Compiled training must equal fast-eager training float-for-float."""
+
+    @pytest.mark.parametrize("name", model_names(include_extensions=True))
+    def test_trainer_matches_eager(self, name):
+        _assert_bitwise_same(_fit(name, "fast"), _fit(name, "compiled"))
+
+    def test_validation_pass_unaffected(self):
+        # Validation runs under no_grad between compiled epochs; metrics and
+        # the weights that produced them must stay bitwise-equal.
+        fast = _fit("convnet", "fast", validation=True)
+        compiled = _fit("convnet", "compiled", validation=True)
+        _assert_bitwise_same(fast, compiled)
+        assert [e.val_loss for e in fast[1].epochs] == [
+            e.val_loss for e in compiled[1].epochs
+        ]
+        assert [e.val_accuracy for e in fast[1].epochs] == [
+            e.val_accuracy for e in compiled[1].epochs
+        ]
+
+
+class TestCompileApi:
+    """Direct record → compile → replay, without the Trainer wrapper."""
+
+    def _make(self):
+        model = build_model(
+            "convnet", IMAGE_SHAPE, NUM_CLASSES, width=2, rng=np.random.default_rng(3)
+        )
+        model.train()
+        return model, SGD(model.parameters(), lr=0.05), CrossEntropy()
+
+    def test_replay_loop_matches_eager_loop(self):
+        _, x, y = _data("convnet")
+        xb, yb = x[:BATCH], y[:BATCH]
+        with use_kernel_mode("compiled"):
+            eager_model, eager_opt, eager_loss = self._make()
+            for _ in range(4):
+                logits = eager_model(Tensor(xb))
+                loss = eager_loss(logits, yb)
+                eager_opt.zero_grad()
+                loss.backward()
+                eager_opt.step()
+
+            comp_model, comp_opt, comp_loss = self._make()
+            tape = Tape()
+            with tape_scope(tape):
+                logits = comp_model(Tensor(xb))
+                loss = comp_loss(logits, yb)
+                comp_opt.zero_grad()
+                loss.backward()
+                comp_opt.step()
+            step = compile_tape(tape, loss, logits, (xb, yb))
+            for _ in range(3):
+                loss_arr, logits_arr = step.forward((xb, yb))
+                comp_opt.zero_grad()
+                step.backward()
+                comp_opt.step()
+
+        assert logits_arr.shape == (BATCH, NUM_CLASSES)
+        assert np.isfinite(float(loss_arr))
+        assert step.steps_replayed == 0  # only Trainer increments the counter
+        for pe, pc in zip(eager_model.parameters(), comp_model.parameters()):
+            assert np.array_equal(pe.data, pc.data)
+            assert np.array_equal(pe.grad, pc.grad)
+
+    def test_feed_shape_mismatch_raises(self):
+        _, x, y = _data("convnet")
+        xb, yb = x[:BATCH], y[:BATCH]
+        with use_kernel_mode("compiled"):
+            model, opt, loss_fn = self._make()
+            tape = Tape()
+            with tape_scope(tape):
+                logits = model(Tensor(xb))
+                loss = loss_fn(logits, yb)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            step = compile_tape(tape, loss, logits, (xb, yb))
+            with pytest.raises(ValueError, match="feed shape"):
+                step.forward((x[:2], y[:2]))
+
+
+class _LegacyClosureLoss(CrossEntropy):
+    """CE plus a term routed through a legacy closure op (``Tensor.tanh``).
+
+    ``compile_tape`` refuses tapes whose loss depends on closure-backward
+    ops, so every step of a fit with this loss must fall back to eager.
+    """
+
+    def __call__(self, logits, targets):
+        return super().__call__(logits, targets) + logits.tanh().mean() * 0.01
+
+
+class TestEagerFallbacks:
+    def test_armed_kernel_tap_forces_eager_and_stays_bitwise(self):
+        # The tap perturbs conv/pool outputs in place — exactly what the
+        # hardware-fault injector does — so a static replay would skip it.
+        # Both modes must route every step through the tap identically.
+        def tap(site, out):
+            out += np.float32(1e-3)
+
+        fast = _fit("convnet", "fast", tap=tap)
+        tel = RecordingTelemetry()
+        with telemetry_scope(tel):
+            compiled = _fit("convnet", "compiled", tap=tap)
+        _assert_bitwise_same(fast, compiled)
+
+        fallbacks = [e for e in tel.events if e.get("name") == "tape_replay_fallback"]
+        assert len(fallbacks) == 1  # emitted once per fit, not per step
+        assert fallbacks[0]["reason"] == "kernel tap armed"
+        (fit_event,) = [e for e in tel.events if e.get("name") == "compiled_fit"]
+        assert fit_event["tap_fallback_steps"] == EPOCHS * STEPS_PER_EPOCH
+        assert fit_event["compiled_steps"] == 0
+        assert fit_event["compiles"] == 0
+
+    def test_uncompilable_tape_falls_back_per_shape(self):
+        fast = _fit("convnet", "fast", loss=_LegacyClosureLoss())
+        tel = RecordingTelemetry()
+        with telemetry_scope(tel):
+            compiled = _fit("convnet", "compiled", loss=_LegacyClosureLoss())
+        _assert_bitwise_same(fast, compiled)
+
+        fallbacks = [e for e in tel.events if e.get("name") == "tape_compile_fallback"]
+        assert len(fallbacks) == FEED_SHAPES  # one refusal per feed shape, then cached
+        assert all(e["reason"] for e in fallbacks)
+        (fit_event,) = [e for e in tel.events if e.get("name") == "compiled_fit"]
+        assert fit_event["compiled_steps"] == 0
+        assert fit_event["compile_fallbacks"] == FEED_SHAPES
+        assert fit_event["eager_steps"] == EPOCHS * STEPS_PER_EPOCH
+
+    def test_no_grad_surfaces_the_same_eager_error(self):
+        # Training under no_grad is an error either way; the compiled path
+        # must downgrade to eager and surface the identical failure instead
+        # of silently replaying stale gradients.
+        errors = {}
+        for mode in ("fast", "compiled"):
+            feature_shape, x, y = _data("convnet")
+            with use_kernel_mode(mode):
+                model = build_model(
+                    "convnet", feature_shape, NUM_CLASSES, width=2,
+                    rng=np.random.default_rng(3),
+                )
+                trainer = Trainer(
+                    model, CrossEntropy(), SGD(model.parameters(), lr=0.05),
+                    epochs=1, batch_size=BATCH, rng=np.random.default_rng(11),
+                )
+                with no_grad():
+                    with pytest.raises(RuntimeError) as excinfo:
+                        trainer.fit(x, y)
+            errors[mode] = str(excinfo.value)
+        assert errors["fast"] == errors["compiled"]
+
+
+class TestTelemetry:
+    def test_compiled_fit_event_counts_steps_and_workspace(self):
+        tel = RecordingTelemetry()
+        with telemetry_scope(tel):
+            _fit("convnet", "compiled")
+
+        compiles = [e for e in tel.events if e.get("name") == "tape_compile"]
+        assert len(compiles) == FEED_SHAPES
+        assert {tuple(e["feed_shape"]) for e in compiles} == {
+            (BATCH, *IMAGE_SHAPE),
+            (N % BATCH, *IMAGE_SHAPE),
+        }
+        assert all(e["entries"] > 0 and e["backward_steps"] > 0 for e in compiles)
+        assert all(e["params"] > 0 for e in compiles)
+
+        (fit_event,) = [e for e in tel.events if e.get("name") == "compiled_fit"]
+        total = EPOCHS * STEPS_PER_EPOCH
+        assert fit_event["compiles"] == FEED_SHAPES
+        assert fit_event["eager_steps"] == FEED_SHAPES  # the recording steps
+        assert fit_event["compiled_steps"] == total - FEED_SHAPES
+        assert fit_event["tap_fallback_steps"] == 0
+        assert fit_event["compile_fallbacks"] == 0
+        for key in ("workspace_hits", "workspace_misses", "workspace_dropped"):
+            assert key in fit_event
+
+    def test_trace_summary_reports_compiled_execution(self):
+        tel = RecordingTelemetry()
+        with telemetry_scope(tel):
+            _fit("convnet", "compiled")
+        summary = summarize_trace(tel.events)
+        assert summary.compiled_exec["compiled_steps"] == (
+            EPOCHS * STEPS_PER_EPOCH - FEED_SHAPES
+        )
+        assert summary.compiled_exec["compiles"] == FEED_SHAPES
+        rendered = render_trace_summary(summary)
+        assert "compiled execution:" in rendered
+
+    def test_eager_modes_emit_no_compiled_events(self):
+        tel = RecordingTelemetry()
+        with telemetry_scope(tel):
+            _fit("convnet", "fast")
+        names = {e.get("name") for e in tel.events}
+        assert "compiled_fit" not in names
+        assert "tape_compile" not in names
