@@ -1,0 +1,78 @@
+"""Shared envelope for ``benchmarks/results/BENCH_*.json`` artifacts.
+
+Every benchmark that persists a machine-readable result wraps its payload
+with :func:`bench_envelope` (schema version, UTC timestamp, git commit,
+cpu count) so CI artifacts from different runs and machines can be
+compared without guessing at provenance, and writes it through
+:func:`write_bench_json` so the layout stays uniform:
+
+```json
+{
+  "schema": 1,
+  "benchmark": "serving",
+  "generated_utc": "2026-08-08T12:34:56Z",
+  "git_commit": "a2453ff...",
+  "cpu_count": 8,
+  ...payload keys...
+}
+```
+
+Payload keys live at the top level next to the envelope (not nested) so
+existing consumers that read e.g. ``payload["speedup"]`` keep working.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCHEMA_VERSION = 1
+
+_ENVELOPE_KEYS = ("schema", "benchmark", "generated_utc", "git_commit", "cpu_count")
+
+
+def _git_commit() -> str:
+    """Current commit hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def bench_envelope(benchmark: str) -> dict:
+    """Provenance header shared by every ``BENCH_*.json`` artifact."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "generated_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git_commit": _git_commit(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def write_bench_json(filename: str, benchmark: str, payload: dict) -> Path:
+    """Write ``benchmarks/results/<filename>`` with the shared envelope.
+
+    The envelope keys come first, then the payload keys in their given
+    order; a payload may not shadow an envelope key.
+    """
+    clash = sorted(set(payload) & set(_ENVELOPE_KEYS))
+    if clash:
+        raise ValueError(f"payload keys shadow the bench envelope: {clash}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / filename
+    document = {**bench_envelope(benchmark), **payload}
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    return out

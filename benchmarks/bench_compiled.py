@@ -24,16 +24,15 @@ from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
 import numpy as np
 
+from bench_common import write_bench_json
 from repro.models import vgg11
 from repro.nn import SGD, CrossEntropy, Tensor, Trainer, use_kernel_mode
 from repro.nn.compile import compile_tape
 from repro.nn.tape import Tape, tape_scope
 
-RESULTS_DIR = Path(__file__).parent / "results"
 GATE_MIN_SPEEDUP = 1.25
 INTERLEAVED_RUNS = 3
 
@@ -142,9 +141,7 @@ def test_compiled_tape_perf():
         "step_replay": _bench_step_replay(),
         "epoch": _bench_epochs(),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_compiled_tape.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = write_bench_json("BENCH_compiled_tape.json", "compiled_tape", payload)
     print(f"\n{json.dumps(payload, indent=2)}\n[saved to {out}]")
 
     # The acceptance gate: compiled training must beat fast-eager by >= 1.25x

@@ -24,10 +24,10 @@ from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
 import numpy as np
 
+from bench_common import write_bench_json
 from repro.models import resnet18, vgg11
 from repro.nn import SGD, CrossEntropy, Tensor, Trainer, use_kernel_mode
 from repro.nn.functional import (
@@ -40,7 +40,6 @@ from repro.nn.functional import (
     softmax_cross_entropy,
 )
 
-RESULTS_DIR = Path(__file__).parent / "results"
 GATE_MIN_SPEEDUP = 1.2
 
 # (label, (n, c, h, w), (kh, kw), stride, padding) — VGG/ResNet conv geometries.
@@ -195,9 +194,7 @@ def test_kernel_perf():
         "fused_loss": _bench_fused_loss(),
         "epoch": _bench_epochs(),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_kernel_perf.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = write_bench_json("BENCH_kernel_perf.json", "kernel_perf", payload)
     print(f"\n{json.dumps(payload, indent=2)}\n[saved to {out}]")
 
     # Gates.  im2col: every conv gather must beat the seed loop.

@@ -11,10 +11,13 @@ two regimes and writes ``benchmarks/results/BENCH_serving.json``:
   across the batch while row-stable kernels keep every response
   bitwise-identical to the single-request answers.
 
-Both regimes report throughput and per-request p50/p99 latency.  The gate
-requires micro-batching to reach >= 3x the single-request throughput (raw
-batch-32 forwards measure ~5x; the margin absorbs engine and scheduler
-overhead on shared CI runners).
+Both regimes report throughput and per-request p50/p95/p99 latency.  The
+percentiles come from the same :class:`repro.telemetry.Histogram` +
+:func:`latency_summary_ms` pair that backs the engine's ``/stats``
+endpoint, so the bench numbers and the live endpoint agree by
+construction.  The gate requires micro-batching to reach >= 3x the
+single-request throughput (raw batch-32 forwards measure ~5x; the margin
+absorbs engine and scheduler overhead on shared CI runners).
 """
 
 from __future__ import annotations
@@ -22,14 +25,14 @@ from __future__ import annotations
 import json
 import threading
 import time
-from pathlib import Path
 
 import numpy as np
 
+from bench_common import write_bench_json
 from repro.models.registry import build_model
 from repro.serve import BatchSettings, ModelKey, ModelRegistry, ServingEngine
+from repro.telemetry import Histogram, latency_summary_ms
 
-RESULTS_DIR = Path(__file__).parent / "results"
 GATE_MIN_SPEEDUP = 3.0
 
 KEY = ModelKey(model="convnet", dataset="gtsrb")
@@ -37,8 +40,12 @@ N_SAMPLES = 256
 CLIENTS = 8
 
 
-def _percentile(latencies_ms: "list[float]", q: float) -> float:
-    return float(np.percentile(np.asarray(latencies_ms), q))
+def _latency_summary(latencies_ms: "list[float]") -> dict:
+    """p50/p95/p99 via the engine's own histogram machinery (``/stats``)."""
+    hist = Histogram("bench_request_latency_seconds")
+    for ms in latencies_ms:
+        hist.observe(ms / 1e3)
+    return latency_summary_ms(hist)
 
 
 def _make_engine(settings: BatchSettings) -> ServingEngine:
@@ -68,8 +75,7 @@ def _bench_single_request(x: np.ndarray) -> dict:
         stats = engine.stats.snapshot()
     return {
         "throughput_per_s": round(len(x) / elapsed, 1),
-        "p50_ms": round(_percentile(latencies, 50), 3),
-        "p99_ms": round(_percentile(latencies, 99), 3),
+        **_latency_summary(latencies),
         "mean_batch": stats["mean_batch"],
     }
 
@@ -110,10 +116,10 @@ def _bench_micro_batched(x: np.ndarray) -> dict:
         stats = engine.stats.snapshot()
     return {
         "throughput_per_s": round(CLIENTS * per_client / elapsed, 1),
-        "p50_ms": round(_percentile(latencies, 50), 3),
-        "p99_ms": round(_percentile(latencies, 99), 3),
+        **_latency_summary(latencies),
         "mean_batch": stats["mean_batch"],
         "max_batch": stats["max_batch"],
+        "engine_latency_ms": stats["latency_ms"],
         "clients": CLIENTS,
     }
 
@@ -131,9 +137,7 @@ def test_serving_perf():
         "micro_batched": batched,
         "speedup": round(speedup, 3),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_serving.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = write_bench_json("BENCH_serving.json", "serving", payload)
     print(f"\n{json.dumps(payload, indent=2)}\n[saved to {out}]")
 
     assert speedup >= GATE_MIN_SPEEDUP, payload

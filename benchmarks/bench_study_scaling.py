@@ -16,11 +16,10 @@ asserts correctness, not speedup, and records both for the trajectory.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import time
-from pathlib import Path
 
+from bench_common import write_bench_json
 from repro.experiments import (
     ExperimentRunner,
     ParallelExecutor,
@@ -32,7 +31,6 @@ from repro.experiments import (
 )
 from repro.faults import FaultType
 
-RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Small enough for a bench, big enough (8 cells, 2 datasets) to schedule.
 TINY = ScaleSettings(
@@ -88,16 +86,12 @@ def test_study_scaling_trajectory():
         point["speedup"] = round(serial_s / point["seconds"], 3) if point["seconds"] else None
 
     payload = {
-        "bench": "study_scaling",
         "scale": TINY.name,
         "grid_cells": len(plan_study(scale=TINY, **GRID)),
-        "cpu_count": multiprocessing.cpu_count(),
         "points": points,
         "speedup_at_4_jobs": points[-1]["speedup"],
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_study_scaling.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = write_bench_json("BENCH_study_scaling.json", "study_scaling", payload)
     print(f"\n{json.dumps(payload, indent=2)}\n[saved to {out}]")
 
 

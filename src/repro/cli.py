@@ -12,7 +12,8 @@ Usage::
     repro-study panel --dataset gtsrb --model convnet --fault mislabelling
     repro-study study [--jobs 4] [--checkpoint out/study.jsonl] [--resume] [--out results.json]
     repro-study study --trace out/trace.jsonl --progress ...
-    repro-study trace out/trace.jsonl
+    repro-study trace out/trace.jsonl [--strict] [--export-chrome out.json]
+    repro-study profile [--model vgg11 --batch 4 --steps 30]
     repro-study serve [--model convnet --dataset gtsrb] [--state model.npz] [--port 8777]
     repro-study hardware-faults [--hw-rates 1e-4,1e-3] [--jobs 2] [--out BENCH_hardware_faults.json]
 
@@ -30,9 +31,14 @@ from typing import Sequence
 
 from .log import get_logger, setup_cli_logging
 from .telemetry import (
+    MetricsRegistry,
     ProgressReporter,
     TraceError,
+    export_chrome_trace,
+    read_trace,
     render_trace_summary,
+    repair_trace,
+    set_metrics,
     summarize_trace,
 )
 from .experiments import (
@@ -206,6 +212,48 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--top", type=int, default=5, help="slowest cells to list (default 5)"
     )
+    trace.add_argument(
+        "--strict", action="store_true",
+        help="reject truncated/corrupt traces instead of summarizing the "
+        "readable prefix with a warning (the pre-PR-8 behavior)",
+    )
+    trace.add_argument(
+        "--export-chrome", default=None, metavar="OUT.json",
+        help="also export the trace in Chrome trace-event format "
+        "(open in https://ui.perfetto.dev or chrome://tracing)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-op timing of one compiled training step (record, plan, "
+        "replay with the profiler armed)",
+    )
+    profile.add_argument("--model", default="vgg11", help="registry architecture (default vgg11)")
+    profile.add_argument(
+        "--width", type=int, default=2,
+        help="base channel count (default 2, the bench geometry; 0 = registry default)",
+    )
+    profile.add_argument("--batch", type=int, default=4, help="batch size (default 4)")
+    profile.add_argument(
+        "--steps", type=int, default=30, help="profiled replay steps (default 30)"
+    )
+    profile.add_argument(
+        "--warmup", type=int, default=3,
+        help="unprofiled warm-up replays to fault in persistent buffers (default 3)",
+    )
+    profile.add_argument(
+        "--image-shape", type=_csv, default=("3", "32", "32"),
+        help="input C,H,W (default 3,32,32)",
+    )
+    profile.add_argument(
+        "--classes", type=int, default=10, help="output classes (default 10)"
+    )
+    profile.add_argument(
+        "--top", type=int, default=0, help="limit the op table to the slowest N rows"
+    )
+    profile.add_argument(
+        "--out", default=None, help="also write the per-op table as JSON here"
+    )
 
     serve = sub.add_parser(
         "serve", help="serve a trained model over micro-batched HTTP inference"
@@ -321,6 +369,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "trace":  # needs no runner either
         return _run_trace_command(args)
 
+    if args.command == "profile":  # synthetic data, no runner
+        return _run_profile_command(args)
+
     if args.command == "serve":  # owns its own model loading / re-fitting
         return _run_serve_command(args)
 
@@ -392,6 +443,10 @@ def _run_study_command(runner: ExperimentRunner, args: argparse.Namespace) -> in
         logger.info("[parallel: %d worker processes]", args.jobs)
     if args.trace:
         logger.info("[tracing to %s]", args.trace)
+        # Live metrics ride along with tracing: per-unit snapshots funnel to
+        # the collector and the final registry lands in the trace as a
+        # metrics_snapshot event (rendered by 'repro-study trace').
+        set_metrics(MetricsRegistry())
 
     # With --progress the live reporter owns the stderr status line;
     # otherwise keep the historical one-line-per-cell diagnostics.
@@ -541,6 +596,9 @@ def _run_serve_command(args: argparse.Namespace) -> int:
     if args.trace:
         telemetry = FileTelemetry(args.trace)
         logger.info("[tracing to %s]", args.trace)
+    # Serving always runs with live metrics enabled: the /metrics endpoint
+    # scrapes the process-global registry, which ServingStats adopts.
+    set_metrics(MetricsRegistry())
     engine = ServingEngine(registry, settings, telemetry=telemetry).start()
     try:
         logger.info(
@@ -559,16 +617,83 @@ def _run_serve_command(args: argparse.Namespace) -> int:
 
 
 def _run_trace_command(args: argparse.Namespace) -> int:
-    """The ``trace`` subcommand: summarize a JSONL study trace."""
+    """The ``trace`` subcommand: summarize (and optionally export) a trace.
+
+    Default mode is tolerant: a truncated or corrupt trace (killed sweep)
+    is repaired and its readable prefix summarized, with the repairs noted
+    on stderr — exit 0.  ``--strict`` restores the old validating behavior
+    (any damage beyond a torn final line is a hard error, exit 2).
+    """
     try:
-        summary = summarize_trace(args.file, top=args.top)
+        summary = summarize_trace(args.file, top=args.top, strict=args.strict)
     except FileNotFoundError:
         logger.error("error: no such trace file: %s", args.file)
         return 2
     except TraceError as exc:
         logger.error("error: %s", exc)
+        if not args.strict:  # corrupt beyond repair (shouldn't happen)
+            logger.error("(the trace is damaged beyond tolerant repair)")
         return 2
+    for warning in summary.warnings:
+        logger.warning("trace repair: %s", warning)
     print(render_trace_summary(summary))
+    if args.export_chrome is not None:
+        events = read_trace(args.file, strict=args.strict)
+        if not args.strict:
+            events, _ = repair_trace(events)
+        stats = export_chrome_trace(events, args.export_chrome)
+        logger.info(
+            "[exported %d chrome events (%d spans, %d track(s)) to %s]",
+            stats["events"], stats["spans"], stats["tids"], args.export_chrome,
+        )
+    return 0
+
+
+def _run_profile_command(args: argparse.Namespace) -> int:
+    """The ``profile`` subcommand: per-op timing of one compiled step."""
+    from .nn.profiler import profile_model_step, render_profile_report
+
+    try:
+        image_shape = tuple(int(d) for d in args.image_shape)
+        if len(image_shape) != 3:
+            raise ValueError(f"--image-shape needs C,H,W; got {args.image_shape}")
+        report = profile_model_step(
+            model=args.model,
+            image_shape=image_shape,
+            num_classes=args.classes,
+            width=args.width or None,
+            batch=args.batch,
+            steps=args.steps,
+            warmup=args.warmup,
+        )
+    except (KeyError, ValueError) as exc:
+        logger.error("error: %s", exc)
+        return 2
+    print(render_profile_report(report, top=args.top))
+    if args.out is not None:
+        import json
+
+        payload = {
+            "model": report.model,
+            "batch": report.batch,
+            "steps": report.steps,
+            "wall_s": report.wall_s,
+            "op_total_s": report.op_total_s,
+            "coverage": report.coverage,
+            "ops": [
+                {
+                    "op": row.op,
+                    "entries": row.entries,
+                    "calls": row.calls,
+                    "fwd_s": row.fwd_s,
+                    "bwd_s": row.bwd_s,
+                }
+                for row in report.profile.rows()
+            ],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        logger.info("[profile written to %s]", args.out)
     return 0
 
 

@@ -41,9 +41,12 @@ from ..log import get_logger
 from ..telemetry import (
     FileTelemetry,
     NULL,
+    MetricsRegistry,
     NullTelemetry,
     RecordingTelemetry,
     Telemetry,
+    get_metrics,
+    metrics_scope,
     telemetry_scope,
 )
 from .config import scale_fingerprint
@@ -82,6 +85,10 @@ class ExecutionSettings:
     #: :class:`~repro.experiments.resilience.CellOutcome` (see
     #: :func:`execute_unit`); the collector merges them into the trace file.
     trace: bool = False
+    #: Snapshot per-unit live metrics onto each ``CellOutcome`` — the same
+    #: funnel as ``trace``, merged into the collector's registry so a
+    #: ``--jobs N`` sweep aggregates to the same totals as a serial one.
+    metrics: bool = False
 
 
 def execute_unit(
@@ -89,6 +96,7 @@ def execute_unit(
     unit: WorkUnit,
     retry: "RetryPolicy | None" = None,
     trace: bool = False,
+    metrics: bool = False,
 ) -> CellOutcome:
     """Run one unit on ``runner`` under the retry middleware; never raises
     (interrupts excepted) — failures degrade to a recorded
@@ -100,6 +108,13 @@ def execute_unit(
     execution share this exact path, so traces are structurally identical
     regardless of the executor (the collector re-parents each batch onto its
     study span).
+
+    With ``metrics=True`` the cell additionally runs under an enabled
+    metrics registry (the installed process-global one if any — the serial
+    case — else a fresh per-unit registry, the worker case after fork) and
+    its snapshot rides back on ``outcome.metrics`` for the collector to
+    merge.  Snapshot-then-merge of the collector's own registry is an
+    identity, so serial and ``--jobs N`` sweeps aggregate identically.
     """
     recorder = RecordingTelemetry() if trace else NULL
 
@@ -117,19 +132,30 @@ def execute_unit(
             clean_fraction=unit.clean_fraction,
         )
 
-    if not trace:
-        outcome = _run()
-        outcome.pid = os.getpid()
+    def _run_traced() -> CellOutcome:
+        if not trace:
+            return _run()
+        with telemetry_scope(recorder):
+            with recorder.span(
+                "unit", key=unit.key, dataset=unit.dataset, model=unit.model,
+                technique=unit.technique, fault=unit.fault_label, rate=unit.rate,
+            ) as span:
+                outcome = _run()
+                if not outcome.ok:
+                    span.set(outcome="failed")
         return outcome
-    with telemetry_scope(recorder):
-        with recorder.span(
-            "unit", key=unit.key, dataset=unit.dataset, model=unit.model,
-            technique=unit.technique, fault=unit.fault_label, rate=unit.rate,
-        ) as span:
-            outcome = _run()
-            if not outcome.ok:
-                span.set(outcome="failed")
-    outcome.events = recorder.drain()
+
+    if not metrics:
+        outcome = _run_traced()
+    else:
+        registry = get_metrics()
+        if not registry.enabled:
+            registry = MetricsRegistry()
+        with metrics_scope(registry):
+            outcome = _run_traced()
+        outcome.metrics = registry.snapshot_and_reset()
+    if trace:
+        outcome.events = recorder.drain()
     outcome.pid = os.getpid()
     return outcome
 
@@ -155,7 +181,8 @@ def _worker_runner(unit: WorkUnit, settings: ExecutionSettings) -> ExperimentRun
 def _execute_unit_in_worker(unit: WorkUnit, settings: ExecutionSettings) -> CellOutcome:
     """Top-level (hence picklable) entry point run inside pool workers."""
     return execute_unit(
-        _worker_runner(unit, settings), unit, settings.retry, trace=settings.trace
+        _worker_runner(unit, settings), unit, settings.retry,
+        trace=settings.trace, metrics=settings.metrics,
     )
 
 
@@ -202,7 +229,10 @@ class SerialExecutor:
         if runner is None:
             runner = ExperimentRunner(units[0].scale, cache_dir=settings.cache_dir)
         for index, unit in enumerate(units):
-            yield index, execute_unit(runner, unit, settings.retry, trace=settings.trace)
+            yield index, execute_unit(
+                runner, unit, settings.retry,
+                trace=settings.trace, metrics=settings.metrics,
+            )
 
 
 class ParallelExecutor:
@@ -292,7 +322,10 @@ def run_study_plan(
     elif trace is not None:
         tel = FileTelemetry(trace)
         owns_trace = True
-    settings = ExecutionSettings(retry=retry, cache_dir=cache_dir, trace=tel.enabled)
+    settings = ExecutionSettings(
+        retry=retry, cache_dir=cache_dir, trace=tel.enabled,
+        metrics=get_metrics().enabled,
+    )
 
     ckpt = checkpoint
     if ckpt is not None and not isinstance(ckpt, StudyCheckpoint):
@@ -331,6 +364,8 @@ def run_study_plan(
                     outcomes[index] = outcome
                     if outcome.events:
                         tel.write_batch(outcome.events, parent=study_span.id)
+                    if outcome.metrics:
+                        get_metrics().merge(outcome.metrics)
                     if on_outcome is not None:
                         on_outcome(index, plan[index], outcome)
                     if outcome.ok:
@@ -343,6 +378,9 @@ def run_study_plan(
                             ckpt.record_failure(outcome.failure)
                         if on_failure is not None:
                             on_failure(outcome.failure)
+
+            if get_metrics().enabled:
+                tel.event("metrics_snapshot", metrics=get_metrics().snapshot())
     finally:
         if owns_trace:
             tel.close()

@@ -176,6 +176,9 @@ class CellOutcome:
     attempts: int = 1
     from_checkpoint: bool = False
     events: list = field(default_factory=list)
+    #: Per-unit live-metrics snapshot (picklable), funneled home the same
+    #: way as ``events`` and merged into the collector's registry.
+    metrics: "dict | None" = None
     pid: "int | None" = None
 
     @property

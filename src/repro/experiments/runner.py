@@ -31,7 +31,7 @@ from ..metrics.reliability import ReliabilityResult, compare_models
 from ..metrics.stats import MeanWithCI, mean_confidence_interval
 from ..mitigation.base import FittedModel, TrainingBudget
 from ..mitigation.registry import build_technique
-from ..telemetry import NULL, get_telemetry, telemetry_scope
+from ..telemetry import NULL, NULL_METRICS, get_telemetry, metrics_scope, telemetry_scope
 from .cache import CellCache
 from .config import (
     ExperimentConfig,
@@ -203,7 +203,11 @@ class ExperimentRunner:
         seed = self._repetition_seed(dataset, model, repetition)
         technique = build_technique("baseline")
         with tel.span("golden_fit", dataset=dataset, model=model, repetition=repetition):
-            with telemetry_scope(NULL):  # suppress schedule-dependent internals
+            # Suppress schedule-dependent internals: telemetry spans *and*
+            # live metrics (whether a unit trains the golden model depends on
+            # memo state, so counting its steps would break serial == --jobs N
+            # metrics equivalence).
+            with telemetry_scope(NULL), metrics_scope(NULL_METRICS):
                 fitted = technique.fit(
                     train, model, self.budget(dataset), np.random.default_rng(seed)
                 )

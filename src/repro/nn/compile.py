@@ -97,6 +97,8 @@ class CompiledStep:
         grad_dtypes: list,
         loss_slot: int,
         logits_slot: int,
+        fwd_names: "list[str] | None" = None,
+        bwd_names: "list[str] | None" = None,
     ) -> None:
         self._fwd = forward_steps
         self._bwd = backward_steps
@@ -114,6 +116,11 @@ class CompiledStep:
         self._ones = np.ones_like(np.asarray(vals[loss_slot]))
         # Replay accounting, surfaced through trainer telemetry.
         self.steps_replayed = 0
+        # Per-op profiling: None (the default) keeps forward/backward on the
+        # branch-free armed loops; enable_profile() swaps in the timed twins.
+        self.fwd_names = tuple(fwd_names or ("?",) * len(forward_steps))
+        self.bwd_names = tuple(bwd_names or ("?",) * len(backward_steps))
+        self._profile = None
 
     # -- introspection -------------------------------------------------
     @property
@@ -134,12 +141,40 @@ class CompiledStep:
             f"params={self.n_params}, feeds={len(self.feed_shapes)})"
         )
 
+    # -- profiling -----------------------------------------------------
+    @property
+    def profile(self):
+        """The live :class:`~repro.nn.profiler.StepProfile`, or ``None``."""
+        return self._profile
+
+    def enable_profile(self):
+        """Arm per-op timing on subsequent replays (idempotent).
+
+        Replayed values stay bitwise-identical — the profiled loops run the
+        same ``apply``/``vjp`` bodies in the same order, only bracketed by
+        ``perf_counter`` reads.  The unprofiled loops are untouched: the
+        only cost when disabled is one ``is None`` check per ``forward``/
+        ``backward`` *call*, never per op.
+        """
+        if self._profile is None:
+            from .profiler import StepProfile
+
+            self._profile = StepProfile(self.fwd_names, self.bwd_names)
+        return self._profile
+
+    def disable_profile(self):
+        """Disarm profiling; returns the accumulated profile (or ``None``)."""
+        profile, self._profile = self._profile, None
+        return profile
+
     # -- execution -----------------------------------------------------
     def forward(self, feeds: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
         """Replay the forward schedule on fresh feed arrays.
 
         Returns ``(loss, logits)`` as raw arrays (the loss is 0-d).
         """
+        if self._profile is not None:
+            return self._forward_profiled(feeds)
         vals = self._vals
         for arr, shape in zip(feeds, self.feed_shapes):
             if arr.shape != shape:
@@ -164,6 +199,31 @@ class CompiledStep:
                 cleanup(ctx)
         return vals[self._loss_slot], vals[self._logits_slot]
 
+    def _forward_profiled(self, feeds: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """The timed twin of :meth:`forward` — identical ops, identical order."""
+        from time import perf_counter
+
+        profile = self._profile
+        vals = self._vals
+        for arr, shape in zip(feeds, self.feed_shapes):
+            if arr.shape != shape:
+                raise ValueError(f"feed shape {arr.shape} does not match compiled {shape}")
+        for feed_index, slot in self._feed_bindings:
+            vals[slot] = feeds[feed_index]
+        for param, slot in self._param_slots:
+            vals[slot] = param.data
+        fwd_s, fwd_calls = profile.fwd_s, profile.fwd_calls
+        for index, (apply, ctx, in_slots, out_slot, kwargs, cleanup) in enumerate(self._fwd):
+            inputs = tuple(vals[s] for s in in_slots)
+            t0 = perf_counter()
+            vals[out_slot] = apply(ctx, inputs, kwargs)
+            if cleanup is not None:
+                cleanup(ctx)
+            fwd_s[index] += perf_counter() - t0
+            fwd_calls[index] += 1
+        profile.steps += 1
+        return vals[self._loss_slot], vals[self._logits_slot]
+
     def _acc(self, slot: int, g: np.ndarray) -> None:
         """Accumulate a cotangent into a slot's persistent gradient buffer.
 
@@ -182,6 +242,8 @@ class CompiledStep:
 
     def backward(self) -> None:
         """Replay the backward schedule; assigns ``.grad`` on bound params."""
+        if self._profile is not None:
+            return self._backward_profiled()
         self._token += 1
         self._acc(self._loss_slot, self._ones)
         grads = self._grads
@@ -192,6 +254,28 @@ class CompiledStep:
                 # Mirrors eager's ``node.grad is None`` skip.
                 continue
             vjp(ctx, grads[out_slot], needs, acc)
+        for param, slot in self._param_slots:
+            if written[slot] == token:
+                param.grad = grads[slot]
+
+    def _backward_profiled(self) -> None:
+        """The timed twin of :meth:`backward` — identical vjps, identical order."""
+        from time import perf_counter
+
+        profile = self._profile
+        self._token += 1
+        self._acc(self._loss_slot, self._ones)
+        grads = self._grads
+        written = self._written
+        token = self._token
+        bwd_s, bwd_calls = profile.bwd_s, profile.bwd_calls
+        for index, (vjp, ctx, out_slot, needs, acc) in enumerate(self._bwd):
+            if written[out_slot] != token:
+                continue
+            t0 = perf_counter()
+            vjp(ctx, grads[out_slot], needs, acc)
+            bwd_s[index] += perf_counter() - t0
+            bwd_calls[index] += 1
         for param, slot in self._param_slots:
             if written[slot] == token:
                 param.grad = grads[slot]
@@ -312,6 +396,7 @@ def compile_tape(
 
     ctxs = [OpCtx(persistent=True) for _ in tape.entries]
     backward_steps: list[tuple] = []
+    bwd_names: list[str] = []
     backward_out_ids: set[int] = set()
     for node in reversed(tape.topo):
         idx = entry_index_of.get(id(node))
@@ -327,6 +412,7 @@ def compile_tape(
         backward_steps.append(
             (entry.op.vjp, ctxs[idx], space.slot(node), needs, make_acc(in_slots))
         )
+        bwd_names.append(entry.op.name)
         backward_out_ids.add(id(node))
 
     # Entries outside the backward graph never run a vjp, so their workspace
@@ -357,6 +443,8 @@ def compile_tape(
         grad_dtypes,
         loss_slot,
         space.slot(logits),
+        fwd_names=[entry.op.name for entry, _, _ in planned_fwd],
+        bwd_names=bwd_names,
     )
     step[0] = compiled
     return compiled

@@ -15,7 +15,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..telemetry import get_telemetry
+from ..telemetry import get_metrics, get_telemetry
 from .compile import CompileError, compile_tape
 from .functional import kernel_mode, kernel_tap, softmax_np
 from .losses import Loss
@@ -281,6 +281,7 @@ class Trainer:
         # every optimisation step.
         label_idx = targets.argmax(axis=1)
         tel = get_telemetry()
+        metrics = get_metrics()
         # Compiled kernel mode: record the first step per feed shape, plan a
         # static CompiledStep, replay it for every later fixed-shape step.
         compiled = _CompiledFitState() if kernel_mode() == "compiled" else None
@@ -336,6 +337,11 @@ class Trainer:
                     examples_per_s=record.throughput_examples_per_s,
                 )
             history.epochs.append(record)
+            if metrics.enabled:
+                metrics.counter("train_epochs_total").inc()
+                metrics.counter("train_steps_total").inc(-(-n // self.batch_size))
+                metrics.counter("train_examples_total").inc(n)
+                metrics.histogram("train_epoch_seconds").observe(record.duration_s)
             if self.epoch_callback is not None:
                 self.epoch_callback(record)
             if self.scheduler is not None:

@@ -30,11 +30,20 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..telemetry import NULL, RecordingTelemetry
+from ..telemetry import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS_S,
+    NULL,
+    QUEUE_DEPTH_BUCKETS,
+    MetricsRegistry,
+    RecordingTelemetry,
+    get_metrics,
+    latency_summary_ms,
+)
 from .registry import ModelKey, ModelRegistry
 
 __all__ = ["BatchSettings", "ServingStats", "ServingEngine"]
@@ -64,29 +73,75 @@ class BatchSettings:
             raise ValueError("workers must be >= 1")
 
 
-@dataclass
 class ServingStats:
-    """Aggregate counters for one engine (snapshot via :meth:`snapshot`)."""
+    """Histogram-backed aggregates for one engine (snapshot via :meth:`snapshot`).
 
-    requests: int = 0
-    batches: int = 0
-    errors: int = 0
-    max_batch: int = 0
-    queue_wait_s: float = 0.0
-    infer_s: float = 0.0
-    batch_sizes: deque = field(default_factory=lambda: deque(maxlen=1024))
+    All counts live in a :class:`~repro.telemetry.MetricsRegistry` — the
+    process-global one when live metrics are enabled (so the ``/metrics``
+    endpoint sees serving traffic alongside everything else), otherwise a
+    private registry owned by this engine.  The legacy integer fields
+    (``requests``, ``batches``, ``errors``) remain as read-only properties
+    over the counters, and ``/stats`` percentiles come from
+    :func:`~repro.telemetry.latency_summary_ms` — the same implementation
+    ``benchmarks/bench_serving.py`` uses, so live and benched percentiles
+    agree by construction.
+    """
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        if registry is None:
+            active = get_metrics()
+            registry = active if active.enabled else MetricsRegistry()
+        self.registry = registry
+        self._requests = registry.counter(
+            "serve_requests_total", help="Samples served (one per submitted request)")
+        self._batches = registry.counter(
+            "serve_batches_total", help="Micro-batches dispatched")
+        self._errors = registry.counter(
+            "serve_errors_total", help="Batches that failed their callers")
+        self.request_latency = registry.histogram(
+            "serve_request_latency_seconds", LATENCY_BUCKETS_S,
+            help="Per-request enqueue-to-result latency")
+        self.batch_size = registry.histogram(
+            "serve_batch_size", BATCH_SIZE_BUCKETS,
+            help="Coalesced samples per dispatched batch")
+        self.queue_depth = registry.histogram(
+            "serve_queue_depth", QUEUE_DEPTH_BUCKETS,
+            help="Model-queue depth observed at submit time")
+        self.max_batch = 0
+        self.queue_wait_s = 0.0
+        self.infer_s = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
 
     def snapshot(self) -> dict:
         """JSON-shaped snapshot (the ``/stats`` endpoint payload)."""
-        sizes = list(self.batch_sizes)
+        sizes = self.batch_size
         return {
             "requests": self.requests,
             "batches": self.batches,
             "errors": self.errors,
             "max_batch": self.max_batch,
-            "mean_batch": round(sum(sizes) / len(sizes), 3) if sizes else 0.0,
+            "mean_batch": round(sizes.mean, 3) if sizes.count else 0.0,
             "queue_wait_s": round(self.queue_wait_s, 6),
             "infer_s": round(self.infer_s, 6),
+            "latency_ms": latency_summary_ms(self.request_latency),
+            "batch_size": {
+                "p50": round(sizes.quantile(0.50), 3),
+                "p95": round(sizes.quantile(0.95), 3),
+                "p99": round(sizes.quantile(0.99), 3),
+                "counts": list(sizes.counts),
+                "buckets": list(sizes.bounds),
+            },
         }
 
 
@@ -170,7 +225,14 @@ class ServingEngine:
             thread.join(timeout=5.0)
         self._threads.clear()
         if self._root_span is not None:
-            self._root_span.set(**self.stats.snapshot())
+            with self._tel_lock:
+                self._telemetry.event(
+                    "metrics_snapshot", metrics=self.stats.registry.snapshot()
+                )
+            snapshot = self.stats.snapshot()
+            self._root_span.set(**{
+                k: v for k, v in snapshot.items() if not isinstance(v, dict)
+            })
             self._root_span.__exit__(None, None, None)
             self._root_span = None
 
@@ -195,8 +257,11 @@ class ServingEngine:
         with self._cond:
             if not self._running:
                 raise RuntimeError("serving engine is not running (call start())")
-            self._queues.setdefault(key, deque()).append(item)
+            queue = self._queues.setdefault(key, deque())
+            queue.append(item)
+            depth = len(queue)
             self._cond.notify()
+        self.stats.queue_depth.observe(depth)
         return item.future
 
     def predict(
@@ -287,8 +352,11 @@ class ServingEngine:
         span and span.__exit__(None, None, None)
         servable.predictions += len(items)
         self._record(key, items, queue_wait, infer_s, error=False, recorder=recorder)
+        done = time.perf_counter()
+        latency = self.stats.request_latency
         for row, item in zip(logits, items):
             item.future.set_result(row)
+            latency.observe(done - item.enqueued)
 
     def _record(
         self,
@@ -300,15 +368,16 @@ class ServingEngine:
         recorder: "RecordingTelemetry | None",
     ) -> None:
         """Update stats and funnel the batch's events under the root span."""
+        stats = self.stats
         with self._cond:
-            self.stats.requests += len(items)
-            self.stats.batches += 1
-            self.stats.max_batch = max(self.stats.max_batch, len(items))
-            self.stats.queue_wait_s += queue_wait
-            self.stats.infer_s += infer_s
-            self.stats.batch_sizes.append(len(items))
-            if error:
-                self.stats.errors += 1
+            stats.max_batch = max(stats.max_batch, len(items))
+            stats.queue_wait_s += queue_wait
+            stats.infer_s += infer_s
+        stats._requests.inc(len(items))
+        stats._batches.inc()
+        stats.batch_size.observe(len(items))
+        if error:
+            stats._errors.inc()
         if recorder is not None:
             parent = self._root_span.id if self._root_span is not None else None
             with self._tel_lock:

@@ -10,7 +10,9 @@ Routes::
 
     GET  /healthz   liveness + model count
     GET  /models    registry catalog (one summary dict per model)
-    GET  /stats     engine counters (requests, batches, mean batch size, ...)
+    GET  /stats     engine counters + latency/batch-size percentiles
+    GET  /metrics   live metrics registry — Prometheus text exposition
+                    format by default, ``?format=json`` for the raw snapshot
     POST /predict   {"model": "<dataset/model/technique/fault>",
                      "inputs": [...], "return": "logits"|"proba"|"labels"}
     POST /shutdown  graceful stop (used by the CI smoke job)
@@ -31,6 +33,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from ..nn.functional import softmax_np
+from ..telemetry import get_metrics, render_prometheus
 from .engine import ServingEngine
 
 __all__ = ["ServingServer", "serve_forever"]
@@ -67,15 +70,36 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
+    def _send_metrics(self, query: str) -> None:
+        """The ``/metrics`` scrape: the process-global registry when live
+        metrics are enabled (training + serving together), else the
+        engine-private one — either way the same data ``/stats`` digests.
+        """
+        active = get_metrics()
+        registry = active if active.enabled else self.server.engine.stats.registry
+        snapshot = registry.snapshot()
+        if "format=json" in query.split("&"):
+            self._send_json(snapshot)
+            return
+        body = render_prometheus(snapshot).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:
         engine = self.server.engine
-        if self.path == "/healthz":
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
             self._send_json({"status": "ok", "models": len(engine.registry)})
-        elif self.path == "/models":
+        elif path == "/models":
             self._send_json({"models": engine.registry.describe()})
-        elif self.path == "/stats":
+        elif path == "/stats":
             self._send_json(engine.stats.snapshot())
+        elif path == "/metrics":
+            self._send_metrics(query)
         else:
             self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
 

@@ -1,0 +1,154 @@
+"""Chrome trace-event-format export — open any study trace in Perfetto.
+
+Converts the JSONL span stream (:mod:`repro.telemetry.events`) into the
+Chrome trace event format (the ``{"traceEvents": [...]}`` JSON consumed by
+``chrome://tracing`` and https://ui.perfetto.dev): ``B``/``E`` duration
+events for spans, ``C`` counter tracks for counters and gauges, ``i``
+instants for point events, and ``M`` metadata naming each process track.
+
+Clock handling: within one process, ``t`` (``time.perf_counter``) gives
+exact relative timing but has an arbitrary epoch per process.  Each
+process's timeline is therefore anchored on its first ``span_start``'s
+``wall − t`` offset, aligning workers on a common wall-clock base; the
+earliest event across processes becomes ``ts = 0``.  Funneled worker
+batches land in the merged trace at *write* order, so events from
+concurrent threads can interleave slightly out of clock order — timestamps
+are clamped monotonically non-decreasing per thread track, which Perfetto
+requires for correct nesting.  Each pid renders as one process with one
+thread track (the funnel serializes per-process events).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+__all__ = [
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+]
+
+
+def _pid_offsets(events: list[dict]) -> dict:
+    """Per-pid ``wall − t`` anchor from each pid's first wall-bearing event."""
+    offsets: dict = {}
+    for event in events:
+        pid = event.get("pid")
+        if pid not in offsets and "wall" in event and "t" in event:
+            offsets[pid] = float(event["wall"]) - float(event["t"])
+    return offsets
+
+
+def chrome_trace_events(events: list[dict]) -> list[dict]:
+    """Convert telemetry events into Chrome trace-event dicts.
+
+    Event ``args`` carry the telemetry attributes verbatim (minus the
+    envelope fields), so span attrs are inspectable in the Perfetto UI.
+    """
+    offsets = _pid_offsets(events)
+    default_offset = min(offsets.values(), default=0.0)
+    absolute = []
+    for event in events:
+        pid = event.get("pid")
+        t = float(event.get("t", 0.0))
+        absolute.append(t + offsets.get(pid, default_offset))
+    base = min(absolute, default=0.0)
+
+    envelope = {"ev", "name", "span", "parent", "t", "wall", "pid", "dur_s", "value"}
+    out: list[dict] = []
+    seen_pids: list = []
+    counters: dict = {}
+    last_ts: dict = {}
+    for event, abs_t in zip(events, absolute):
+        kind = event.get("ev")
+        pid = event.get("pid")
+        if pid not in last_ts:
+            seen_pids.append(pid)
+        ts = (abs_t - base) * 1e6
+        ts = max(ts, last_ts.get(pid, 0.0))
+        last_ts[pid] = ts
+        name = event.get("name", "")
+        args = {k: v for k, v in event.items() if k not in envelope}
+        common = {"pid": pid, "tid": pid, "ts": round(ts, 3)}
+        if kind == "span_start":
+            out.append({"name": name, "ph": "B", **common, "args": args})
+        elif kind == "span_end":
+            out.append({"name": name, "ph": "E", **common, "args": args})
+        elif kind == "counter":
+            key = (pid, name)
+            counters[key] = counters.get(key, 0) + event.get("value", 1)
+            out.append({"name": name, "ph": "C", **common,
+                        "args": {name: counters[key]}})
+        elif kind == "gauge":
+            out.append({"name": name, "ph": "C", **common,
+                        "args": {name: event.get("value", 0.0)}})
+        elif kind == "event":
+            out.append({"name": name, "ph": "i", "s": "t", **common, "args": args})
+    for pid in seen_pids:
+        out.append({"name": "process_name", "ph": "M", "pid": pid, "tid": pid,
+                    "args": {"name": f"repro pid {pid}"}})
+    return out
+
+
+def export_chrome_trace(events: list[dict], path: str | os.PathLike) -> dict:
+    """Write a Chrome trace JSON file; returns :func:`validate_chrome_trace` stats."""
+    trace = {"traceEvents": chrome_trace_events(events), "displayTimeUnit": "ms"}
+    stats = validate_chrome_trace(trace)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(trace) + "\n")
+    return stats
+
+
+def validate_chrome_trace(trace: dict) -> dict:
+    """Structural validation of an exported Chrome trace.
+
+    Checks, per thread track: ``B``/``E`` events balance with matching
+    names (properly nested), and timestamps are monotonically
+    non-decreasing.  Raises :class:`ValueError` on violation; returns
+    ``{"events": n, "spans": n, "tids": n}``.
+    """
+    trace_events = trace.get("traceEvents")
+    if not isinstance(trace_events, list):
+        raise ValueError("chrome trace missing 'traceEvents' list")
+    stacks: dict = {}
+    last_ts: dict = {}
+    spans = 0
+    for index, event in enumerate(trace_events):
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        if "pid" not in event or "tid" not in event or "ts" not in event:
+            raise ValueError(f"event {index}: missing pid/tid/ts: {event}")
+        tid = (event["pid"], event["tid"])
+        ts = float(event["ts"])
+        if ts < 0 or not math.isfinite(ts):
+            raise ValueError(f"event {index}: bad timestamp {ts}")
+        if ts < last_ts.get(tid, 0.0):
+            raise ValueError(
+                f"event {index}: ts {ts} decreases on tid {tid} "
+                f"(previous {last_ts[tid]})"
+            )
+        last_ts[tid] = ts
+        if ph == "B":
+            stacks.setdefault(tid, []).append(event.get("name", ""))
+        elif ph == "E":
+            stack = stacks.get(tid)
+            if not stack:
+                raise ValueError(f"event {index}: E without open B on tid {tid}")
+            open_name = stack.pop()
+            if event.get("name", "") != open_name:
+                raise ValueError(
+                    f"event {index}: E for {event.get('name')!r} but innermost "
+                    f"open B on tid {tid} is {open_name!r}"
+                )
+            spans += 1
+        elif ph not in ("C", "i"):
+            raise ValueError(f"event {index}: unknown phase {ph!r}")
+    open_tids = {tid: stack for tid, stack in stacks.items() if stack}
+    if open_tids:
+        raise ValueError(f"unbalanced chrome trace: open B events: {open_tids}")
+    return {"events": len(trace_events), "spans": spans, "tids": len(last_ts)}

@@ -1,0 +1,578 @@
+"""Live metrics — counters, gauges, and bucketed histograms.
+
+Where :mod:`repro.telemetry.events` answers "where did the wall-clock go"
+*after* a run (JSONL trace spans), this module answers "what is happening
+*right now*": a process-global :class:`MetricsRegistry` of
+
+- :class:`Counter` — monotonically increasing tallies
+  (``serve_requests_total``, ``train_steps_total``);
+- :class:`Gauge` — last-written instantaneous values (``serve_inflight``);
+- :class:`Histogram` — fixed log-spaced buckets with quantile estimation
+  from bucket counts (request latency, batch size, queue depth).
+
+Design constraints, in priority order:
+
+1. **Near-zero cost when unused.**  The process default is
+   :data:`NULL_METRICS`, whose metric handles are no-op singletons — an
+   instrumented call site pays one :func:`get_metrics` lookup and an empty
+   method call, exactly the :func:`~repro.telemetry.events.get_telemetry`
+   pattern.  ``benchmarks/bench_overhead.py::test_metrics_overhead`` gates
+   the disabled path below 2%.
+2. **Lock-free hot path.**  ``inc``/``set``/``observe`` are plain int/float
+   updates on pre-allocated slots (GIL-serialized); locks guard only
+   metric *creation* and cross-process merge.  Snapshots read live values
+   without stopping writers — each snapshot is internally consistent per
+   metric, not across metrics, which is all a dashboard needs.
+3. **Mergeable across workers.**  A worker snapshots (and resets) its
+   registry into a plain picklable dict that rides home on
+   ``CellOutcome.metrics`` — the same funnel ``RecordingTelemetry`` uses —
+   and :meth:`MetricsRegistry.merge` folds it into the collector's
+   registry, so a ``--jobs N`` sweep aggregates to the same totals as a
+   serial one.
+
+Snapshots render to both JSON (verbatim dict) and Prometheus text
+exposition format (:func:`render_prometheus`, served on ``/metrics``);
+:func:`parse_prometheus_text` inverts the rendering for round-trip tests
+and CI validation.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "metrics_scope",
+    "log_buckets",
+    "LATENCY_BUCKETS_S",
+    "BATCH_SIZE_BUCKETS",
+    "QUEUE_DEPTH_BUCKETS",
+    "histogram_quantile",
+    "latency_summary_ms",
+    "render_prometheus",
+    "parse_prometheus_text",
+]
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 4) -> tuple[float, ...]:
+    """Log-spaced histogram bucket upper bounds covering ``[lo, hi]``.
+
+    ``per_decade`` bounds per power of ten, rounded to 6 significant digits
+    so rendered Prometheus ``le`` labels are stable across platforms.
+    """
+    if not (0 < lo < hi):
+        raise ValueError(f"need 0 < lo < hi, got lo={lo} hi={hi}")
+    steps = int(round(math.log10(hi / lo) * per_decade))
+    bounds = [float(f"{lo * 10 ** (i / per_decade):.6g}") for i in range(steps + 1)]
+    return tuple(dict.fromkeys(bounds))
+
+
+#: 10µs … 10s, 4 buckets per decade — request/step latency in seconds.
+LATENCY_BUCKETS_S = log_buckets(1e-5, 10.0, per_decade=4)
+#: Micro-batch sizes: powers of two up to the plausible ``max_batch``.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+#: Queue depth observed at submit time.
+QUEUE_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "help", "_value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def merge(self, snap: dict) -> None:
+        self._value += snap["value"]
+
+
+class Gauge:
+    """A last-written instantaneous value."""
+
+    __slots__ = ("name", "help", "_value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def add(self, amount: float) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._value}
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def merge(self, snap: dict) -> None:
+        # Gauges are instantaneous; on merge the incoming (newer) value wins.
+        self._value = snap["value"]
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimation from bucket counts.
+
+    ``bounds`` are ascending upper bounds with Prometheus ``le`` (<=)
+    semantics; one implicit overflow bucket (``+Inf``) follows.  ``counts``
+    are per-bucket (*not* cumulative) so merge is element-wise addition;
+    :func:`render_prometheus` re-cumulates for the exposition format.
+    Observed ``min``/``max`` are tracked exactly and clamp quantiles, so
+    p0/p100 are exact and interior quantiles are within one bucket width.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "count", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
+                 help: str = "") -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram buckets must be strictly ascending: {bounds}")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from bucket counts."""
+        return histogram_quantile(self.bounds, self.counts, self.count,
+                                  self.min, self.max, q)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def merge(self, snap: dict) -> None:
+        if tuple(snap["buckets"]) != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ "
+                f"({snap['buckets']} vs {list(self.bounds)})"
+            )
+        for i, c in enumerate(snap["counts"]):
+            self.counts[i] += c
+        self.sum += snap["sum"]
+        self.count += snap["count"]
+        if snap["count"]:
+            self.min = min(self.min, snap["min"])
+            self.max = max(self.max, snap["max"])
+
+
+def histogram_quantile(bounds: tuple[float, ...], counts: list[int], total: int,
+                       vmin: float, vmax: float, q: float) -> float:
+    """Prometheus-style quantile: linear interpolation inside the bucket
+    containing rank ``q * total``, clamped to the observed ``[vmin, vmax]``.
+    """
+    if total == 0:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    rank = q * total
+    cumulative = 0.0
+    for i, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            lo = bounds[i - 1] if i > 0 else vmin
+            hi = bounds[i] if i < len(bounds) else vmax
+            lo = max(lo, vmin)
+            hi = min(hi, vmax)
+            if hi <= lo:
+                return min(max(lo, vmin), vmax)
+            frac = (rank - cumulative) / bucket_count
+            return min(max(lo + frac * (hi - lo), vmin), vmax)
+        cumulative += bucket_count
+    return vmax
+
+
+def latency_summary_ms(hist: Histogram) -> dict:
+    """p50/p95/p99 of a latency histogram (seconds in, milliseconds out).
+
+    The single percentile implementation shared by the live ``/stats``
+    endpoint and ``benchmarks/bench_serving.py`` — the acceptance criterion
+    that both agree is held by construction.
+    """
+    return {
+        "p50_ms": round(hist.quantile(0.50) * 1e3, 4),
+        "p95_ms": round(hist.quantile(0.95) * 1e3, 4),
+        "p99_ms": round(hist.quantile(0.99) * 1e3, 4),
+    }
+
+
+class MetricsRegistry:
+    """A process-global family of named metrics.
+
+    Metric *creation* (get-or-create by name) takes a lock; the returned
+    handles update lock-free.  Call sites should fetch handles once per
+    scope (``m = get_metrics().counter("x")``) or per call — both are
+    cheap — but must go through :func:`get_metrics` at least once per
+    logical scope so scoped swaps and fork safety work.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+
+    def _get_or_create(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name, **kwargs)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
+                  help: str = "") -> Histogram:
+        return self._get_or_create(name, Histogram, buckets=buckets, help=help)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._metrics.get(name)
+
+    def metrics(self) -> list[Counter | Gauge | Histogram]:
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    # -- snapshot / merge ------------------------------------------------
+    def snapshot(self) -> dict:
+        """A picklable ``{name: {...}}`` dict of every metric's state."""
+        return {m.name: m.snapshot() for m in self.metrics()}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a worker's snapshot into this registry (creating metrics)."""
+        with self._lock:
+            for name in sorted(snapshot):
+                snap = snapshot[name]
+                metric = self._metrics.get(name)
+                if metric is None:
+                    if snap["type"] == "counter":
+                        metric = Counter(name)
+                    elif snap["type"] == "gauge":
+                        metric = Gauge(name)
+                    elif snap["type"] == "histogram":
+                        metric = Histogram(name, buckets=tuple(snap["buckets"]))
+                    else:
+                        raise ValueError(f"unknown metric type {snap['type']!r}")
+                    self._metrics[name] = metric
+                elif metric.kind != snap["type"]:
+                    raise TypeError(
+                        f"cannot merge {snap['type']} snapshot into "
+                        f"{metric.kind} metric {name!r}"
+                    )
+                metric.merge(snap)
+
+    def snapshot_and_reset(self) -> dict:
+        """Snapshot then zero every metric — the worker-side funnel step."""
+        snap = self.snapshot()
+        self.reset()
+        return snap
+
+    def reset(self) -> None:
+        for metric in self._metrics.values():
+            metric.reset()
+
+
+class _NullMetric:
+    """The reusable do-nothing metric handle."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetrics:
+    """The disabled registry: every handle is a shared no-op singleton."""
+
+    enabled = False
+    _pid = None
+
+    def counter(self, name: str, help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
+                  help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def get(self, name: str) -> None:
+        return None
+
+    def metrics(self) -> list:
+        return []
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def merge(self, snapshot: dict) -> None:
+        pass
+
+    def snapshot_and_reset(self) -> dict:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+#: The shared disabled registry (safe to compare with ``is``).
+NULL_METRICS = NullMetrics()
+
+_ACTIVE_METRICS: MetricsRegistry | NullMetrics = NULL_METRICS
+
+
+def get_metrics() -> MetricsRegistry | NullMetrics:
+    """The active metrics registry for *this* process.
+
+    Returns :data:`NULL_METRICS` when none is installed — and also after a
+    fork, if the installed registry belongs to the parent process (a forked
+    worker must not double-count into the parent's registry; the executor
+    installs a fresh one and funnels its snapshot home instead).
+    """
+    active = _ACTIVE_METRICS
+    if active is NULL_METRICS or active._pid == os.getpid():
+        return active
+    return NULL_METRICS
+
+
+def set_metrics(registry: MetricsRegistry | NullMetrics | None) -> None:
+    """Install (or with ``None``, clear) the process-global registry."""
+    global _ACTIVE_METRICS
+    _ACTIVE_METRICS = registry if registry is not None else NULL_METRICS
+
+
+@contextmanager
+def metrics_scope(registry: MetricsRegistry | NullMetrics) -> Iterator[MetricsRegistry | NullMetrics]:
+    """Temporarily install ``registry`` as the process-global registry."""
+    global _ACTIVE_METRICS
+    previous = _ACTIVE_METRICS
+    _ACTIVE_METRICS = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE_METRICS = previous
+
+
+# -- Prometheus text exposition format ----------------------------------
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus text exposition format.
+
+    Histograms render cumulative ``_bucket{le=...}`` series ending in
+    ``+Inf``, plus ``_sum`` and ``_count``; counters and gauges render one
+    sample each.  Output ends with a trailing newline per the format spec.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        kind = snap["type"]
+        lines.append(f"# TYPE {name} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name} {_format_value(snap['value'])}")
+        elif kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(snap["buckets"], snap["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            cumulative += snap["counts"][len(snap["buckets"])]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_format_value(snap['sum'])}")
+            lines.append(f"{name}_count {snap['count']}")
+        else:
+            raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse Prometheus text exposition back into a snapshot-shaped dict.
+
+    The inverse of :func:`render_prometheus` for the metric shapes this
+    module emits (no labels other than histogram ``le``).  Histogram
+    ``min``/``max`` are not part of the exposition format and come back as
+    ``None``.  Used by the round-trip tests and the CI ``/metrics`` smoke.
+    """
+    types: dict[str, str] = {}
+    samples: dict[str, list[tuple[str | None, float]]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        le = None
+        if "{" in name_part:
+            name, _, label_part = name_part.partition("{")
+            label_part = label_part.rstrip("}")
+            for label in label_part.split(","):
+                key, _, val = label.partition("=")
+                if key.strip() == "le":
+                    le = val.strip().strip('"')
+        else:
+            name = name_part
+        samples.setdefault(name, []).append((le, _parse_number(value_part)))
+
+    snapshot: dict = {}
+    for name, kind in types.items():
+        if kind in ("counter", "gauge"):
+            values = samples.get(name, [])
+            if len(values) != 1:
+                raise ValueError(f"{name}: expected one sample, got {len(values)}")
+            value = values[0][1]
+            if kind == "counter" and float(value).is_integer():
+                value = int(value)
+            snapshot[name] = {"type": kind, "value": value}
+        elif kind == "histogram":
+            buckets = [(
+                _parse_number(le), int(v)
+            ) for le, v in samples.get(f"{name}_bucket", []) if le is not None]
+            buckets.sort(key=lambda pair: pair[0])
+            if not buckets or buckets[-1][0] != math.inf:
+                raise ValueError(f"{name}: histogram missing +Inf bucket")
+            bounds = [b for b, _ in buckets[:-1]]
+            counts, previous = [], 0
+            for _, cum in buckets:
+                counts.append(cum - previous)
+                previous = cum
+            (_, total), = samples.get(f"{name}_count", [(None, 0.0)])
+            (_, total_sum), = samples.get(f"{name}_sum", [(None, 0.0)])
+            if int(total) != buckets[-1][1]:
+                raise ValueError(
+                    f"{name}: _count {int(total)} != +Inf bucket {buckets[-1][1]}"
+                )
+            snapshot[name] = {
+                "type": "histogram",
+                "buckets": bounds,
+                "counts": counts,
+                "sum": total_sum,
+                "count": int(total),
+                "min": None,
+                "max": None,
+            }
+        else:
+            raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+    return snapshot

@@ -12,7 +12,8 @@ import os
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
-from .trace import read_trace, span_tree, validate_trace
+from .metrics import histogram_quantile
+from .trace import read_trace, repair_trace, span_tree, validate_trace
 
 __all__ = ["TraceSummary", "summarize_trace", "render_trace_summary"]
 
@@ -48,19 +49,36 @@ class TraceSummary:
     #: aggregated ``compiled_fit`` events (compiled vs eager step counts,
     #: workspace effectiveness) — empty when no fit ran in compiled mode
     compiled_exec: dict = field(default_factory=dict)
+    #: the final ``metrics_snapshot`` event's registry snapshot — empty when
+    #: the run had live metrics disabled
+    metrics: dict = field(default_factory=dict)
+    #: repairs applied while reading a truncated trace (tolerant mode only)
+    warnings: list = field(default_factory=list)
     #: total study wall-clock (sum of root span durations)
     total_s: float = 0.0
 
 
-def summarize_trace(source: "str | os.PathLike | list[dict]", top: int = 5) -> TraceSummary:
+def summarize_trace(
+    source: "str | os.PathLike | list[dict]", top: int = 5, strict: bool = True
+) -> TraceSummary:
     """Summarize a trace file (or pre-read event list) into a :class:`TraceSummary`.
 
     The trace is validated first — a summary of an unbalanced or corrupt
-    trace would silently lie about where time went.
+    trace would silently lie about where time went.  With ``strict=False``
+    a truncated or corrupt trace (killed sweep) is repaired instead of
+    rejected: the readable prefix is summarized, synthesized span ends are
+    tagged ``truncated``, and the repairs land in ``summary.warnings``.
     """
-    events = source if isinstance(source, list) else read_trace(source)
+    warnings: list[str] = []
+    if isinstance(source, list):
+        events = source
+    else:
+        events = read_trace(source, strict=strict)
+    if not strict:
+        events, warnings = repair_trace(events)
     stats = validate_trace(events)
     summary = TraceSummary(events=stats["events"], spans=stats["spans"], pids=stats["pids"])
+    summary.warnings = warnings
 
     phase_counts: Counter = Counter()
     phase_seconds: defaultdict = defaultdict(float)
@@ -78,6 +96,10 @@ def summarize_trace(source: "str | os.PathLike | list[dict]", top: int = 5) -> T
             counters[name] += int(event.get("value", 1))
         elif kind == "event":
             points[name] += 1
+            if name == "metrics_snapshot":
+                # Snapshots are cumulative per emitting registry; the last
+                # one in file order is the run's final state.
+                summary.metrics = dict(event.get("metrics", {}))
             if name == "compiled_fit":
                 for field_name in (
                     "compiled_steps",
@@ -116,11 +138,39 @@ def summarize_trace(source: "str | os.PathLike | list[dict]", top: int = 5) -> T
     return summary
 
 
+def _render_metric_line(name: str, snap: dict) -> str:
+    kind = snap.get("type")
+    if kind == "histogram":
+        count = snap.get("count", 0)
+        if not count:
+            return f"  {name:<34} histogram  empty"
+        mean = snap["sum"] / count
+        vmin = snap.get("min") or 0.0
+        vmax = snap.get("max") or 0.0
+        quantiles = " ".join(
+            f"p{int(q * 100)}={histogram_quantile(tuple(snap['buckets']), snap['counts'], count, vmin, vmax, q):.6g}"
+            for q in (0.5, 0.95, 0.99)
+        )
+        return (
+            f"  {name:<34} histogram  count={count} mean={mean:.6g} {quantiles}"
+        )
+    return f"  {name:<34} {kind:<9}  {snap.get('value', 0):.6g}"
+
+
 def render_trace_summary(summary: TraceSummary) -> str:
     """Render a :class:`TraceSummary` as the ``repro-study trace`` report."""
     lines = [
         f"trace: {summary.events} events, {summary.spans} spans, "
         f"{summary.pids} process(es), {summary.total_s:.2f}s total",
+    ]
+    if summary.warnings:
+        lines.append("")
+        lines.append(f"warnings ({len(summary.warnings)} repairs, truncated trace):")
+        for warning in summary.warnings[:5]:
+            lines.append(f"  {warning}")
+        if len(summary.warnings) > 5:
+            lines.append(f"  ... and {len(summary.warnings) - 5} more")
+    lines += [
         "",
         "per-phase wall-clock:",
     ]
@@ -160,6 +210,12 @@ def render_trace_summary(summary: TraceSummary) -> str:
             f"{ce.get('workspace_misses', 0)} misses, "
             f"{ce.get('workspace_dropped', 0)} dropped"
         )
+
+    if summary.metrics:
+        lines.append("")
+        lines.append("metrics:")
+        for name in sorted(summary.metrics):
+            lines.append(_render_metric_line(name, summary.metrics[name]))
 
     if summary.slowest_units:
         lines.append("")

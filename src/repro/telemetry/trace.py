@@ -18,6 +18,7 @@ __all__ = [
     "TraceError",
     "SpanNode",
     "read_trace",
+    "repair_trace",
     "validate_trace",
     "span_tree",
     "hierarchy_signature",
@@ -33,11 +34,16 @@ class TraceError(ValueError):
     """A trace file or event stream violates the trace format."""
 
 
-def read_trace(path: str | os.PathLike) -> list[dict]:
+def read_trace(path: str | os.PathLike, strict: bool = True) -> list[dict]:
     """Load a JSONL trace file into a list of event dicts.
 
-    A torn *final* line (a sweep killed mid-write) is tolerated and dropped;
-    a malformed line anywhere else raises :class:`TraceError`.
+    A torn *final* line (a sweep killed mid-write) is always tolerated and
+    dropped.  In strict mode (the default) a malformed line anywhere else
+    raises :class:`TraceError`; with ``strict=False`` the readable prefix up
+    to the first malformed line is returned instead — the right behavior
+    for summarizing what a killed or disk-full sweep did manage to record.
+    Pair with :func:`repair_trace` to close any spans the truncation left
+    open.
     """
     lines = Path(path).read_text().splitlines()
     events: list[dict] = []
@@ -49,13 +55,58 @@ def read_trace(path: str | os.PathLike) -> list[dict]:
         try:
             event = json.loads(raw)
         except json.JSONDecodeError:
-            if index == last_index:
+            if index == last_index or not strict:
                 break
             raise TraceError(f"{path}:{index + 1}: malformed trace line") from None
         if not isinstance(event, dict) or "ev" not in event:
+            if not strict:
+                break
             raise TraceError(f"{path}:{index + 1}: not a trace event")
         events.append(event)
     return events
+
+
+def repair_trace(events: list[dict]) -> tuple[list[dict], list[str]]:
+    """Close any spans a truncated stream left open; return (events, warnings).
+
+    Walks the stream with the same single-writer stack discipline as
+    :func:`validate_trace`, drops any tail ``span_end`` that no longer
+    matches an open span, and synthesizes ``span_end`` events (tagged
+    ``outcome: "truncated"``, ``dur_s: 0``) for spans still open at the end
+    of file, innermost first.  The result always passes
+    :func:`validate_trace`; the warnings name what was repaired.
+    """
+    repaired: list[dict] = []
+    stack: list[dict] = []
+    warnings: list[str] = []
+    for event in events:
+        kind = event.get("ev")
+        if kind == "span_start":
+            stack.append(event)
+        elif kind == "span_end":
+            if not stack or stack[-1].get("span") != event.get("span"):
+                warnings.append(
+                    f"dropped span_end for {event.get('name')!r} "
+                    f"({event.get('span')}): no matching open span"
+                )
+                continue
+            stack.pop()
+        repaired.append(event)
+    for start in reversed(stack):
+        warnings.append(
+            f"synthesized span_end for truncated span {start.get('name')!r} "
+            f"({start.get('span')})"
+        )
+        repaired.append({
+            "ev": "span_end",
+            "name": start.get("name", ""),
+            "span": start.get("span"),
+            "t": start.get("t", 0.0),
+            "dur_s": 0.0,
+            "outcome": "truncated",
+            "pid": start.get("pid"),
+        })
+    return repaired, warnings
 
 
 def validate_trace(events: list[dict]) -> dict:

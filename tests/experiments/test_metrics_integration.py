@@ -1,0 +1,125 @@
+"""Live metrics through the study funnel: serial == --jobs N aggregation.
+
+The registry rides the same outcome funnel as ``RecordingTelemetry``
+(worker snapshots on ``CellOutcome.metrics``, merged by the collector), so
+a parallel sweep must aggregate to the same counters a serial one does.
+Wall-clock-valued histograms (``train_epoch_seconds``) keep equal *counts*
+but not equal bucket vectors — durations differ run to run by design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ParallelExecutor,
+    plan_study,
+    run_resilient_study,
+)
+from repro.telemetry import (
+    MetricsRegistry,
+    NULL_METRICS,
+    get_metrics,
+    metrics_scope,
+    read_trace,
+    summarize_trace,
+)
+
+from .test_executors import MICRO, MICRO_GRID
+from .test_resilience import GRID, StubRunner
+
+
+def _sweep(executor=None, trace=None) -> dict:
+    """One MICRO sweep under a fresh registry; returns its final snapshot."""
+    with metrics_scope(MetricsRegistry()) as registry:
+        report = run_resilient_study(
+            ExperimentRunner(MICRO), executor=executor, trace=trace, **MICRO_GRID
+        )
+        assert report.ok
+        return registry.snapshot()
+
+
+class TestDisabledByDefault:
+    def test_outcomes_carry_no_metrics_when_disabled(self):
+        from repro.experiments.executors import execute_unit
+
+        unit = plan_study(scale=StubRunner().scale, **GRID)[0]
+        outcome = execute_unit(StubRunner(), unit)
+        assert outcome.metrics is None
+
+    def test_study_leaves_global_registry_null(self):
+        report = run_resilient_study(StubRunner(), **GRID)
+        assert report.ok
+        assert get_metrics() is NULL_METRICS
+
+
+class TestSerialSweepMetrics:
+    @pytest.fixture(scope="class")
+    def snapshot(self):
+        return _sweep()
+
+    def test_training_counters_present(self, snapshot):
+        assert snapshot["train_epochs_total"]["value"] > 0
+        assert snapshot["train_steps_total"]["value"] > 0
+        assert snapshot["train_examples_total"]["value"] > 0
+
+    def test_epoch_histogram_counts_match_counter(self, snapshot):
+        hist = snapshot["train_epoch_seconds"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == snapshot["train_epochs_total"]["value"]
+        assert hist["sum"] > 0.0
+
+
+class TestSerialParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def snapshots(self):
+        return {
+            "serial": _sweep(),
+            "parallel": _sweep(executor=ParallelExecutor(jobs=2)),
+        }
+
+    def test_counters_identical(self, snapshots):
+        serial, parallel = snapshots["serial"], snapshots["parallel"]
+        assert set(serial) == set(parallel)
+        for name, snap in serial.items():
+            if snap["type"] == "counter":
+                assert snap == parallel[name], name
+
+    def test_histogram_totals_identical(self, snapshots):
+        """Counts must agree; bucket vectors and sums are wall-clock-valued
+        and legitimately differ between runs."""
+        serial, parallel = snapshots["serial"], snapshots["parallel"]
+        for name, snap in serial.items():
+            if snap["type"] == "histogram":
+                other = parallel[name]
+                assert snap["count"] == other["count"], name
+                assert snap["buckets"] == other["buckets"], name
+                assert sum(snap["counts"]) == snap["count"], name
+
+
+class TestMetricsInTrace:
+    def test_traced_sweep_lands_metrics_snapshot(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        snapshot = _sweep(trace=path)
+        events = read_trace(path)
+        snapshots = [
+            e for e in events
+            if e["ev"] == "event" and e["name"] == "metrics_snapshot"
+        ]
+        assert snapshots, "traced+metered sweep must emit a metrics_snapshot"
+        final = snapshots[-1]["metrics"]
+        assert final["train_epochs_total"] == snapshot["train_epochs_total"]
+
+    def test_summary_renders_metrics_section(self, tmp_path):
+        from repro.telemetry.summary import render_trace_summary
+
+        path = tmp_path / "trace.jsonl"
+        _sweep(trace=path)
+        summary = summarize_trace(path)
+        assert summary.metrics
+        text = render_trace_summary(summary)
+        assert "metrics:" in text
+        assert "train_epochs_total" in text
+        assert "train_epoch_seconds" in text
+        assert "p95=" in text

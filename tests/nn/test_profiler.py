@@ -1,0 +1,154 @@
+"""Per-op compiled-step profiler: zero-impact contract and report shape.
+
+The profiler's core promise mirrors the compiled tape's own: arming it
+changes *when* the clock is read, never *what* the step computes.  Replayed
+losses, logits, and gradients must be bitwise identical with profiling on
+and off, and disabling it must restore the branch-free armed loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import SGD, CrossEntropy, Tensor, use_kernel_mode
+from repro.nn.compile import compile_tape
+from repro.nn.profiler import (
+    StepProfile,
+    profile_model_step,
+    render_profile_report,
+)
+from repro.nn.tape import Tape, tape_scope
+
+NUM_CLASSES = 3
+IMAGE_SHAPE = (1, 12, 12)
+BATCH = 4
+
+
+def _compiled_step():
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(BATCH, *IMAGE_SHAPE)).astype(np.float32)
+    y = np.eye(NUM_CLASSES, dtype=np.float32)[rng.integers(0, NUM_CLASSES, BATCH)]
+    model = build_model(
+        "convnet", IMAGE_SHAPE, NUM_CLASSES, width=2, rng=np.random.default_rng(3)
+    )
+    model.train()
+    optimizer = SGD(model.parameters(), lr=0.05)
+    loss_fn = CrossEntropy()
+    tape = Tape()
+    with tape_scope(tape):
+        logits = model(Tensor(x))
+        loss = loss_fn(logits, y)
+        optimizer.zero_grad()
+        loss.backward()
+    step = compile_tape(tape, loss, logits, (x, y))
+    return step, model, optimizer, x, y
+
+
+class TestProfileToggle:
+    def test_profiled_replay_is_bitwise_identical(self):
+        """Same feeds, profile off vs on vs off again: identical numerics."""
+        with use_kernel_mode("compiled"):
+            step, model, optimizer, x, y = _compiled_step()
+
+            def replay():
+                loss, logits = step.forward((x, y))
+                optimizer.zero_grad()
+                step.backward()
+                grads = [p.grad.copy() for p in model.parameters() if p.grad is not None]
+                return float(loss), logits.copy(), grads
+
+            baseline = replay()
+            step.enable_profile()
+            profiled = replay()
+            step.disable_profile()
+            restored = replay()
+
+        for run in (profiled, restored):
+            assert run[0] == baseline[0]  # loss, exact
+            np.testing.assert_array_equal(run[1], baseline[1])
+            assert len(run[2]) == len(baseline[2])
+            for got, want in zip(run[2], baseline[2]):
+                np.testing.assert_array_equal(got, want)
+
+    def test_disabled_profile_attribute_is_none(self):
+        with use_kernel_mode("compiled"):
+            step, *_ = _compiled_step()
+        assert step.profile is None
+        profile = step.enable_profile()
+        assert step.profile is profile
+        assert step.enable_profile() is profile  # idempotent
+        assert step.disable_profile() is profile
+        assert step.profile is None
+
+    def test_profile_accumulates_per_slot(self):
+        with use_kernel_mode("compiled"):
+            step, model, optimizer, x, y = _compiled_step()
+            profile = step.enable_profile()
+            for _ in range(3):
+                step.forward((x, y))
+                step.backward()
+        assert profile.steps == 3
+        assert all(calls == 3 for calls in profile.fwd_calls)
+        assert sum(profile.fwd_s) > 0.0
+        assert sum(profile.bwd_s) > 0.0
+        # Executed backward slots are called every step; skipped ones never.
+        assert all(calls in (0, 3) for calls in profile.bwd_calls)
+
+    def test_reset_zeroes_accumulators(self):
+        with use_kernel_mode("compiled"):
+            step, model, optimizer, x, y = _compiled_step()
+            profile = step.enable_profile()
+            step.forward((x, y))
+            step.backward()
+            profile.reset()
+        assert profile.steps == 0
+        assert sum(profile.fwd_calls) == 0
+        assert profile.op_total_s == 0.0
+
+
+class TestRows:
+    def test_rows_aggregate_by_op_name(self):
+        profile = StepProfile(["conv2d", "relu", "conv2d"], ["conv2d", "relu"])
+        profile.fwd_s = [0.2, 0.05, 0.1]
+        profile.fwd_calls = [2, 2, 2]
+        profile.bwd_s = [0.3, 0.01]
+        profile.bwd_calls = [2, 2]
+        rows = profile.rows()
+        assert [row.op for row in rows] == ["conv2d", "relu"]  # slowest first
+        conv = rows[0]
+        assert conv.entries == 2  # forward schedule slots only
+        assert conv.fwd_s == pytest.approx(0.3)
+        assert conv.bwd_s == pytest.approx(0.3)
+        assert conv.total_s == pytest.approx(0.6)
+        assert conv.calls == 6  # 2+2 forward + 2 backward
+
+
+class TestHarness:
+    def test_profile_model_step_coverage(self):
+        """The op table must explain >= 90% of the measured step wall."""
+        report = profile_model_step(
+            model="convnet", image_shape=IMAGE_SHAPE, num_classes=NUM_CLASSES,
+            width=2, batch=BATCH, steps=10, warmup=2,
+        )
+        assert report.steps == 10
+        assert report.profile.steps == 10
+        assert report.wall_s > 0.0
+        assert 0.90 <= report.coverage <= 1.0, report.coverage
+
+    def test_render_report_shape(self):
+        report = profile_model_step(
+            model="convnet", image_shape=IMAGE_SHAPE, num_classes=NUM_CLASSES,
+            width=2, batch=2, steps=2, warmup=1,
+        )
+        text = render_profile_report(report)
+        assert "profile: convnet" in text
+        assert "coverage" in text
+        assert "conv2d" in text
+        top1 = render_profile_report(report, top=1)
+        assert len(top1.splitlines()) < len(text.splitlines())
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            profile_model_step(model="transformer9000", steps=1, warmup=1)

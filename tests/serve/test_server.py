@@ -161,6 +161,56 @@ class TestPredict:
         assert "return kind" in body["error"]
 
 
+class TestMetricsEndpoint:
+    def test_metrics_prometheus_text(self, server, inputs):
+        from repro.telemetry import parse_prometheus_text
+
+        post(server, "/predict", {"model": KEY.id, "inputs": inputs[:4].tolist()})
+        request = urllib.request.Request(server.url + "/metrics")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode("utf-8")
+        parsed = parse_prometheus_text(text)  # validates +Inf buckets, counts
+        assert parsed["serve_requests_total"]["value"] >= 4
+        assert parsed["serve_batches_total"]["value"] >= 1
+        assert parsed["serve_errors_total"]["value"] == 0
+        latency = parsed["serve_request_latency_seconds"]
+        assert latency["type"] == "histogram"
+        assert latency["count"] >= 4
+        assert f'serve_request_latency_seconds_bucket{{le="+Inf"}}' in text
+
+    def test_metrics_json(self, server, inputs):
+        post(server, "/predict", {"model": KEY.id, "inputs": inputs[:2].tolist()})
+        snapshot = get(server, "/metrics?format=json")
+        assert snapshot["serve_requests_total"]["type"] == "counter"
+        assert snapshot["serve_requests_total"]["value"] >= 2
+        hist = snapshot["serve_request_latency_seconds"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == sum(hist["counts"])
+        assert len(hist["counts"]) == len(hist["buckets"]) + 1  # +Inf overflow
+
+    def test_stats_percentiles_match_histogram(self, server, inputs):
+        """/stats p50/p95/p99 come from the same histogram /metrics serves."""
+        from repro.telemetry import Histogram, latency_summary_ms
+
+        post(server, "/predict", {"model": KEY.id, "inputs": inputs[:8].tolist()})
+        stats = get(server, "/stats")
+        assert {"p50_ms", "p95_ms", "p99_ms"} == set(stats["latency_ms"])
+        assert {"p50", "p95", "p99", "counts", "buckets"} <= set(stats["batch_size"])
+
+        # Rebuild the histogram from the served snapshot and recompute the
+        # summary with the shared implementation — they must agree exactly.
+        snapshot = get(server, "/metrics?format=json")
+        served = snapshot["serve_request_latency_seconds"]
+        hist = Histogram("rebuilt", buckets=served["buckets"])
+        hist.merge(served)
+        rebuilt = latency_summary_ms(hist)
+        # The live histogram may have absorbed more requests between the two
+        # GETs only if another test ran concurrently; the suite is serial, so
+        # the snapshots agree.
+        assert stats["latency_ms"] == rebuilt
+
+
 class _SleepyModule:
     """Duck-typed module whose forward stalls long enough to trip timeouts."""
 

@@ -1,0 +1,176 @@
+"""Chrome trace-event export: conversion, clock anchoring, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    FileTelemetry,
+    chrome_trace_events,
+    export_chrome_trace,
+    read_trace,
+    validate_chrome_trace,
+)
+
+
+def span(name, span_id, t, pid=1, wall=None, parent=None, **attrs):
+    event = {"ev": "span_start", "name": name, "span": span_id,
+             "parent": parent, "t": t, "pid": pid, **attrs}
+    if wall is not None:
+        event["wall"] = wall
+    return event
+
+
+def span_end(name, span_id, t, pid=1, dur_s=0.0, **attrs):
+    return {"ev": "span_end", "name": name, "span": span_id, "t": t,
+            "pid": pid, "dur_s": dur_s, **attrs}
+
+
+class TestConversion:
+    def test_spans_become_balanced_b_e_pairs(self):
+        events = [
+            span("study", "1", 0.0, wall=100.0),
+            span("unit", "2", 0.1, parent="1"),
+            span_end("unit", "2", 0.4),
+            span_end("study", "1", 0.5),
+        ]
+        converted = chrome_trace_events(events)
+        phases = [e["ph"] for e in converted]
+        assert phases == ["B", "B", "E", "E", "M"]
+        stats = validate_chrome_trace({"traceEvents": converted})
+        assert stats == {"events": 5, "spans": 2, "tids": 1}
+
+    def test_timestamps_are_microseconds_from_first_event(self):
+        events = [
+            span("study", "1", 10.0, wall=100.0),
+            span_end("study", "1", 10.5),
+        ]
+        converted = chrome_trace_events(events)
+        assert converted[0]["ts"] == 0.0
+        assert converted[1]["ts"] == pytest.approx(0.5e6)
+
+    def test_attrs_land_in_args_without_envelope_fields(self):
+        events = [
+            span("unit", "1", 0.0, wall=1.0, key="gtsrb|convnet", rate=0.1),
+            span_end("unit", "1", 1.0),
+        ]
+        args = chrome_trace_events(events)[0]["args"]
+        assert args == {"key": "gtsrb|convnet", "rate": 0.1}
+
+    def test_point_events_become_instants(self):
+        events = [
+            span("study", "1", 0.0, wall=1.0),
+            {"ev": "event", "name": "checkpoint", "t": 0.2, "pid": 1, "cells": 3},
+            span_end("study", "1", 0.5),
+        ]
+        converted = chrome_trace_events(events)
+        instant = converted[1]
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+        assert instant["args"]["cells"] == 3
+
+    def test_counters_accumulate_into_counter_track(self):
+        events = [
+            span("study", "1", 0.0, wall=1.0),
+            {"ev": "counter", "name": "retries", "t": 0.1, "pid": 1, "value": 1},
+            {"ev": "counter", "name": "retries", "t": 0.2, "pid": 1, "value": 2},
+            span_end("study", "1", 0.5),
+        ]
+        converted = chrome_trace_events(events)
+        tracks = [e for e in converted if e["ph"] == "C"]
+        assert [t["args"]["retries"] for t in tracks] == [1, 3]
+
+    def test_worker_pids_anchor_on_wall_clock(self):
+        """Two processes with different perf_counter epochs align via wall."""
+        events = [
+            span("study", "1", 1000.0, pid=1, wall=500.0),
+            span("unit", "2", 5.0, pid=2, wall=500.2),  # different epoch
+            span_end("unit", "2", 5.3, pid=2),
+            span_end("study", "1", 1000.6, pid=1),
+        ]
+        converted = chrome_trace_events(events)
+        by_pid = {(e["pid"], e["ph"]): e["ts"] for e in converted if e["ph"] != "M"}
+        # Worker's span starts 0.2s after the study start on the shared axis.
+        assert by_pid[(2, "B")] == pytest.approx(0.2e6, rel=1e-6)
+        assert by_pid[(2, "E")] == pytest.approx(0.5e6, rel=1e-6)
+        # One metadata record per process.
+        assert sum(1 for e in converted if e["ph"] == "M") == 2
+
+    def test_out_of_order_funnel_timestamps_are_clamped(self):
+        """Funneled batches can interleave out of clock order; ts must not
+        decrease within a thread track."""
+        events = [
+            span("a", "1", 0.5, wall=10.5),
+            span_end("a", "1", 0.9),
+            span("b", "2", 0.4),  # written later, earlier clock
+            span_end("b", "2", 0.6),
+        ]
+        converted = chrome_trace_events(events)
+        ts = [e["ts"] for e in converted if e["ph"] != "M"]
+        assert ts == sorted(ts)
+        validate_chrome_trace({"traceEvents": converted})
+
+
+class TestValidation:
+    def test_rejects_unbalanced(self):
+        events = [span("study", "1", 0.0, wall=1.0)]
+        with pytest.raises(ValueError, match="open B"):
+            validate_chrome_trace({"traceEvents": chrome_trace_events(events)})
+
+    def test_rejects_mismatched_nesting(self):
+        trace = {"traceEvents": [
+            {"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 0.0},
+            {"name": "b", "ph": "E", "pid": 1, "tid": 1, "ts": 1.0},
+        ]}
+        with pytest.raises(ValueError, match="innermost"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_decreasing_timestamps(self):
+        trace = {"traceEvents": [
+            {"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 5.0},
+            {"name": "a", "ph": "E", "pid": 1, "tid": 1, "ts": 1.0},
+        ]}
+        with pytest.raises(ValueError, match="decreases"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_unknown_phase(self):
+        trace = {"traceEvents": [
+            {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0},
+        ]}
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+
+
+class TestExport:
+    def test_export_writes_valid_json(self, tmp_path):
+        events = [
+            span("study", "1", 0.0, wall=1.0),
+            span_end("study", "1", 0.5),
+        ]
+        out = tmp_path / "nested" / "chrome.json"
+        stats = export_chrome_trace(events, out)
+        assert stats["spans"] == 1
+        trace = json.loads(out.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        assert validate_chrome_trace(trace)["spans"] == 1
+
+    def test_real_telemetry_round_trip(self, tmp_path):
+        """A real FileTelemetry stream converts and validates end to end."""
+        trace_path = tmp_path / "trace.jsonl"
+        tel = FileTelemetry(trace_path)
+        with tel.span("study", cells=2):
+            for index in range(2):
+                with tel.span("unit", index=index):
+                    tel.counter("cells_done")
+            tel.event("metrics_snapshot", metrics={})
+        tel.close()
+        events = read_trace(trace_path)
+        stats = export_chrome_trace(events, tmp_path / "chrome.json")
+        assert stats["spans"] == 3
+        assert stats["tids"] == 1

@@ -1,0 +1,290 @@
+"""Unit tests for the live metrics registry (counters, gauges, histograms)."""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    BATCH_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    NULL_METRICS,
+    get_metrics,
+    latency_summary_ms,
+    log_buckets,
+    metrics_scope,
+    parse_prometheus_text,
+    render_prometheus,
+    set_metrics,
+)
+
+
+class TestBuckets:
+    def test_log_buckets_are_strictly_ascending(self):
+        buckets = log_buckets(1e-5, 10.0, per_decade=4)
+        assert list(buckets) == sorted(set(buckets))
+        assert buckets[0] == pytest.approx(1e-5)
+        assert buckets[-1] == pytest.approx(10.0)
+        # 6 decades x 4 per decade + the closing bound.
+        assert len(buckets) == 25
+
+    def test_log_buckets_validation(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(2.0, 1.0)
+
+    def test_default_bucket_families(self):
+        assert LATENCY_BUCKETS_S[0] == pytest.approx(1e-5)
+        assert BATCH_SIZE_BUCKETS == (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class TestCounterGauge:
+    def test_counter_inc_and_merge(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.merge({"type": "counter", "value": 7})
+        assert counter.value == 12
+        assert counter.snapshot() == {"type": "counter", "value": 12}
+
+    def test_gauge_set_add_merge(self):
+        gauge = Gauge("inflight")
+        gauge.set(3.0)
+        gauge.add(2.0)
+        assert gauge.value == 5.0
+        gauge.merge({"type": "gauge", "value": 1.5})  # incoming wins
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_le_semantics(self):
+        """Bucket bounds are inclusive upper bounds (Prometheus le)."""
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 9.0):
+            hist.observe(value)
+        assert hist.counts == [2, 2, 1, 1]  # <=1, <=2, <=4, +Inf
+        assert hist.count == 6
+        assert hist.min == 0.5 and hist.max == 9.0
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_quantiles_against_numpy(self):
+        """Estimated quantiles land within one bucket width of numpy's."""
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(mean=-6.0, sigma=1.0, size=5000)
+        hist = Histogram("lat", buckets=LATENCY_BUCKETS_S)
+        for value in values:
+            hist.observe(float(value))
+        bounds = (0.0,) + tuple(LATENCY_BUCKETS_S) + (math.inf,)
+        for q in (0.1, 0.5, 0.9, 0.95, 0.99):
+            exact = float(np.quantile(values, q))
+            estimate = hist.quantile(q)
+            # Same bucket (or adjacent, when the exact value sits on an edge).
+            exact_bucket = np.searchsorted(bounds, exact)
+            est_bucket = np.searchsorted(bounds, estimate)
+            assert abs(int(est_bucket) - int(exact_bucket)) <= 1, (q, exact, estimate)
+            # And within the bucket's span numerically.
+            assert estimate <= exact * 2.0 and estimate >= exact * 0.4
+
+    def test_quantile_extremes_are_exact(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 3.0, 42.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.5
+        assert hist.quantile(1.0) == 42.0
+
+    def test_empty_histogram(self):
+        hist = Histogram("h")
+        assert hist.quantile(0.5) == 0.0
+        assert hist.mean == 0.0
+        snap = hist.snapshot()
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_quantile_range_validation(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_merge_requires_matching_buckets(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        other = Histogram("h", buckets=(1.0, 3.0))
+        other.observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            hist.merge(other.snapshot())
+
+    def test_merge_adds_counts_and_tracks_extremes(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b.snapshot())
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.min == 0.5 and a.max == 5.0
+        assert a.sum == pytest.approx(7.0)
+
+    def test_latency_summary_ms(self):
+        hist = Histogram("lat", buckets=LATENCY_BUCKETS_S)
+        for ms in range(1, 101):  # 1..100 ms
+            hist.observe(ms / 1e3)
+        summary = latency_summary_ms(hist)
+        assert set(summary) == {"p50_ms", "p95_ms", "p99_ms"}
+        assert 30 < summary["p50_ms"] < 80
+        assert summary["p95_ms"] <= summary["p99_ms"] <= 100.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.get("a").value == 0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_snapshot_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        snap = pickle.loads(pickle.dumps(registry.snapshot()))
+        assert snap["c"]["value"] == 3
+        assert snap["h"]["count"] == 1
+
+    def test_merge_creates_missing_metrics(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(2)
+        worker.gauge("g").set(1.5)
+        worker.histogram("h", buckets=(1.0,)).observe(0.5)
+        collector = MetricsRegistry()
+        collector.merge(worker.snapshot())
+        collector.merge(worker.snapshot())
+        assert collector.get("c").value == 4
+        assert collector.get("g").value == 1.5
+        assert collector.get("h").count == 2
+
+    def test_merge_type_mismatch_raises(self):
+        collector = MetricsRegistry()
+        collector.counter("m")
+        with pytest.raises(TypeError, match="cannot merge"):
+            collector.merge({"m": {"type": "gauge", "value": 1.0}})
+
+    def test_snapshot_and_reset_round_trip(self):
+        """Serial identity: snapshot_and_reset + merge == no-op on totals."""
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        before = registry.snapshot()
+        snap = registry.snapshot_and_reset()
+        assert registry.get("c").value == 0
+        registry.merge(snap)
+        assert registry.snapshot() == before
+
+
+class TestGlobalRegistry:
+    def test_default_is_null(self):
+        assert get_metrics() is NULL_METRICS
+        assert not get_metrics().enabled
+        # Null handles swallow everything.
+        get_metrics().counter("x").inc()
+        get_metrics().histogram("h").observe(1.0)
+        assert get_metrics().snapshot() == {}
+
+    def test_scope_installs_and_restores(self):
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            assert get_metrics() is registry
+            get_metrics().counter("c").inc()
+        assert get_metrics() is NULL_METRICS
+        assert registry.get("c").value == 1
+
+    def test_set_metrics_and_clear(self):
+        registry = MetricsRegistry()
+        set_metrics(registry)
+        try:
+            assert get_metrics() is registry
+        finally:
+            set_metrics(None)
+        assert get_metrics() is NULL_METRICS
+
+    def test_foreign_pid_registry_is_invisible(self):
+        """After a fork the parent's registry must not be double-counted."""
+        registry = MetricsRegistry()
+        registry._pid = registry._pid + 1  # simulate an inherited registry
+        with metrics_scope(registry):
+            assert get_metrics() is NULL_METRICS
+
+
+class TestPrometheus:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc(7)
+        registry.gauge("inflight").set(2.5)
+        hist = registry.histogram("latency_seconds", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.005, 0.05, 0.5):
+            hist.observe(value)
+        return registry
+
+    def test_render_shape(self):
+        text = render_prometheus(self._registry().snapshot())
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 7" in text
+        assert "inflight 2.5" in text
+        assert 'latency_seconds_bucket{le="0.001"} 1' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 5' in text  # cumulative
+        assert "latency_seconds_count 5" in text
+        assert text.endswith("\n")
+
+    def test_round_trip(self):
+        snapshot = self._registry().snapshot()
+        parsed = parse_prometheus_text(render_prometheus(snapshot))
+        for name, snap in snapshot.items():
+            got = parsed[name]
+            if snap["type"] == "histogram":
+                assert got["buckets"] == pytest.approx(snap["buckets"])
+                assert got["counts"] == snap["counts"]
+                assert got["count"] == snap["count"]
+                assert got["sum"] == pytest.approx(snap["sum"])
+            else:
+                assert got == {"type": snap["type"], "value": snap["value"]}
+
+    def test_parse_rejects_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 0.5\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(ValueError, match="missing \\+Inf"):
+            parse_prometheus_text(text)
+
+    def test_parse_rejects_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 0.5\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus_text(text)
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""

@@ -74,7 +74,30 @@ class TestParser:
         assert args.command == "trace"
         assert args.file == "out/trace.jsonl"
         assert args.top == 5
+        assert not args.strict
+        assert args.export_chrome is None
         assert build_parser().parse_args(["trace", "t.jsonl", "--top", "3"]).top == 3
+        args = build_parser().parse_args(
+            ["trace", "t.jsonl", "--strict", "--export-chrome", "out/chrome.json"]
+        )
+        assert args.strict
+        assert args.export_chrome == "out/chrome.json"
+
+    def test_profile_subcommand(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.command == "profile"
+        assert args.model == "vgg11"
+        assert args.batch == 4
+        assert args.steps == 30
+        assert args.image_shape == ("3", "32", "32")
+        args = build_parser().parse_args(
+            ["profile", "--model", "convnet", "--image-shape", "1,16,16",
+             "--classes", "2", "--steps", "5", "--top", "3"]
+        )
+        assert args.model == "convnet"
+        assert args.image_shape == ("1", "16", "16")
+        assert args.classes == 2
+        assert args.top == 3
 
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
@@ -220,11 +243,68 @@ class TestMain:
         assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
         assert "no such trace file" in capsys.readouterr().err
 
-    def test_trace_command_rejects_corrupt_trace(self, tmp_path, capsys):
+    def test_trace_command_strict_rejects_corrupt_trace(self, tmp_path, capsys):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"ev": "span_start", "name": "study", "span": "1", "parent": null}\n')
-        assert main(["trace", str(path)]) == 2
+        assert main(["trace", str(path), "--strict"]) == 2
         assert "left open" in capsys.readouterr().err
+
+    def test_trace_command_tolerates_truncated_trace(self, tmp_path, capsys):
+        """A killed sweep's trace summarizes with a repair warning, exit 0."""
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(
+            '{"ev": "span_start", "name": "study", "span": "1", "parent": null, '
+            '"t": 0.0, "pid": 1}\n'
+            '{"ev": "span_start", "name": "unit", "span": "2", "parent": "1", '
+            '"t": 0.1, "pid": 1}\n'
+            '{"ev": "span_end", "name": "unit", "span": "2", "t": 0.5, '
+            '"dur_s": 0.4, "pid": 1, "outcome": "ok"}\n'
+            '{"ev": "span_st'  # torn mid-write by the kill
+        )
+        assert main(["trace", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "synthesized span_end" in captured.err
+        assert "per-phase wall-clock:" in captured.out
+        assert "truncated trace" in captured.out
+
+    def test_trace_command_export_chrome(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"ev": "span_start", "name": "study", "span": "1", "parent": null, '
+            '"t": 0.0, "pid": 1, "wall": 100.0}\n'
+            '{"ev": "span_end", "name": "study", "span": "1", "t": 0.5, '
+            '"dur_s": 0.5, "pid": 1, "outcome": "ok"}\n'
+        )
+        out = tmp_path / "chrome.json"
+        assert main(["trace", str(path), "--export-chrome", str(out)]) == 0
+        assert "exported" in capsys.readouterr().err
+        trace = json.loads(out.read_text())
+        phases = [event["ph"] for event in trace["traceEvents"]]
+        assert "B" in phases and "E" in phases
+
+    def test_profile_command_smoke(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        code = main([
+            "profile", "--model", "convnet", "--image-shape", "1,12,12",
+            "--classes", "2", "--width", "2", "--batch", "2",
+            "--steps", "3", "--warmup", "1", "--out", str(out),
+        ])
+        assert code == 0
+        report = capsys.readouterr().out
+        assert "profile: convnet" in report
+        assert "conv2d" in report
+        assert "coverage" in report
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["steps"] == 3
+        assert payload["ops"] and payload["ops"][0]["calls"] > 0
+
+    def test_profile_command_unknown_model(self, capsys):
+        assert main(["profile", "--model", "transformer9000"]) == 2
+        assert "error" in capsys.readouterr().err
 
     def test_serve_bad_state_file(self, tmp_path, capsys):
         code = main(["serve", "--state", str(tmp_path / "missing.npz")])
