@@ -12,6 +12,8 @@ Usage::
     repro-study panel --dataset gtsrb --model convnet --fault mislabelling
     repro-study study [--jobs 4] [--checkpoint out/study.jsonl] [--resume] [--out results.json]
     repro-study study --trace out/trace.jsonl --progress ...
+    repro-study study --cluster 0.0.0.0:9700 [--ddp 2] ...
+    repro-study worker HOST:9700
     repro-study trace out/trace.jsonl [--strict] [--export-chrome out.json]
     repro-study profile [--model vgg11 --batch 4 --steps 30]
     repro-study serve [--model convnet --dataset gtsrb] [--state model.npz] [--port 8777]
@@ -43,6 +45,7 @@ from .telemetry import (
 )
 from .experiments import (
     CheckpointError,
+    ClusterExecutor,
     ExperimentRunner,
     ParallelExecutor,
     RetryPolicy,
@@ -62,6 +65,7 @@ from .experiments import (
     render_table4,
     plan_study,
     run_resilient_study,
+    run_worker,
     save_results,
 )
 from .experiments.hardware_study import (
@@ -72,6 +76,7 @@ from .experiments.hardware_study import (
 from .experiments.config import ExperimentConfig, resolve_scale
 from .faults import FaultType
 from .mitigation import technique_names
+from .nn.allreduce import set_ddp
 from .nn.functional import KERNEL_MODES, set_kernel_mode
 from .nn.serialization import StateFileError
 from .serve import BatchSettings, ModelKey, ModelRegistry, ServingEngine, serve_forever
@@ -89,6 +94,17 @@ def _csv(value: str) -> tuple[str, ...]:
 
 def _csv_floats(value: str) -> tuple[float, ...]:
     return tuple(float(item) for item in _csv(value))
+
+
+def _parse_address(value: str) -> tuple[str, int]:
+    """Split ``HOST:PORT`` (the port is the piece after the last colon)."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {value!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"invalid port in {value!r}") from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -203,6 +219,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="nn kernel mode: fast (default), compiled (record/plan/replay "
         "static training steps, bitwise-identical), reference, or legacy",
+    )
+    study.add_argument(
+        "--cluster",
+        default=None,
+        metavar="HOST:PORT",
+        help="run the sweep through a multi-host cluster coordinator bound to "
+        "this address; start workers with 'repro-study worker HOST:PORT' "
+        "(results are identical to serial and --jobs runs)",
+    )
+    study.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        help="seconds without a heartbeat before a cluster worker's cell is "
+        "re-dispatched to another worker (default 60)",
+    )
+    study.add_argument(
+        "--ddp",
+        type=int,
+        default=None,
+        metavar="N",
+        help="data-parallel replicas per training run: shard each batch "
+        "across N local processes with a deterministic gradient allreduce "
+        "(bitwise-identical to single-process training)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a cluster sweep as a worker (connects to a 'study "
+        "--cluster' coordinator, executes leased cells until shutdown)",
+    )
+    worker.add_argument(
+        "address", metavar="HOST:PORT", help="coordinator address to connect to"
+    )
+    worker.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        help="seconds between keep-alive heartbeats (default: a quarter of "
+        "the coordinator's lease timeout)",
     )
 
     trace = sub.add_parser(
@@ -378,6 +434,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "hardware-faults":  # owns its own campaign machinery
         return _run_hardware_faults_command(args)
 
+    if args.command == "worker":  # cluster worker: no runner of its own
+        return _run_worker_command(args)
+
     runner = ExperimentRunner(args.scale)
     logger.info("[scale=%s, repeats=%d]", runner.scale.name, runner.scale.repeats)
 
@@ -437,8 +496,31 @@ def _run_study_command(runner: ExperimentRunner, args: argparse.Namespace) -> in
     if args.jobs < 1:
         logger.error("error: --jobs must be >= 1")
         return 2
+    if args.ddp is not None:
+        if args.ddp < 1:
+            logger.error("error: --ddp must be >= 1")
+            return 2
+        set_ddp(args.ddp)
+        logger.info("[ddp: %d replicas per training run]", args.ddp)
     executor = None
-    if args.jobs > 1:
+    if args.cluster is not None:
+        if args.jobs > 1:
+            logger.error("error: --cluster and --jobs are mutually exclusive")
+            return 2
+        try:
+            host, port = _parse_address(args.cluster)
+        except ValueError as exc:
+            logger.error("error: %s", exc)
+            return 2
+        executor = ClusterExecutor(
+            host=host, port=port, lease_timeout=args.lease_timeout
+        )
+        logger.info(
+            "[cluster: coordinator at %s:%d — start workers with "
+            "'repro-study worker %s:%d']",
+            *executor.address, *executor.address,
+        )
+    elif args.jobs > 1:
         executor = ParallelExecutor(jobs=args.jobs)
         logger.info("[parallel: %d worker processes]", args.jobs)
     if args.trace:
@@ -488,6 +570,25 @@ def _run_study_command(runner: ExperimentRunner, args: argparse.Namespace) -> in
         save_results(report.results, args.out)
         logger.info("[archived %d results to %s]", len(report.results), args.out)
     return 0 if report.ok else 1
+
+
+def _run_worker_command(args: argparse.Namespace) -> int:
+    """The ``worker`` subcommand: one disposable cluster worker process."""
+    try:
+        host, port = _parse_address(args.address)
+    except ValueError as exc:
+        logger.error("error: %s", exc)
+        return 2
+    logger.info("[worker: connecting to coordinator at %s:%d]", host, port)
+    try:
+        executed = run_worker(
+            host, port, heartbeat_interval=args.heartbeat_interval
+        )
+    except ConnectionError as exc:
+        logger.error("error: cannot reach coordinator at %s:%d: %s", host, port, exc)
+        return 2
+    logger.info("[worker: executed %d cell(s), coordinator closed]", executed)
+    return 0
 
 
 def _run_hardware_faults_command(args: argparse.Namespace) -> int:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import socket
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
@@ -89,6 +90,15 @@ class ExecutionSettings:
     #: funnel as ``trace``, merged into the collector's registry so a
     #: ``--jobs N`` sweep aggregates to the same totals as a serial one.
     metrics: bool = False
+    #: Kernel mode the collector ran under (``fast``/``compiled``/…).
+    #: In-process and forked workers inherit the mode implicitly; cluster
+    #: workers on other hosts replay it from here so every executor trains
+    #: with identical kernels.  ``None`` = leave the worker's mode alone.
+    kernels: "str | None" = None
+    #: Data-parallel shard count for each cell's training loops (see
+    #: :mod:`repro.nn.allreduce`); shipped to workers like ``kernels``.
+    #: ``None`` = leave the worker's setting alone.
+    ddp: "int | None" = None
 
 
 def execute_unit(
@@ -157,6 +167,7 @@ def execute_unit(
     if trace:
         outcome.events = recorder.drain()
     outcome.pid = os.getpid()
+    outcome.host = socket.gethostname()
     return outcome
 
 
@@ -178,8 +189,25 @@ def _worker_runner(unit: WorkUnit, settings: ExecutionSettings) -> ExperimentRun
     return runner
 
 
+def _apply_worker_settings(settings: ExecutionSettings) -> None:
+    """Replay the collector's training knobs inside a worker process.
+
+    Forked pool workers inherit them implicitly (so this is an idempotent
+    no-op there); spawned pools and cluster workers on other hosts start
+    from interpreter defaults and need the explicit replay.
+    """
+    from ..nn.allreduce import set_ddp
+    from ..nn.functional import set_kernel_mode
+
+    if settings.kernels is not None:
+        set_kernel_mode(settings.kernels)
+    if settings.ddp is not None:
+        set_ddp(settings.ddp)
+
+
 def _execute_unit_in_worker(unit: WorkUnit, settings: ExecutionSettings) -> CellOutcome:
     """Top-level (hence picklable) entry point run inside pool workers."""
+    _apply_worker_settings(settings)
     return execute_unit(
         _worker_runner(unit, settings), unit, settings.retry,
         trace=settings.trace, metrics=settings.metrics,
@@ -322,9 +350,13 @@ def run_study_plan(
     elif trace is not None:
         tel = FileTelemetry(trace)
         owns_trace = True
+    from ..nn.allreduce import get_ddp
+    from ..nn.functional import kernel_mode
+
     settings = ExecutionSettings(
         retry=retry, cache_dir=cache_dir, trace=tel.enabled,
         metrics=get_metrics().enabled,
+        kernels=kernel_mode(), ddp=get_ddp(),
     )
 
     ckpt = checkpoint
@@ -357,11 +389,20 @@ def run_study_plan(
                     type(executor).__name__, executor.jobs,
                 )
                 plan_indices = [index for index, _ in pending]
+                # Executors with coordinator-side telemetry (lease expiries,
+                # lost workers — events that belong to no single outcome)
+                # expose a ``drain_events`` hook; the collector, as the
+                # trace's single writer, merges those batches too.
+                drain = getattr(executor, "drain_events", None)
                 for local_index, outcome in executor.map(
                     [unit for _, unit in pending], settings
                 ):
                     index = plan_indices[local_index]
                     outcomes[index] = outcome
+                    if drain is not None:
+                        coordinator_events = drain()
+                        if coordinator_events:
+                            tel.write_batch(coordinator_events, parent=study_span.id)
                     if outcome.events:
                         tel.write_batch(outcome.events, parent=study_span.id)
                     if outcome.metrics:
@@ -378,6 +419,10 @@ def run_study_plan(
                             ckpt.record_failure(outcome.failure)
                         if on_failure is not None:
                             on_failure(outcome.failure)
+                if drain is not None:
+                    coordinator_events = drain()
+                    if coordinator_events:
+                        tel.write_batch(coordinator_events, parent=study_span.id)
 
             if get_metrics().enabled:
                 tel.event("metrics_snapshot", metrics=get_metrics().snapshot())

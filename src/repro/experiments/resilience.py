@@ -180,6 +180,9 @@ class CellOutcome:
     #: way as ``events`` and merged into the collector's registry.
     metrics: "dict | None" = None
     pid: "int | None" = None
+    #: Hostname of the executing machine — with ``pid``, the ``(host, pid)``
+    #: pair identifies a worker uniquely across a multi-host cluster sweep.
+    host: "str | None" = None
 
     @property
     def ok(self) -> bool:

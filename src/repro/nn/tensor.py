@@ -309,13 +309,7 @@ class Tensor:
     # Elementwise math
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * out_data)
-
-        return Tensor._make(out_data, (self,), backward_fn, "exp")
+        return run_op(_EXP, (self,), _NO_KWARGS)
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
@@ -373,13 +367,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward_fn, "sigmoid")
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
-
-        return Tensor._make(out_data, (self,), backward_fn, "tanh")
+        return run_op(_TANH, (self,), _NO_KWARGS)
 
     # ------------------------------------------------------------------
     # Reductions
@@ -681,6 +669,48 @@ def _sum_vjp(ctx: OpCtx, grad, needs, acc) -> None:
         acc(0, gx)
 
 
+def _exp_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    (a,) = inputs
+    if ctx.bufs is None:
+        out = np.exp(a)
+    else:
+        out = np.exp(a, out=ctx.buffer("out", a.shape, a.dtype))
+    ctx.saved = out
+    return out
+
+
+def _exp_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    if not needs[0]:
+        return
+    out = ctx.saved
+    if ctx.bufs is None:
+        acc(0, grad * out)
+    else:
+        acc(0, np.multiply(grad, out, out=ctx.buffer("gx", grad.shape, grad.dtype)))
+
+
+def _tanh_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
+    (a,) = inputs
+    if ctx.bufs is None:
+        out = np.tanh(a)
+    else:
+        out = np.tanh(a, out=ctx.buffer("out", a.shape, a.dtype))
+    ctx.saved = out
+    return out
+
+
+def _tanh_vjp(ctx: OpCtx, grad, needs, acc) -> None:
+    if not needs[0]:
+        return
+    out = ctx.saved
+    if ctx.bufs is None:
+        acc(0, grad * (1.0 - out**2))
+        return
+    tmp = np.power(out, 2, out=ctx.buffer("tmp", out.shape, out.dtype))
+    np.subtract(1.0, tmp, out=tmp)
+    acc(0, np.multiply(grad, tmp, out=ctx.buffer("gx", grad.shape, grad.dtype)))
+
+
 def _reshape_apply(ctx: OpCtx, inputs, kwargs) -> np.ndarray:
     (a,) = inputs
     ctx.saved = a.shape
@@ -696,5 +726,7 @@ _ADD = register_op("add", _add_apply, _add_vjp)
 _MUL = register_op("mul", _mul_apply, _mul_vjp)
 _MATMUL = register_op("matmul", _matmul_apply, _matmul_vjp)
 _RELU = register_op("relu", _relu_apply, _relu_vjp)
+_EXP = register_op("exp", _exp_apply, _exp_vjp)
+_TANH = register_op("tanh", _tanh_apply, _tanh_vjp)
 _SUM = register_op("sum", _sum_apply, _sum_vjp)
 _RESHAPE = register_op("reshape", _reshape_apply, _reshape_vjp)

@@ -68,8 +68,11 @@ class ProgressReporter:
         self.retries = 0
         self.replayed = 0
         self._completions: deque[float] = deque(maxlen=max(2, window))
-        #: pid -> description of that worker's most recent cell.
-        self.worker_activity: dict[int, str] = {}
+        #: (host, pid) -> description of that worker's most recent cell.
+        #: Keying by pid alone conflates workers on different machines in a
+        #: cluster sweep (pids are only unique per host); ``host`` is ""
+        #: for outcomes predating the cluster executor.
+        self.worker_activity: dict[tuple[str, int], str] = {}
         self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
 
     # -- statistics ----------------------------------------------------
@@ -101,7 +104,8 @@ class ProgressReporter:
         if outcome.from_checkpoint:
             self.replayed += 1
         if outcome.pid is not None:
-            self.worker_activity[outcome.pid] = unit.describe()
+            host = getattr(outcome, "host", None) or ""
+            self.worker_activity[(host, outcome.pid)] = unit.describe()
         self._render(unit, outcome)
 
     def __call__(self, index: int, unit: "WorkUnit", outcome: "CellOutcome") -> None:
@@ -127,7 +131,10 @@ class ProgressReporter:
         if not self.worker_activity:
             return ""
         newest = sorted(self.worker_activity.items())
-        return "workers: " + "  ".join(f"{pid}:{desc}" for pid, desc in newest)
+        return "workers: " + "  ".join(
+            f"{host}:{pid}:{desc}" if host else f"{pid}:{desc}"
+            for (host, pid), desc in newest
+        )
 
     def _render(self, unit: "WorkUnit", outcome: "CellOutcome") -> None:
         if self._isatty:

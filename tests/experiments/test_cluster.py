@@ -1,0 +1,307 @@
+"""Tests for the multi-host cluster executor (frames, leases, equivalence)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pickle
+import socket
+import struct
+import threading
+import time
+from collections import deque
+
+import pytest
+
+from repro.experiments import (
+    ClusterExecutor,
+    ExecutionSettings,
+    ExperimentRunner,
+    StudyCheckpoint,
+    results_equivalent,
+    run_resilient_study,
+    run_study_plan,
+    run_worker,
+)
+from repro.experiments.cluster import (
+    FrameError,
+    _WorkerConn,
+    pack_frame,
+    parse_frames,
+)
+from repro.experiments.resilience import CellOutcome
+from repro.telemetry import RecordingTelemetry, read_trace
+from repro.telemetry.trace import hierarchy_signature, validate_trace
+
+from .test_executors import MICRO, MICRO_GRID, stub_plan
+from .test_resilience import _make_result
+
+
+# ----------------------------------------------------------------------
+# Frame protocol (no sockets)
+# ----------------------------------------------------------------------
+
+class TestFrameProtocol:
+    def test_roundtrip_several_frames_in_one_buffer(self):
+        messages = [("hello", "host", 1), ("heartbeat",), ("result", 3, None)]
+        buf = bytearray(b"".join(pack_frame(m) for m in messages))
+        assert parse_frames(buf) == messages
+        assert buf == bytearray()  # fully consumed
+
+    def test_partial_frame_stays_buffered_at_every_split(self):
+        frame = pack_frame(("unit", 7, "payload"))
+        for cut in range(len(frame)):
+            buf = bytearray(frame[:cut])
+            assert parse_frames(buf) == []  # no error, nothing popped
+            buf.extend(frame[cut:])
+            assert parse_frames(buf) == [("unit", 7, "payload")]
+
+    def test_oversize_length_prefix_is_malformed(self):
+        buf = bytearray(struct.pack(">I", (1 << 30) + 1) + b"x")
+        with pytest.raises(FrameError, match="exceeds"):
+            parse_frames(buf)
+
+    def test_undecodable_payload_is_malformed(self):
+        junk = b"this is not a pickle"
+        buf = bytearray(struct.pack(">I", len(junk)) + junk)
+        with pytest.raises(FrameError, match="undecodable"):
+            parse_frames(buf)
+
+    def test_empty_buffer_yields_nothing(self):
+        assert parse_frames(bytearray()) == []
+
+
+# ----------------------------------------------------------------------
+# Scripted raw-socket workers (stub outcomes: no training)
+# ----------------------------------------------------------------------
+
+def _stub_outcome(unit):
+    return CellOutcome(
+        result=_make_result(unit.dataset, unit.model, unit.technique, unit.fault_label),
+        attempts=1, pid=0, host="fakehost",
+    )
+
+
+def _recv_frame(sock):
+    def exact(n):
+        chunks = bytearray()
+        while len(chunks) < n:
+            chunk = sock.recv(n - len(chunks))
+            if not chunk:
+                raise ConnectionError("closed")
+            chunks.extend(chunk)
+        return bytes(chunks)
+
+    (length,) = struct.unpack(">I", exact(4))
+    return pickle.loads(exact(length))
+
+
+class _ScriptedWorker(threading.Thread):
+    """A protocol-speaking fake worker driven by a behavior function."""
+
+    def __init__(self, address, behave):
+        super().__init__(daemon=True)
+        self.address = address
+        self.behave = behave
+        self.start()
+
+    def run(self):
+        sock = socket.create_connection(self.address)
+        try:
+            self.behave(sock)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def _well_behaved(sock):
+    """Hello, then execute (fabricate) every leased unit until shutdown."""
+    sock.sendall(pack_frame(("hello", "fakehost", 1)))
+    while True:
+        message = _recv_frame(sock)
+        if message[0] == "shutdown":
+            return
+        if message[0] == "unit":
+            _, index, unit = message
+            sock.sendall(pack_frame(("result", index, _stub_outcome(unit))))
+
+
+def _silent_after_first_lease(sock):
+    """Take one unit, then go dark (no result, no heartbeat) until dropped."""
+    sock.sendall(pack_frame(("hello", "deadhost", 2)))
+    _recv_frame(sock)  # welcome
+    _recv_frame(sock)  # the leased unit — never answered
+    while True:  # wait for the coordinator to close the connection
+        if not sock.recv(1 << 16):
+            return
+
+
+def _garbage_after_first_lease(sock):
+    """Take one unit, then send bytes that are not a frame."""
+    sock.sendall(pack_frame(("hello", "rothost", 3)))
+    _recv_frame(sock)  # welcome
+    _recv_frame(sock)  # the leased unit
+    sock.sendall(struct.pack(">I", 8) + b"not-pkl!")
+    while True:
+        if not sock.recv(1 << 16):
+            return
+
+
+class TestCoordinator:
+    def test_lease_expiry_redispatches_with_no_duplicate_checkpoint_rows(self, tmp_path):
+        plan = stub_plan()
+        executor = ClusterExecutor(lease_timeout=0.6, poll_interval=0.05)
+        recorder = RecordingTelemetry()
+        _ScriptedWorker(executor.address, _silent_after_first_lease)
+        time.sleep(0.2)  # let the silent worker take the first lease
+        _ScriptedWorker(executor.address, _well_behaved)
+        report = run_study_plan(
+            plan, executor=executor,
+            checkpoint=tmp_path / "study.jsonl", trace=recorder,
+        )
+        assert report.ok and report.executed == len(plan)
+
+        lost = [e for e in recorder.events if e.get("name") == "worker_lost"]
+        assert len(lost) == 1
+        assert lost[0]["reason"] == "lease expired"
+        assert lost[0]["worker"] == "deadhost:2"
+
+        # The journal is the ground truth for exactly-once: one success
+        # record per plan key, no duplicates from the re-dispatched cell.
+        rows = [json.loads(line) for line in
+                (tmp_path / "study.jsonl").read_text().splitlines()]
+        success_keys = [r["key"] for r in rows if r["kind"] == "cell"]
+        assert sorted(success_keys) == sorted(u.key for u in plan)
+
+    def test_malformed_frame_drops_only_its_connection(self):
+        plan = stub_plan()
+        executor = ClusterExecutor(lease_timeout=30.0, poll_interval=0.05)
+        recorder = RecordingTelemetry()
+        _ScriptedWorker(executor.address, _garbage_after_first_lease)
+        time.sleep(0.2)
+        _ScriptedWorker(executor.address, _well_behaved)
+        report = run_study_plan(plan, executor=executor, trace=recorder)
+        assert report.ok and report.executed == len(plan)
+        lost = [e for e in recorder.events if e.get("name") == "worker_lost"]
+        assert len(lost) == 1 and lost[0]["reason"] == "malformed frame"
+
+    def test_worker_disconnect_requeues_its_lease(self):
+        def vanish_after_first_lease(sock):
+            sock.sendall(pack_frame(("hello", "ghosthost", 4)))
+            _recv_frame(sock)  # welcome
+            _recv_frame(sock)  # the unit
+            sock.close()  # EOF mid-cell: the crash-from-outside signature
+
+        plan = stub_plan()
+        executor = ClusterExecutor(lease_timeout=30.0, poll_interval=0.05)
+        recorder = RecordingTelemetry()
+        _ScriptedWorker(executor.address, vanish_after_first_lease)
+        time.sleep(0.2)
+        _ScriptedWorker(executor.address, _well_behaved)
+        report = run_study_plan(plan, executor=executor, trace=recorder)
+        assert report.ok and report.executed == len(plan)
+        lost = [e for e in recorder.events if e.get("name") == "worker_lost"]
+        assert len(lost) == 1 and lost[0]["reason"] == "disconnected"
+
+    def test_duplicate_result_is_dropped_not_yielded(self):
+        # The defensive path: a result for an index that already completed
+        # (its lease expired and the re-run finished first) must be dropped,
+        # not double-counted.
+        executor = ClusterExecutor()
+        units = stub_plan()
+        conn = _WorkerConn(sock=None, addr=("10.0.0.9", 1234))
+        conn.host, conn.pid = "latehost", 9
+        done = [True]
+        completed = []
+        executor._handle(
+            conn, ("result", 0, _stub_outcome(units[0])), ExecutionSettings(),
+            pending=deque(), units=units,
+            done=done, completed=completed,
+        )
+        assert completed == []
+        events = executor.drain_events()
+        assert [e["name"] for e in events] == ["duplicate_result"]
+        assert events[0]["worker"] == "latehost:9"
+
+    def test_lease_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match="lease_timeout"):
+            ClusterExecutor(lease_timeout=0.0)
+
+    def test_map_on_empty_units_yields_nothing_and_closes(self):
+        executor = ClusterExecutor()
+        assert list(executor.map([], ExecutionSettings())) == []
+        with pytest.raises(OSError):
+            executor._listener.getsockname()  # listener closed
+
+
+# ----------------------------------------------------------------------
+# End-to-end: real workers, real (micro-scale) training
+# ----------------------------------------------------------------------
+
+def _spawn_workers(address, count):
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(target=run_worker, args=address, daemon=True)
+        for _ in range(count)
+    ]
+    for proc in procs:
+        proc.start()
+    return procs
+
+
+class TestClusterSerialEquivalence:
+    @pytest.fixture(scope="class")
+    def serial(self, tmp_path_factory):
+        trace = tmp_path_factory.mktemp("serial") / "trace.jsonl"
+        report = run_resilient_study(
+            ExperimentRunner(MICRO), trace=trace, **MICRO_GRID
+        )
+        return report, trace
+
+    @pytest.fixture(scope="class")
+    def cluster(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cluster")
+        executor = ClusterExecutor(lease_timeout=120.0, poll_interval=0.05)
+        procs = _spawn_workers(executor.address, 2)
+        report = run_resilient_study(
+            ExperimentRunner(MICRO), executor=executor,
+            checkpoint=tmp / "study.jsonl", trace=tmp / "trace.jsonl",
+            **MICRO_GRID,
+        )
+        for proc in procs:
+            proc.join(timeout=30)
+        return report, tmp / "trace.jsonl", procs
+
+    def test_cluster_results_identical_to_serial(self, serial, cluster):
+        serial_report, _ = serial
+        cluster_report, _, _ = cluster
+        assert cluster_report.ok and cluster_report.executed == 2
+        assert results_equivalent(serial_report.results, cluster_report.results)
+        # Cross-host seed stability made concrete: every accuracy is bitwise
+        # equal because cell results derive from unit fingerprints, never
+        # from which worker (or host) executed them.
+        assert [r.accuracy_delta.mean for r in cluster_report.results] == [
+            r.accuracy_delta.mean for r in serial_report.results
+        ]
+
+    def test_cluster_outcomes_carry_worker_host(self, cluster):
+        cluster_report, _, _ = cluster
+        for result in cluster_report.results:
+            assert result is not None  # executed, shipped back over the wire
+
+    def test_workers_exit_cleanly_on_shutdown(self, cluster):
+        _, _, procs = cluster
+        assert [proc.exitcode for proc in procs] == [0, 0]
+
+    def test_merged_trace_is_valid_and_matches_serial_hierarchy(self, serial, cluster):
+        _, serial_trace = serial
+        _, cluster_trace, _ = cluster
+        serial_events = read_trace(serial_trace)
+        cluster_events = read_trace(cluster_trace)
+        validate_trace(serial_events)
+        validate_trace(cluster_events)
+        assert hierarchy_signature(cluster_events) == hierarchy_signature(serial_events)

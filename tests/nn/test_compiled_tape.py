@@ -108,6 +108,49 @@ class TestBitwiseEquivalence:
         ]
 
 
+class _TanhExpLoss(CrossEntropy):
+    """CE plus a term through the migrated ``tanh``/``exp`` registry ops."""
+
+    def __call__(self, logits, targets):
+        return super().__call__(logits, targets) + (logits.tanh() * 0.1).exp().mean() * 0.01
+
+
+class TestMigratedClosureOps:
+    """``tanh`` and ``exp`` live in the op registry now: tapes that route the
+    loss through them must compile (no per-shape fallback) and replay
+    bitwise-equal to eager."""
+
+    @pytest.mark.parametrize("name", ["mlp", "convnet"])
+    def test_tanh_exp_tape_compiles_and_matches_eager(self, name):
+        fast = _fit(name, "fast", loss=_TanhExpLoss())
+        tel = RecordingTelemetry()
+        with telemetry_scope(tel):
+            compiled = _fit(name, "compiled", loss=_TanhExpLoss())
+        _assert_bitwise_same(fast, compiled)
+
+        assert not [e for e in tel.events if e.get("name") == "tape_compile_fallback"]
+        (fit_event,) = [e for e in tel.events if e.get("name") == "compiled_fit"]
+        assert fit_event["compiles"] == FEED_SHAPES
+        assert fit_event["eager_steps"] == FEED_SHAPES  # the recording steps only
+
+    def test_tanh_exp_gradients_match_closure_formulas(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        g = rng.normal(size=(4, 3)).astype(np.float32)
+
+        t = Tensor(x, requires_grad=True)
+        out = t.tanh()
+        out.backward(g)
+        assert np.array_equal(out.data, np.tanh(x))
+        assert np.array_equal(t.grad, g * (1.0 - np.tanh(x) ** 2))
+
+        t = Tensor(x, requires_grad=True)
+        out = t.exp()
+        out.backward(g)
+        assert np.array_equal(out.data, np.exp(x))
+        assert np.array_equal(t.grad, g * np.exp(x))
+
+
 class TestCompileApi:
     """Direct record → compile → replay, without the Trainer wrapper."""
 
@@ -170,14 +213,14 @@ class TestCompileApi:
 
 
 class _LegacyClosureLoss(CrossEntropy):
-    """CE plus a term routed through a legacy closure op (``Tensor.tanh``).
+    """CE plus a term routed through a legacy closure op (``Tensor.sigmoid``).
 
     ``compile_tape`` refuses tapes whose loss depends on closure-backward
     ops, so every step of a fit with this loss must fall back to eager.
     """
 
     def __call__(self, logits, targets):
-        return super().__call__(logits, targets) + logits.tanh().mean() * 0.01
+        return super().__call__(logits, targets) + logits.sigmoid().mean() * 0.01
 
 
 class TestEagerFallbacks:

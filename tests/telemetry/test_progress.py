@@ -26,9 +26,13 @@ class _Clock:
         return self.now
 
 
-def _ok(pid=None, attempts=1, from_checkpoint=False):
+def _ok(pid=None, attempts=1, from_checkpoint=False, host=None):
     return CellOutcome(
-        result=object(), attempts=attempts, from_checkpoint=from_checkpoint, pid=pid
+        result=object(),
+        attempts=attempts,
+        from_checkpoint=from_checkpoint,
+        pid=pid,
+        host=host,
     )
 
 
@@ -73,8 +77,25 @@ class TestProgressReporter:
         reporter.on_outcome(0, _Unit("cell-a"), _ok(pid=100))
         reporter.on_outcome(1, _Unit("cell-b"), _ok(pid=200))
         reporter.on_outcome(2, _Unit("cell-c"), _ok(pid=100))
-        assert reporter.worker_activity == {100: "cell-c", 200: "cell-b"}
+        assert reporter.worker_activity == {("", 100): "cell-c", ("", 200): "cell-b"}
         assert "100:cell-c" in reporter.workers_line()
+
+    def test_worker_activity_keys_by_host_and_pid(self):
+        # Two cluster hosts can reuse the same pid: both rows must survive.
+        reporter = ProgressReporter(total=3, stream=io.StringIO(), clock=_Clock())
+        reporter.on_outcome(0, _Unit("cell-a"), _ok(pid=100, host="nodeA"))
+        reporter.on_outcome(1, _Unit("cell-b"), _ok(pid=100, host="nodeB"))
+        reporter.on_outcome(2, _Unit("cell-c"), _ok(pid=100))
+        assert reporter.worker_activity == {
+            ("nodeA", 100): "cell-a",
+            ("nodeB", 100): "cell-b",
+            ("", 100): "cell-c",
+        }
+        line = reporter.workers_line()
+        assert "nodeA:100:cell-a" in line
+        assert "nodeB:100:cell-b" in line
+        # Local rows keep the pid-only format (hostless keys sort first).
+        assert line.startswith("workers: 100:cell-c")
 
     def test_non_tty_prints_one_line_per_cell(self):
         stream = io.StringIO()
