@@ -1,0 +1,184 @@
+"""Bench: fleet throughput scaling + p99 latency SLO + overload shedding.
+
+Serves the bench ConvNet (GTSRB geometry) through three regimes and writes
+``benchmarks/results/BENCH_fleet.json``:
+
+* ``single_engine`` — the PR 5 baseline: one micro-batching
+  :class:`ServingEngine`, closed-loop clients;
+* ``fleet`` — ``FLEET_REPLICAS`` replicas behind the router, same schedule,
+  same closed-loop concurrency: shared-memory weights mean the replicas
+  cost one copy of the arrays, and process replicas sidestep the GIL;
+* ``overload`` — an under-provisioned, deliberately slowed fleet driven
+  far past capacity: admission control must shed the excess *immediately*
+  (429-path) while every accepted request still completes.
+
+Gates:
+
+- **p99 SLO (always enforced)** — fleet p99 must stay within
+  ``SLO_P99_MS`` and no accepted request may be lost, in both the scaling
+  and the overload phases.  Latency is a correctness property of the
+  admission design, not a hardware lottery: a bounded queue plus shedding
+  keeps p99 flat no matter the offered load.
+- **>= 3x single-engine throughput (multicore only)** — enforced when
+  ``REPRO_BENCH_ENFORCE_SPEEDUP=1`` and >= 4 cores are present (the CI
+  fleet-smoke job); recorded but not gated on the 1-core containers where
+  four replicas time-slice one core.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from bench_common import write_bench_json
+from repro.models.registry import build_model
+from repro.serve import (
+    BatchSettings,
+    FleetSettings,
+    ModelKey,
+    ModelRegistry,
+    ServingEngine,
+    ServingFleet,
+)
+from tests.serve.loadgen import FleetTarget, make_schedule, run_closed_loop
+
+GATE_MIN_SPEEDUP = 3.0
+SLO_P99_MS = 500.0
+FLEET_REPLICAS = 4
+
+KEY = ModelKey(model="convnet", dataset="gtsrb")
+N_REQUESTS = 512
+CONCURRENCY = 32
+CLIENTS = tuple(f"client-{i}" for i in range(8))
+
+
+def _registry() -> ModelRegistry:
+    registry = ModelRegistry()
+    module = build_model("convnet", image_shape=(3, 16, 16), num_classes=43, seed=0)
+    registry.register_module(KEY, module)
+    return registry
+
+
+def _inputs() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((64, 3, 16, 16)).astype(np.float32)
+
+
+def _schedule(n: int = N_REQUESTS, rate: float = 10_000.0, seed: int = 0):
+    return make_schedule(
+        n, rate=rate, clients=CLIENTS, samples=64, seed=seed
+    )
+
+
+class _EngineAsFleet:
+    """Adapter: drive a bare engine through the fleet-shaped load target."""
+
+    def __init__(self, engine: ServingEngine) -> None:
+        self.engine = engine
+
+    def submit(self, key, sample, client=None, priority=0):
+        return self.engine.submit(key, sample)
+
+
+def _bench_single_engine(inputs: np.ndarray) -> dict:
+    settings = BatchSettings(max_batch_size=32, max_latency_ms=2.0, workers=1)
+    with ServingEngine(_registry(), settings) as engine:
+        engine.predict(KEY, inputs[:32])  # warm-up
+        target = FleetTarget(_EngineAsFleet(engine), KEY, inputs, timeout_s=60.0)
+        report = run_closed_loop(target, _schedule(), concurrency=CONCURRENCY)
+    assert report.lost == 0 and report.errors == 0, report.summary()
+    return report.summary()
+
+
+def _bench_fleet(inputs: np.ndarray) -> dict:
+    settings = FleetSettings(
+        replicas=FLEET_REPLICAS,
+        backend="auto",
+        max_queue=8192,
+        chunk=16,
+        replica_cap=64,
+        batch=BatchSettings(max_batch_size=32, max_latency_ms=2.0, workers=1),
+    )
+    with ServingFleet(_registry(), settings) as fleet:
+        fleet.predict(KEY, inputs[:16])  # warm-up (all replicas reachable)
+        target = FleetTarget(fleet, KEY, inputs, timeout_s=60.0)
+        report = run_closed_loop(target, _schedule(seed=1), concurrency=CONCURRENCY)
+        described = fleet.describe()
+    assert report.lost == 0 and report.errors == 0, report.summary()
+    summary = report.summary()
+    summary["replicas"] = FLEET_REPLICAS
+    summary["backend"] = described["backend"]
+    summary["evictions"] = described["evictions"]
+    return summary
+
+
+def _bench_overload(inputs: np.ndarray) -> dict:
+    """Drive a slowed 1-replica fleet far past capacity; shedding must hold."""
+    # Bounded admission is what makes the p99 SLO hold under any offered
+    # load: accepted backlog <= max_queue + replica_cap = 24 requests, and
+    # at ~80 req/s capacity that is a ~300 ms worst case — inside the SLO.
+    settings = FleetSettings(
+        replicas=1,
+        backend="thread",
+        max_queue=16,
+        chunk=4,
+        replica_cap=8,
+        batch=BatchSettings(max_batch_size=4, max_latency_ms=1.0, workers=1),
+    )
+    with ServingFleet(_registry(), settings) as fleet:
+        fleet.predict(KEY, inputs[0])  # warm-up
+        fleet.slow_replica(0, delay_s=0.05)  # ~80 req/s capacity
+        target = FleetTarget(fleet, KEY, inputs, timeout_s=60.0)
+        schedule = _schedule(n=256, rate=20_000.0, seed=2)
+        report = run_closed_loop(target, schedule, concurrency=64)
+    summary = report.summary()
+    assert report.shed > 0, f"overload never shed: {summary}"
+    assert report.lost == 0 and report.errors == 0, summary
+    assert report.ok == report.accepted, summary
+    return summary
+
+
+def _enforce_speedup() -> bool:
+    return os.environ.get("REPRO_BENCH_ENFORCE_SPEEDUP") == "1" and (
+        os.cpu_count() or 1
+    ) >= 4
+
+
+def test_fleet_perf():
+    inputs = _inputs()
+    single = _bench_single_engine(inputs)
+    fleet = _bench_fleet(inputs)
+    overload = _bench_overload(inputs)
+    speedup = (
+        fleet["throughput_rps"] / single["throughput_rps"]
+        if single["throughput_rps"] else 0.0
+    )
+    payload = {
+        "gate_min_speedup": GATE_MIN_SPEEDUP,
+        "slo_p99_ms": SLO_P99_MS,
+        "speedup_enforced": _enforce_speedup(),
+        "model": KEY.id,
+        "requests": N_REQUESTS,
+        "concurrency": CONCURRENCY,
+        "replicas": FLEET_REPLICAS,
+        "single_engine": single,
+        "fleet": fleet,
+        "overload": overload,
+        "speedup": round(speedup, 3),
+    }
+    out = write_bench_json("BENCH_fleet.json", "fleet", payload)
+    print(f"\n{json.dumps(payload, indent=2)}\n[saved to {out}]")
+
+    # The SLO gate is unconditional: bounded admission keeps p99 flat even
+    # on starved hardware, and overload answers (shed or served) promptly.
+    assert fleet["p99_ms"] <= SLO_P99_MS, payload
+    assert overload["p99_ms"] <= SLO_P99_MS, payload
+    assert fleet["lost"] == 0 and overload["lost"] == 0, payload
+    if _enforce_speedup():
+        assert speedup >= GATE_MIN_SPEEDUP, payload

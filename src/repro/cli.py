@@ -79,7 +79,17 @@ from .mitigation import technique_names
 from .nn.allreduce import set_ddp
 from .nn.functional import KERNEL_MODES, set_kernel_mode
 from .nn.serialization import StateFileError
-from .serve import BatchSettings, ModelKey, ModelRegistry, ServingEngine, serve_forever
+from .serve import (
+    REPLICA_BACKENDS,
+    SHED_POLICIES,
+    BatchSettings,
+    FleetSettings,
+    ModelKey,
+    ModelRegistry,
+    ServingEngine,
+    ServingFleet,
+    serve_forever,
+)
 from .survey import render_table1, select_representatives
 from .telemetry import FileTelemetry
 
@@ -355,6 +365,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="nn kernel mode for re-fitting and inference (compiled only "
         "affects training; inference always runs eagerly)",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=1,
+        help="serving replicas; >= 2 runs a fleet with shared-memory weights, "
+        "admission control, and health-checked respawn (default 1: one engine)",
+    )
+    serve.add_argument(
+        "--replica-backend", choices=REPLICA_BACKENDS, default="auto",
+        help="fleet replica backend: forked processes, in-process threads, or "
+        "auto (processes where fork exists; default auto)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256,
+        help="per-model admission-queue bound before requests are shed with "
+        "429 + Retry-After (fleet mode; default 256)",
+    )
+    serve.add_argument(
+        "--shed-policy", choices=SHED_POLICIES, default="reject",
+        help="full-queue policy: reject the arrival, or evict the lowest-"
+        "priority queued request when the arrival outranks it (default reject)",
+    )
+    serve.add_argument(
+        "--client-rate", type=float, default=None,
+        help="per-client fairness: sustained requests/s per client id "
+        "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--client-burst", type=float, default=None,
+        help="per-client token-bucket burst (default: max(1, --client-rate))",
+    )
+    serve.add_argument(
+        "--replica-deadline", type=float, default=30.0,
+        help="seconds a replica may sit on its oldest dispatched request "
+        "before the health monitor evicts and respawns it (default 30)",
     )
 
     hw = sub.add_parser(
@@ -698,20 +742,42 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         telemetry = FileTelemetry(args.trace)
         logger.info("[tracing to %s]", args.trace)
     # Serving always runs with live metrics enabled: the /metrics endpoint
-    # scrapes the process-global registry, which ServingStats adopts.
+    # scrapes the process-global registry, which the backend adopts.
     set_metrics(MetricsRegistry())
-    engine = ServingEngine(registry, settings, telemetry=telemetry).start()
+    if args.replicas >= 2:
+        try:
+            fleet_settings = FleetSettings(
+                replicas=args.replicas,
+                backend=args.replica_backend,
+                max_queue=args.max_queue,
+                shed_policy=args.shed_policy,
+                client_rate=args.client_rate,
+                client_burst=args.client_burst,
+                replica_deadline_s=args.replica_deadline,
+                batch=settings,
+            )
+        except ValueError as exc:
+            logger.error("error: %s", exc)
+            return 2
+        backend = ServingFleet(registry, fleet_settings, telemetry=telemetry).start()
+        logger.info(
+            "[fleet: %d %s replicas, max-queue %d, shed-policy %s]",
+            args.replicas, backend.settings.resolved_backend(),
+            args.max_queue, args.shed_policy,
+        )
+    else:
+        backend = ServingEngine(registry, settings, telemetry=telemetry).start()
     try:
         logger.info(
             "[serving %d model(s) at http://%s:%d — POST /predict, POST /shutdown]",
             len(registry), args.host, args.port,
         )
         serve_forever(
-            engine, host=args.host, port=args.port, verbose=args.verbose,
+            backend, host=args.host, port=args.port, verbose=args.verbose,
             request_timeout_s=args.request_timeout if args.request_timeout > 0 else None,
         )
     finally:
-        engine.close()
+        backend.close()
         if telemetry is not None:
             telemetry.close()
     return 0

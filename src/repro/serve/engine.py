@@ -46,7 +46,18 @@ from ..telemetry import (
 )
 from .registry import ModelKey, ModelRegistry
 
-__all__ = ["BatchSettings", "ServingStats", "ServingEngine"]
+__all__ = ["BatchSettings", "ServingStats", "ServingEngine", "EngineClosedError"]
+
+
+class EngineClosedError(RuntimeError):
+    """The engine has been closed; it will never serve another request.
+
+    Raised by :meth:`ServingEngine.submit` (and :meth:`ServingEngine.start`)
+    after :meth:`ServingEngine.close`, and set on any future that was still
+    pending at close time.  A distinct type matters to the fleet layer
+    (:mod:`repro.serve.fleet`): a replica seeing this knows its engine died
+    and re-routes the request instead of failing the caller.
+    """
 
 
 @dataclass(frozen=True)
@@ -186,33 +197,53 @@ class ServingEngine:
         self._queues: "dict[ModelKey, deque[_Item]]" = {}
         self._threads: list[threading.Thread] = []
         self._running = False
+        self._closed = False
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "ServingEngine":
-        """Spawn the worker threads (idempotent)."""
-        with self._cond:
-            if self._running:
-                return self
-            self._running = True
+        """Spawn the worker threads (idempotent; engines are single-use).
+
+        Worker threads are spawned *under the engine lock* so a racing
+        :meth:`close` can never observe a half-populated thread list — it
+        either sees no workers (start hasn't happened) or all of them.
+        """
         if self._telemetry is not NULL:
-            self._root_span = self._telemetry.span(
+            root = self._telemetry.span(
                 "serve",
                 max_batch_size=self.settings.max_batch_size,
                 max_latency_ms=self.settings.max_latency_ms,
                 workers=self.settings.workers,
             )
-            self._root_span.__enter__()
-        for index in range(self.settings.workers):
-            thread = threading.Thread(
-                target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
-            )
-            thread.start()
-            self._threads.append(thread)
+        with self._cond:
+            if self._closed:
+                raise EngineClosedError(
+                    "serving engine closed; engines are single-use — build a new one"
+                )
+            if self._running:
+                return self
+            self._running = True
+            if self._telemetry is not NULL:
+                self._root_span = root
+                self._root_span.__enter__()
+            for index in range(self.settings.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
+                )
+                thread.start()
+                self._threads.append(thread)
         return self
 
     def close(self) -> None:
-        """Stop the workers, failing any still-queued requests."""
+        """Stop the workers, failing any still-queued requests.
+
+        Closing is terminal: the ``_closed`` flag flips under the same lock
+        that :meth:`submit` takes, so a submit racing close either lands in
+        ``pending`` (and is failed here) or raises
+        :class:`EngineClosedError` — a request can never be enqueued after
+        the drain and silently starve.
+        """
         with self._cond:
+            self._closed = True
             if not self._running:
                 return
             self._running = False
@@ -220,7 +251,7 @@ class ServingEngine:
             self._queues.clear()
             self._cond.notify_all()
         for item in pending:
-            item.future.set_exception(RuntimeError("serving engine closed"))
+            item.future.set_exception(EngineClosedError("serving engine closed"))
         for thread in self._threads:
             thread.join(timeout=5.0)
         self._threads.clear()
@@ -255,6 +286,10 @@ class ServingEngine:
         self.registry.get(key)  # raise KeyError now, not inside a batch
         item = _Item(np.asarray(sample))
         with self._cond:
+            if self._closed:
+                raise EngineClosedError(
+                    "serving engine closed — submit() raced or followed close()"
+                )
             if not self._running:
                 raise RuntimeError("serving engine is not running (call start())")
             queue = self._queues.setdefault(key, deque())

@@ -14,10 +14,10 @@ import threading
 import numpy as np
 import pytest
 
-from repro.serve import BatchSettings, ServingEngine
+from repro.serve import BatchSettings, EngineClosedError, ServingEngine
 from repro.telemetry import RecordingTelemetry, span_tree, validate_trace
 
-from .conftest import KEY
+from .conftest import KEY, NUM_CLASSES
 
 
 def make_engine(registry, **kwargs) -> ServingEngine:
@@ -101,10 +101,57 @@ class TestEngineBehaviour:
                 engine.submit("cifar10/vgg16/baseline/none", inputs[0])
 
     def test_submit_after_close_raises(self, registry, inputs):
+        # close() is terminal: a late submit must raise the typed
+        # EngineClosedError (never enqueue a request nobody will serve).
         engine = make_engine(registry).start()
         engine.close()
-        with pytest.raises(RuntimeError, match="not running"):
+        with pytest.raises(EngineClosedError, match="closed"):
             engine.submit(KEY, inputs[0])
+
+    def test_submit_after_close_without_start_raises(self, registry, inputs):
+        # Even an engine closed before ever starting refuses submissions
+        # with the terminal error, not the recoverable "not running" one.
+        engine = make_engine(registry)
+        engine.close()
+        with pytest.raises(EngineClosedError, match="closed"):
+            engine.submit(KEY, inputs[0])
+        with pytest.raises(EngineClosedError, match="closed"):
+            engine.start()
+
+    def test_submit_close_race_never_hangs_a_future(self, registry, inputs):
+        # Regression for the submit()-after-close race: hammer submit from
+        # several threads while the engine closes; every future obtained
+        # must complete (result or error) — none may hang unserved.
+        for _ in range(5):
+            engine = make_engine(registry, max_latency_ms=0.1).start()
+            futures, barrier = [], threading.Barrier(4)
+            lock = threading.Lock()
+
+            def submitter() -> None:
+                barrier.wait()
+                for i in range(20):
+                    try:
+                        future = engine.submit(KEY, inputs[i % len(inputs)])
+                    except EngineClosedError:
+                        return  # refused cleanly — the fix under test
+                    with lock:
+                        futures.append(future)
+
+            threads = [threading.Thread(target=submitter) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            engine.close()
+            for thread in threads:
+                thread.join()
+            for future in futures:
+                # A timeout here IS the regression: a request accepted by
+                # submit() that close() never served.
+                try:
+                    row = future.result(timeout=5)
+                except EngineClosedError:
+                    continue  # failed over cleanly at close
+                assert row.shape == (NUM_CLASSES,)
 
     def test_close_fails_pending_futures(self, registry, inputs):
         engine = make_engine(registry, max_batch_size=64, max_latency_ms=60_000.0)
